@@ -1,0 +1,54 @@
+#ifndef LOSSYTS_BENCH_BENCH_COMMON_H_
+#define LOSSYTS_BENCH_BENCH_COMMON_H_
+
+// Shared configuration for the per-table/per-figure bench binaries. Every
+// forecasting bench uses the same GridOptions (and thus the same CSV cache),
+// so the expensive model-training sweep runs once no matter which bench is
+// executed first; likewise for the compression-only sweep.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compress/pipeline.h"
+#include "eval/compression_sweep.h"
+#include "eval/grid.h"
+
+namespace lossyts::bench {
+
+/// The canonical forecasting grid: all datasets/models/compressors, the 13
+/// paper error bounds, two seeds, laptop-scale series (DESIGN.md scaling
+/// note). ~5 minutes of one-time compute, cached to CSV afterwards.
+inline eval::GridOptions DefaultGridOptions() {
+  eval::GridOptions options;
+  options.seeds = {1, 2};
+  options.data.length_fraction = 0.05;
+  options.verbose = true;
+  return options;
+}
+
+/// The canonical compression sweep at the larger statistics-grade scale.
+inline eval::SweepOptions DefaultSweepOptions() {
+  eval::SweepOptions options;
+  options.data.length_fraction = 0.125;
+  options.verbose = true;
+  return options;
+}
+
+/// Mean TFE per (dataset, compressor, error bound) across models and seeds.
+inline std::map<std::string, std::vector<double>> GroupTfe(
+    const std::vector<eval::GridRecord>& records,
+    const std::string& dataset, const std::string& compressor) {
+  std::map<std::string, std::vector<double>> by_eb;
+  for (const eval::GridRecord& r : records) {
+    if (r.dataset != dataset || r.compressor != compressor) continue;
+    char key[32];
+    std::snprintf(key, sizeof(key), "%.4f", r.error_bound);
+    by_eb[key].push_back(r.tfe);
+  }
+  return by_eb;
+}
+
+}  // namespace lossyts::bench
+
+#endif  // LOSSYTS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,111 @@
+#ifndef LOSSYTS_BENCH_CHARACTERISTICS_COMMON_H_
+#define LOSSYTS_BENCH_CHARACTERISTICS_COMMON_H_
+
+// Shared machinery for the characteristic-analysis benches (Figure 5 /
+// Table 4 / Table 6): per (dataset, compressor, error bound) cell, compute
+// the 42 characteristics on the raw and the decompressed test split, their
+// differences, and the cell's mean TFE from the forecasting grid.
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "compress/pipeline.h"
+#include "core/split.h"
+#include "features/registry.h"
+
+namespace lossyts::bench {
+
+struct CharacteristicCell {
+  std::string dataset;
+  std::string compressor;
+  double error_bound = 0.0;
+  double mean_tfe = 0.0;
+  /// Signed relative difference (lossy − raw) / max(|raw|, tiny) per
+  /// feature, aligned with FeatureNames() order.
+  std::vector<double> signed_rel_diff;
+  /// Absolute relative difference in percent (Table 6's measurement).
+  std::vector<double> abs_rel_diff_percent;
+};
+
+/// Builds all cells. Uses the same data scaling as the forecasting grid so
+/// the TFE targets line up with the measured characteristic changes.
+inline Result<std::vector<CharacteristicCell>> BuildCharacteristicCells(
+    const std::vector<eval::GridRecord>& grid) {
+  const eval::GridOptions grid_options = DefaultGridOptions();
+  const std::vector<std::string>& names = features::FeatureNames();
+
+  // Mean TFE per cell from the grid.
+  std::map<std::string, std::pair<double, int>> tfe_acc;
+  auto cell_key = [](const std::string& d, const std::string& c, double eb) {
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer), "%s|%s|%.4f", d.c_str(), c.c_str(),
+                  eb);
+    return std::string(buffer);
+  };
+  for (const eval::GridRecord& r : grid) {
+    if (r.compressor == "NONE") continue;
+    auto& acc = tfe_acc[cell_key(r.dataset, r.compressor, r.error_bound)];
+    acc.first += r.tfe;
+    acc.second += 1;
+  }
+
+  std::vector<CharacteristicCell> cells;
+  for (const std::string& dataset_name : data::DatasetNames()) {
+    Result<data::Dataset> dataset =
+        data::MakeDataset(dataset_name, grid_options.data);
+    if (!dataset.ok()) return dataset.status();
+    Result<TrainValTest> split = SplitSeries(dataset->series);
+    if (!split.ok()) return split.status();
+    // Wind's nominal 900-sample "season" exceeds what the grid-scale test
+    // split can estimate; fall back to the non-seasonal feature set there.
+    size_t season = dataset->season_length;
+    if (split->test.size() < 3 * season) season = 0;
+    Result<features::FeatureMap> raw_features =
+        features::ComputeAllFeatures(split->test, season);
+    if (!raw_features.ok()) return raw_features.status();
+
+    for (const std::string& compressor_name :
+         compress::LossyCompressorNames()) {
+      Result<std::unique_ptr<compress::Compressor>> compressor =
+          compress::MakeCompressor(compressor_name);
+      if (!compressor.ok()) return compressor.status();
+      for (double eb : compress::PaperErrorBounds()) {
+        Result<compress::PipelineResult> pipeline =
+            compress::RunPipeline(**compressor, split->test, eb);
+        if (!pipeline.ok()) return pipeline.status();
+        Result<features::FeatureMap> lossy_features =
+            features::ComputeAllFeatures(pipeline->decompressed, season);
+        if (!lossy_features.ok()) return lossy_features.status();
+
+        CharacteristicCell cell;
+        cell.dataset = dataset_name;
+        cell.compressor = compressor_name;
+        cell.error_bound = eb;
+        const auto it =
+            tfe_acc.find(cell_key(dataset_name, compressor_name, eb));
+        if (it != tfe_acc.end() && it->second.second > 0) {
+          cell.mean_tfe = it->second.first / it->second.second;
+        }
+        cell.signed_rel_diff.reserve(names.size());
+        cell.abs_rel_diff_percent.reserve(names.size());
+        for (const std::string& name : names) {
+          const double raw = raw_features->at(name);
+          const double lossy = lossy_features->at(name);
+          const double denom = std::max(std::abs(raw), 1e-9);
+          cell.signed_rel_diff.push_back((lossy - raw) / denom);
+          cell.abs_rel_diff_percent.push_back(100.0 * std::abs(lossy - raw) /
+                                              denom);
+        }
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace lossyts::bench
+
+#endif  // LOSSYTS_BENCH_CHARACTERISTICS_COMMON_H_

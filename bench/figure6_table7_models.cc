@@ -1,0 +1,103 @@
+// Reproduces Figure 6 and Table 7: per-model resilience to lossy
+// compression. Figure 6 shows the mean TFE of each forecasting model per
+// dataset (averaged over compressors and error bounds up to the dataset's
+// median elbow EB, as the paper selects); Table 7 lists the best model per
+// dataset by baseline NRMSE and by TFE.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "forecast/registry.h"
+
+using namespace lossyts;
+
+int main() {
+  Result<std::vector<eval::GridRecord>> grid = eval::LoadOrRunGrid(
+      bench::DefaultGridOptions(), eval::DefaultGridCachePath());
+  if (!grid.ok()) {
+    std::fprintf(stderr, "grid: %s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+
+  // EB cap: the paper averages TFE up to each dataset's mean elbow EB from
+  // Table 5. Our scaled replica's elbows sit around 0.2-0.5, so a fixed cap
+  // at the top of that range keeps this binary self-contained while showing
+  // the per-model differentiation.
+  const double eb_cap = 0.5;
+
+  std::printf(
+      "=== Figure 6: mean TFE per forecasting model (error bounds <= %.2f) "
+      "===\n\n",
+      eb_cap);
+  std::vector<std::string> header = {"Model"};
+  for (const std::string& d : data::DatasetNames()) header.push_back(d);
+  eval::TableWriter figure({std::move(header)});
+
+  std::map<std::string, std::map<std::string, double>> mean_tfe;
+  for (const std::string& model : forecast::ModelNames()) {
+    std::vector<std::string> row = {model};
+    for (const std::string& dataset : data::DatasetNames()) {
+      std::vector<double> tfes;
+      for (const eval::GridRecord& r : *grid) {
+        if (r.model == model && r.dataset == dataset &&
+            r.compressor != "NONE" && r.error_bound <= eb_cap + 1e-12) {
+          tfes.push_back(r.tfe);
+        }
+      }
+      const double mean = eval::MeanOf(tfes);
+      mean_tfe[model][dataset] = mean;
+      row.push_back(eval::FormatDouble(mean, 3));
+    }
+    figure.AddRow(std::move(row));
+  }
+  figure.Print();
+
+  // Table 7: best model per dataset by baseline NRMSE and by TFE.
+  std::map<std::string, std::map<std::string, std::vector<double>>> baseline;
+  for (const eval::GridRecord& r : *grid) {
+    if (r.compressor == "NONE") {
+      baseline[r.dataset][r.model].push_back(r.nrmse);
+    }
+  }
+  std::printf("\n=== Table 7: best models based on NRMSE and TFE ===\n\n");
+  std::vector<std::string> t7_header = {"criterion"};
+  for (const std::string& d : data::DatasetNames()) t7_header.push_back(d);
+  eval::TableWriter table7(std::move(t7_header));
+  std::vector<std::string> nrmse_row = {"NRMSE"};
+  std::vector<std::string> tfe_row = {"TFE"};
+  for (const std::string& dataset : data::DatasetNames()) {
+    std::string best_nrmse_model;
+    double best_nrmse = 1e18;
+    for (const auto& [model, values] : baseline[dataset]) {
+      const double m = eval::MeanOf(values);
+      if (m < best_nrmse) {
+        best_nrmse = m;
+        best_nrmse_model = model;
+      }
+    }
+    std::string best_tfe_model;
+    double best_tfe = 1e18;
+    for (const std::string& model : forecast::ModelNames()) {
+      const double t = mean_tfe[model][dataset];
+      if (t < best_tfe) {
+        best_tfe = t;
+        best_tfe_model = model;
+      }
+    }
+    nrmse_row.push_back(best_nrmse_model);
+    tfe_row.push_back(best_tfe_model);
+  }
+  table7.AddRow(std::move(nrmse_row));
+  table7.AddRow(std::move(tfe_row));
+  table7.Print();
+  std::printf(
+      "\nShape checks vs the paper (RQ3): the two Table 7 rows should "
+      "disagree — the paper's central pattern is the *inverse relationship* "
+      "between baseline accuracy and resilience: whichever models win the "
+      "NRMSE row (at paper scale the complex ones; at this replica's tiny "
+      "widths often GBoost/Arima/NBeats) suffer the larger TFEs, while the "
+      "weaker-baseline models barely move under compression.\n");
+  return 0;
+}

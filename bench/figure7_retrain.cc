@@ -1,0 +1,132 @@
+// Reproduces Figure 7 and the §4.4.1 analysis: what happens when Arima and
+// DLinear are retrained on decompressed (rather than raw) ETTm1/ETTm2 data.
+// For each compressor and error bound the model is trained AND evaluated on
+// decompressed data, with TFE measured against the raw-trained baseline.
+// The bench closes with the trend/remainder RMSE decomposition analysis that
+// explains DLinear's sensitivity.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "core/split.h"
+#include "eval/report.h"
+#include "eval/scenario.h"
+#include "features/decompose.h"
+#include "forecast/registry.h"
+
+using namespace lossyts;
+
+int main() {
+  const std::vector<std::string> models = {"Arima", "DLinear"};
+  const std::vector<std::string> datasets = {"ETTm1", "ETTm2"};
+  const std::vector<double> error_bounds = {0.05, 0.1, 0.2, 0.3};
+
+  eval::GridOptions grid_options = bench::DefaultGridOptions();
+  std::printf(
+      "=== Figure 7: TFE of Arima and DLinear when TRAINED on decompressed "
+      "data ===\n\n");
+
+  for (const std::string& dataset_name : datasets) {
+    Result<data::Dataset> dataset =
+        data::MakeDataset(dataset_name, grid_options.data);
+    if (!dataset.ok()) return 1;
+    Result<TrainValTest> split = SplitSeries(dataset->series);
+    if (!split.ok()) return 1;
+
+    forecast::ForecastConfig config = grid_options.forecast;
+    config.season_length = dataset->season_length;
+
+    std::printf("--- %s ---\n", dataset_name.c_str());
+    eval::TableWriter table({"model", "method", "eb", "NRMSE", "TFE"});
+    for (const std::string& model_name : models) {
+      // Raw-trained baseline for the TFE denominator.
+      Result<std::unique_ptr<forecast::Forecaster>> baseline_model =
+          forecast::MakeForecaster(model_name, config);
+      if (!baseline_model.ok()) return 1;
+      if (Status s = (*baseline_model)->Fit(split->train, split->val);
+          !s.ok()) {
+        return 1;
+      }
+      Result<MetricSet> baseline = eval::EvaluateOnTest(
+          **baseline_model, split->test, nullptr, config.input_length,
+          config.horizon);
+      if (!baseline.ok()) return 1;
+
+      for (const std::string& method : compress::LossyCompressorNames()) {
+        for (double eb : error_bounds) {
+          std::fprintf(stderr, "[retrain] %s/%s/%s eb=%.2f\n",
+                       dataset_name.c_str(), model_name.c_str(),
+                       method.c_str(), eb);
+          Result<MetricSet> retrained = eval::EvaluateRetrainOnDecompressed(
+              model_name, config, split->train, split->val, split->test,
+              method, eb);
+          if (!retrained.ok()) {
+            std::fprintf(stderr, "retrain failed: %s\n",
+                         retrained.status().ToString().c_str());
+            return 1;
+          }
+          table.AddRow({model_name, method, eval::FormatDouble(eb, 2),
+                        eval::FormatDouble(retrained->nrmse, 4),
+                        eval::FormatDouble(
+                            eval::Tfe(retrained->nrmse, baseline->nrmse),
+                            3)});
+        }
+      }
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // §4.4.1: impact of compression on the trend and remainder components.
+  std::printf(
+      "=== §4.4.1 analysis: RMSE between raw and decompressed trend / "
+      "remainder components ===\n\n");
+  eval::TableWriter decomposition_table(
+      {"dataset", "eb", "trend RMSE", "remainder RMSE"});
+  const std::vector<std::pair<std::string, double>> analysis_points = {
+      {"ETTm1", 0.2}, {"ETTm2", 0.1}};
+  for (const auto& [dataset_name, eb] : analysis_points) {
+    Result<data::Dataset> dataset =
+        data::MakeDataset(dataset_name, grid_options.data);
+    if (!dataset.ok()) return 1;
+    Result<TrainValTest> split = SplitSeries(dataset->series);
+    if (!split.ok()) return 1;
+
+    std::vector<double> trend_rmse;
+    std::vector<double> remainder_rmse;
+    for (const std::string& method : compress::LossyCompressorNames()) {
+      Result<std::unique_ptr<compress::Compressor>> compressor =
+          compress::MakeCompressor(method);
+      if (!compressor.ok()) return 1;
+      Result<std::vector<uint8_t>> blob =
+          (*compressor)->Compress(split->test, eb);
+      if (!blob.ok()) return 1;
+      Result<TimeSeries> decompressed = (*compressor)->Decompress(*blob);
+      if (!decompressed.ok()) return 1;
+
+      Result<features::Decomposition> raw_decomp = features::Decompose(
+          split->test.values(), dataset->season_length);
+      Result<features::Decomposition> lossy_decomp = features::Decompose(
+          decompressed->values(), dataset->season_length);
+      if (!raw_decomp.ok() || !lossy_decomp.ok()) return 1;
+      Result<double> t_rmse = Rmse(raw_decomp->trend, lossy_decomp->trend);
+      Result<double> r_rmse =
+          Rmse(raw_decomp->remainder, lossy_decomp->remainder);
+      if (!t_rmse.ok() || !r_rmse.ok()) return 1;
+      trend_rmse.push_back(*t_rmse);
+      remainder_rmse.push_back(*r_rmse);
+    }
+    decomposition_table.AddRow(
+        {dataset_name, eval::FormatDouble(eb, 1),
+         eval::FormatDouble(eval::MeanOf(trend_rmse), 3),
+         eval::FormatDouble(eval::MeanOf(remainder_rmse), 3)});
+  }
+  decomposition_table.Print();
+  std::printf(
+      "\nShape checks vs the paper: Arima's retrained TFE stays moderate "
+      "(it can adapt to compressed data) while DLinear deteriorates on "
+      "ETTm2; the remainder component is distorted more than the trend, "
+      "i.e. compression attacks short-term fluctuations first.\n");
+  return 0;
+}

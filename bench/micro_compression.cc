@@ -1,0 +1,89 @@
+// Engineering microbenchmarks (google-benchmark): compression and
+// decompression throughput of the four codecs and the gzip substrate. Not a
+// paper table — the paper does not report speed — but a regression guard for
+// the library itself.
+
+#include <benchmark/benchmark.h>
+
+#include "compress/gorilla.h"
+#include "compress/pmc.h"
+#include "compress/swing.h"
+#include "compress/sz.h"
+#include "core/rng.h"
+#include "zip/gzip.h"
+
+namespace lossyts {
+namespace {
+
+TimeSeries MakeSeries(size_t n) {
+  Rng rng(42);
+  std::vector<double> v(n);
+  double x = 100.0;
+  for (auto& val : v) {
+    x += 0.1 * rng.Normal();
+    val = x;
+  }
+  return TimeSeries(0, 60, std::move(v));
+}
+
+template <typename Codec>
+void BM_Compress(benchmark::State& state) {
+  const TimeSeries series = MakeSeries(static_cast<size_t>(state.range(0)));
+  Codec codec;
+  for (auto _ : state) {
+    auto blob = codec.Compress(series, 0.05);
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+template <typename Codec>
+void BM_RoundTrip(benchmark::State& state) {
+  const TimeSeries series = MakeSeries(static_cast<size_t>(state.range(0)));
+  Codec codec;
+  auto blob = codec.Compress(series, 0.05);
+  for (auto _ : state) {
+    auto out = codec.Decompress(*blob);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_GzipCompress(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)));
+  for (auto& b : data) b = static_cast<uint8_t>(rng.UniformInt(16));
+  for (auto _ : state) {
+    auto gz = zip::GzipCompress(data);
+    benchmark::DoNotOptimize(gz);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+void BM_GzipDecompress(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)));
+  for (auto& b : data) b = static_cast<uint8_t>(rng.UniformInt(16));
+  const std::vector<uint8_t> gz = zip::GzipCompress(data);
+  for (auto _ : state) {
+    auto out = zip::GzipDecompress(gz);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+BENCHMARK(BM_Compress<compress::PmcCompressor>)->Arg(10000);
+BENCHMARK(BM_Compress<compress::SwingCompressor>)->Arg(10000);
+BENCHMARK(BM_Compress<compress::SzCompressor>)->Arg(10000);
+BENCHMARK(BM_Compress<compress::GorillaCompressor>)->Arg(10000);
+BENCHMARK(BM_RoundTrip<compress::PmcCompressor>)->Arg(10000);
+BENCHMARK(BM_RoundTrip<compress::SwingCompressor>)->Arg(10000);
+BENCHMARK(BM_RoundTrip<compress::SzCompressor>)->Arg(10000);
+BENCHMARK(BM_RoundTrip<compress::GorillaCompressor>)->Arg(10000);
+BENCHMARK(BM_GzipCompress)->Arg(1 << 16);
+BENCHMARK(BM_GzipDecompress)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace lossyts
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Reproduces Table 2: evaluation-scenario baseline results — R, RSE, RMSE
+// and NRMSE of every forecasting model on every dataset's raw test split,
+// averaged over seeds. Best NRMSE per dataset is starred.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "forecast/registry.h"
+
+using namespace lossyts;
+
+int main() {
+  Result<std::vector<eval::GridRecord>> grid = eval::LoadOrRunGrid(
+      bench::DefaultGridOptions(), eval::DefaultGridCachePath());
+  if (!grid.ok()) {
+    std::fprintf(stderr, "grid: %s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+
+  // Collect baseline rows, averaging across seeds.
+  struct Cell {
+    std::vector<double> r, rse, rmse, nrmse;
+  };
+  std::map<std::string, std::map<std::string, Cell>> cells;  // model->ds.
+  for (const eval::GridRecord& rec : *grid) {
+    if (rec.compressor != "NONE") continue;
+    Cell& c = cells[rec.model][rec.dataset];
+    c.r.push_back(rec.r);
+    c.rse.push_back(rec.rse);
+    c.rmse.push_back(rec.rmse);
+    c.nrmse.push_back(rec.nrmse);
+  }
+
+  // Best NRMSE per dataset.
+  std::map<std::string, std::pair<std::string, double>> best;
+  for (const auto& [model, by_dataset] : cells) {
+    for (const auto& [dataset, cell] : by_dataset) {
+      const double nrmse = eval::MeanOf(cell.nrmse);
+      auto it = best.find(dataset);
+      if (it == best.end() || nrmse < it->second.second) {
+        best[dataset] = {model, nrmse};
+      }
+    }
+  }
+
+  std::printf("=== Table 2: Evaluation scenario baseline results ===\n");
+  std::printf("(mean over %zu seeds; * marks the best NRMSE per dataset)\n\n",
+              bench::DefaultGridOptions().seeds.size());
+  std::vector<std::string> header = {"Model", "Metric"};
+  for (const std::string& d : data::DatasetNames()) header.push_back(d);
+  eval::TableWriter table(std::move(header));
+  for (const std::string& model : forecast::ModelNames()) {
+    const char* metric_names[] = {"R", "RSE", "RMSE", "NRMSE"};
+    for (int m = 0; m < 4; ++m) {
+      std::vector<std::string> row = {m == 0 ? model : "", metric_names[m]};
+      for (const std::string& dataset : data::DatasetNames()) {
+        const Cell& c = cells[model][dataset];
+        double value = 0.0;
+        switch (m) {
+          case 0: value = eval::MeanOf(c.r); break;
+          case 1: value = eval::MeanOf(c.rse); break;
+          case 2: value = eval::MeanOf(c.rmse); break;
+          case 3: value = eval::MeanOf(c.nrmse); break;
+        }
+        std::string text = eval::FormatDouble(value, 3);
+        if (m == 3 && best[dataset].first == model) text += " *";
+        row.push_back(std::move(text));
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  table.Print();
+  return 0;
+}

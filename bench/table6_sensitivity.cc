@@ -1,0 +1,111 @@
+// Reproduces Table 6: mean (standard deviation) of the relative difference
+// in percent between raw and decompressed data for the five most important
+// characteristics — max_kl_shift (MKLS), max_level_shift (MLS), seas_acf1
+// (SACF1), max_var_shift (MVS) and unitroot_pp (URPP) — over the cells where
+// the mean TFE stays at or below 0.1.
+
+#include <cmath>
+#include <cstdio>
+
+#include "characteristics_common.h"
+#include "eval/report.h"
+
+using namespace lossyts;
+
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double sd = 0.0;
+};
+
+Moments ComputeMoments(const std::vector<double>& values) {
+  Moments m;
+  if (values.empty()) return m;
+  for (double v : values) m.mean += v;
+  m.mean /= static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - m.mean) * (v - m.mean);
+    m.sd = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  Result<std::vector<eval::GridRecord>> grid = eval::LoadOrRunGrid(
+      bench::DefaultGridOptions(), eval::DefaultGridCachePath());
+  if (!grid.ok()) {
+    std::fprintf(stderr, "grid: %s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[sensitivity] computing 42 features per cell...\n");
+  Result<std::vector<bench::CharacteristicCell>> cells =
+      bench::BuildCharacteristicCells(*grid);
+  if (!cells.ok()) {
+    std::fprintf(stderr, "cells: %s\n", cells.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::string>& names = features::FeatureNames();
+  const std::vector<std::pair<std::string, std::string>> tracked = {
+      {"MKLS", "max_kl_shift"},   {"MLS", "max_level_shift"},
+      {"SACF1", "seas_acf1"},     {"MVS", "max_var_shift"},
+      {"URPP", "unitroot_pp"}};
+  std::vector<size_t> feature_index;
+  for (const auto& [label, feature] : tracked) {
+    for (size_t f = 0; f < names.size(); ++f) {
+      if (names[f] == feature) feature_index.push_back(f);
+    }
+  }
+
+  std::printf(
+      "=== Table 6: mean (sd) relative difference %% of the five key "
+      "characteristics when TFE <= 0.1 ===\n\n");
+  std::vector<std::string> header = {"dataset", "method"};
+  for (const auto& [label, feature] : tracked) header.push_back(label);
+  eval::TableWriter table(std::move(header));
+
+  std::map<std::string, std::vector<std::vector<double>>> avg_pool;
+  for (const std::string& dataset : data::DatasetNames()) {
+    for (const std::string& method : compress::LossyCompressorNames()) {
+      std::vector<std::vector<double>> per_feature(tracked.size());
+      for (const bench::CharacteristicCell& cell : *cells) {
+        if (cell.dataset != dataset || cell.compressor != method) continue;
+        if (cell.mean_tfe > 0.1) continue;  // The paper's TFE filter.
+        for (size_t k = 0; k < tracked.size(); ++k) {
+          per_feature[k].push_back(
+              cell.abs_rel_diff_percent[feature_index[k]]);
+        }
+      }
+      std::vector<std::string> row = {dataset, method};
+      auto& pool = avg_pool[method];
+      pool.resize(tracked.size());
+      for (size_t k = 0; k < tracked.size(); ++k) {
+        const Moments m = ComputeMoments(per_feature[k]);
+        row.push_back(eval::FormatDouble(m.mean, 1) + " (" +
+                      eval::FormatDouble(m.sd, 1) + ")");
+        for (double v : per_feature[k]) pool[k].push_back(v);
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  for (const std::string& method : compress::LossyCompressorNames()) {
+    std::vector<std::string> row = {"AVG", method};
+    for (size_t k = 0; k < tracked.size(); ++k) {
+      const Moments m = ComputeMoments(avg_pool[method][k]);
+      row.push_back(eval::FormatDouble(m.mean, 1) + " (" +
+                    eval::FormatDouble(m.sd, 1) + ")");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nShape checks vs the paper: MKLS and URPP move by tens of percent "
+      "while MLS, SACF1 and MVS stay within a few percent; PMC inflates "
+      "MKLS the most (its constant segments collapse window variance, the "
+      "KL-sensitivity effect of §4.3.3).\n");
+  return 0;
+}

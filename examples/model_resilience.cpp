@@ -1,0 +1,92 @@
+// Reproduces the paper's RQ3 story on one dataset: simple models that learn
+// broad patterns (Arima) degrade gracefully as the error bound grows, while
+// models relying on short-term fluctuations lose accuracy faster.
+//
+// Usage: ./build/examples/model_resilience [dataset]   (default ETTm2)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compress/pipeline.h"
+#include "core/split.h"
+#include "data/datasets.h"
+#include "eval/report.h"
+#include "eval/scenario.h"
+#include "forecast/registry.h"
+
+using namespace lossyts;
+
+int main(int argc, char** argv) {
+  const std::string dataset_name = argc > 1 ? argv[1] : "ETTm2";
+  data::DatasetOptions data_options;
+  data_options.length_fraction = 0.05;
+  Result<data::Dataset> dataset =
+      data::MakeDataset(dataset_name, data_options);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  Result<TrainValTest> split = SplitSeries(dataset->series);
+  if (!split.ok()) return 1;
+
+  const std::vector<std::string> models = {"Arima", "GBoost", "DLinear",
+                                           "Transformer"};
+  const std::vector<double> error_bounds = {0.05, 0.1, 0.2, 0.4};
+
+  // Pre-transform the test split with PMC at each bound.
+  Result<std::unique_ptr<compress::Compressor>> pmc =
+      compress::MakeCompressor("PMC");
+  if (!pmc.ok()) return 1;
+  std::vector<TimeSeries> transformed;
+  for (double eb : error_bounds) {
+    Result<compress::PipelineResult> result =
+        compress::RunPipeline(**pmc, split->test, eb);
+    if (!result.ok()) return 1;
+    transformed.push_back(std::move(result->decompressed));
+  }
+
+  std::printf("Model resilience to PMC compression on %s (TFE per bound)\n\n",
+              dataset_name.c_str());
+  std::vector<std::string> header = {"model", "baseline NRMSE"};
+  for (double eb : error_bounds) {
+    header.push_back("TFE@" + eval::FormatDouble(eb, 2));
+  }
+  eval::TableWriter table(std::move(header));
+
+  forecast::ForecastConfig config;
+  config.season_length = dataset->season_length;
+  for (const std::string& name : models) {
+    Result<std::unique_ptr<forecast::Forecaster>> model =
+        forecast::MakeForecaster(name, config);
+    if (!model.ok()) return 1;
+    std::fprintf(stderr, "training %s...\n", name.c_str());
+    if (Status s = (*model)->Fit(split->train, split->val); !s.ok()) {
+      std::fprintf(stderr, "fit %s: %s\n", name.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    Result<MetricSet> baseline = eval::EvaluateOnTest(
+        **model, split->test, nullptr, config.input_length, config.horizon);
+    if (!baseline.ok()) return 1;
+
+    std::vector<std::string> row = {name,
+                                    eval::FormatDouble(baseline->nrmse, 4)};
+    for (const TimeSeries& t : transformed) {
+      Result<MetricSet> lossy = eval::EvaluateOnTest(
+          **model, split->test, &t, config.input_length, config.horizon);
+      if (!lossy.ok()) return 1;
+      row.push_back(
+          eval::FormatDouble(eval::Tfe(lossy->nrmse, baseline->nrmse), 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nPositive TFE = accuracy lost to compression. The paper's RQ3 "
+      "pattern to look for: the model with the best baseline NRMSE pays the "
+      "largest TFE as the bound grows, while weaker-baseline models barely "
+      "move — higher accuracy is bought with the subtle patterns that "
+      "compression distorts first.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "analysis/change_detection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lossyts::analysis {
+
+Result<std::vector<size_t>> DetectChanges(const std::vector<double>& values,
+                                          const CusumOptions& options) {
+  if (values.size() <= options.warmup + 1) {
+    return Status::FailedPrecondition("series shorter than CUSUM warm-up");
+  }
+  // Baseline mean/sd from the warm-up window; re-anchored after each alarm.
+  auto baseline = [&](size_t begin, size_t end, double* mean, double* sd) {
+    double m = 0.0;
+    for (size_t i = begin; i < end; ++i) m += values[i];
+    m /= static_cast<double>(end - begin);
+    double ss = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      ss += (values[i] - m) * (values[i] - m);
+    }
+    *mean = m;
+    *sd = std::max({std::sqrt(ss / static_cast<double>(end - begin)),
+                    options.min_sigma, 1e-9});
+  };
+
+  std::vector<size_t> changes;
+  double mean = 0.0;
+  double sd = 1.0;
+  baseline(0, options.warmup, &mean, &sd);
+  double pos = 0.0;
+  double neg = 0.0;
+  size_t last_change = 0;
+  for (size_t i = options.warmup; i < values.size(); ++i) {
+    const double z = (values[i] - mean) / sd;
+    pos = std::max(0.0, pos + z - options.drift);
+    neg = std::max(0.0, neg - z - options.drift);
+    const bool alarm = pos > options.threshold || neg > options.threshold;
+    if (alarm && (changes.empty() ||
+                  i - last_change >= options.min_spacing)) {
+      changes.push_back(i);
+      last_change = i;
+      // Re-anchor the baseline on the points after the change.
+      const size_t end = std::min(values.size(), i + options.warmup);
+      if (end - i >= 8) baseline(i, end, &mean, &sd);
+      pos = 0.0;
+      neg = 0.0;
+    } else if (alarm) {
+      pos = 0.0;
+      neg = 0.0;
+    }
+  }
+  return changes;
+}
+
+DetectionQuality ScoreDetections(const std::vector<size_t>& detected,
+                                 const std::vector<size_t>& truth,
+                                 size_t tolerance) {
+  DetectionQuality q;
+  std::vector<bool> truth_matched(truth.size(), false);
+  for (size_t d : detected) {
+    bool matched = false;
+    for (size_t t = 0; t < truth.size(); ++t) {
+      if (truth_matched[t]) continue;
+      const size_t lo = truth[t] > tolerance ? truth[t] - tolerance : 0;
+      if (d >= lo && d <= truth[t] + tolerance) {
+        truth_matched[t] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      ++q.true_positives;
+    } else {
+      ++q.false_positives;
+    }
+  }
+  for (bool m : truth_matched) {
+    if (!m) ++q.false_negatives;
+  }
+  const double tp = static_cast<double>(q.true_positives);
+  if (q.true_positives + q.false_positives > 0) {
+    q.precision = tp / static_cast<double>(q.true_positives +
+                                           q.false_positives);
+  }
+  if (q.true_positives + q.false_negatives > 0) {
+    q.recall = tp / static_cast<double>(q.true_positives +
+                                        q.false_negatives);
+  }
+  if (q.precision + q.recall > 0.0) {
+    q.f1 = 2.0 * q.precision * q.recall / (q.precision + q.recall);
+  }
+  return q;
+}
+
+}  // namespace lossyts::analysis

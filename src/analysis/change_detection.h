@@ -1,0 +1,54 @@
+#ifndef LOSSYTS_ANALYSIS_CHANGE_DETECTION_H_
+#define LOSSYTS_ANALYSIS_CHANGE_DETECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lossyts::analysis {
+
+/// Two-sided CUSUM change-point detector for mean shifts — the analytics
+/// task of Hollmig et al. (Inf. Syst. 2017), which the paper cites as the
+/// change-detection counterpart of its forecasting study (§6.3) and lists
+/// as a future analytics target (§5).
+///
+/// The series is standardized with a rolling baseline; the detector raises a
+/// change when either cumulative sum exceeds `threshold` (in baseline
+/// standard deviations), then resets.
+struct CusumOptions {
+  double threshold = 8.0;   ///< Alarm level, in sigma units.
+  double drift = 0.5;       ///< Slack subtracted per step (k parameter).
+  size_t warmup = 50;       ///< Points used for the initial baseline.
+  size_t min_spacing = 25;  ///< Minimum points between reported changes.
+  /// Lower bound on the baseline sigma, as an absolute value. Decompressed
+  /// data can have a near-zero noise floor (PMC's constant segments collapse
+  /// the local variance — the same effect that inflates max_kl_shift in the
+  /// paper's §4.3.3), which makes a purely data-driven sigma explode the
+  /// false-alarm rate. 0 disables the floor (the naive detector).
+  double min_sigma = 0.0;
+};
+
+/// Detected change positions (indices into the series). Fails if the series
+/// is shorter than the warm-up.
+Result<std::vector<size_t>> DetectChanges(const std::vector<double>& values,
+                                          const CusumOptions& options = {});
+
+/// Precision/recall/F1 of detected change points against ground truth, with
+/// a +-tolerance window per true change.
+struct DetectionQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+};
+
+DetectionQuality ScoreDetections(const std::vector<size_t>& detected,
+                                 const std::vector<size_t>& truth,
+                                 size_t tolerance);
+
+}  // namespace lossyts::analysis
+
+#endif  // LOSSYTS_ANALYSIS_CHANGE_DETECTION_H_

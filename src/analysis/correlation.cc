@@ -1,0 +1,40 @@
+#include "analysis/correlation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/metrics.h"
+
+namespace lossyts::analysis {
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<double> SpearmanCorrelation(const std::vector<double>& x,
+                                   const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("Spearman inputs have different lengths");
+  }
+  if (x.size() < 3) {
+    return Status::InvalidArgument("Spearman needs at least 3 observations");
+  }
+  return PearsonR(AverageRanks(x), AverageRanks(y));
+}
+
+}  // namespace lossyts::analysis

@@ -1,0 +1,21 @@
+#ifndef LOSSYTS_ANALYSIS_CORRELATION_H_
+#define LOSSYTS_ANALYSIS_CORRELATION_H_
+
+#include <vector>
+
+#include "core/status.h"
+
+namespace lossyts::analysis {
+
+/// Spearman rank correlation (Pearson correlation of average ranks, so ties
+/// are handled). This is the correlation behind Table 4's characteristic
+/// ranking.
+Result<double> SpearmanCorrelation(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+/// Average ranks of the values (1-based; ties share the mean rank).
+std::vector<double> AverageRanks(const std::vector<double>& values);
+
+}  // namespace lossyts::analysis
+
+#endif  // LOSSYTS_ANALYSIS_CORRELATION_H_

@@ -1,0 +1,51 @@
+#ifndef LOSSYTS_ANALYSIS_GBM_H_
+#define LOSSYTS_ANALYSIS_GBM_H_
+
+#include <vector>
+
+#include "analysis/tree.h"
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace lossyts::analysis {
+
+/// Gradient-boosted regression trees with squared-error loss (Friedman 2001).
+/// Each stage fits a shallow RegressionTree to the current residuals; row
+/// subsampling (stochastic gradient boosting) is supported.
+///
+/// This is both (a) the tabular learner that the paper trains on the 42
+/// characteristics to predict TFE and explain with SHAP (§4.3.1) and (b) the
+/// core of the GBoost forecasting model (§3.4) via lag features.
+class GradientBoostedTrees {
+ public:
+  struct Options {
+    int num_trees = 100;
+    double learning_rate = 0.1;
+    double subsample = 1.0;  ///< Fraction of rows per stage, (0, 1].
+    RegressionTree::Options tree;
+    uint64_t seed = 7;
+  };
+
+  GradientBoostedTrees() = default;
+  explicit GradientBoostedTrees(const Options& options) : options_(options) {}
+
+  /// Fits on row-major features. Fails on inconsistent input.
+  Status Fit(const std::vector<std::vector<double>>& rows,
+             const std::vector<double>& targets);
+
+  double Predict(const std::vector<double>& row) const;
+
+  /// Mean training target; stage-0 prediction.
+  double base_score() const { return base_score_; }
+  const std::vector<RegressionTree>& trees() const { return trees_; }
+  double learning_rate() const { return options_.learning_rate; }
+
+ private:
+  Options options_;
+  double base_score_ = 0.0;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace lossyts::analysis
+
+#endif  // LOSSYTS_ANALYSIS_GBM_H_

@@ -1,0 +1,91 @@
+#include "analysis/kneedle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lossyts::analysis {
+
+Result<KneePoint> FindKnee(const std::vector<double>& x,
+                           const std::vector<double>& y,
+                           const KneedleOptions& options) {
+  const size_t n = x.size();
+  if (n != y.size()) {
+    return Status::InvalidArgument("x and y lengths differ");
+  }
+  if (n < 5) {
+    return Status::InvalidArgument("Kneedle needs at least 5 points");
+  }
+  for (size_t i = 1; i < n; ++i) {
+    if (x[i] <= x[i - 1]) {
+      return Status::InvalidArgument("x must be strictly increasing");
+    }
+  }
+
+  // Step 1: optional smoothing of y.
+  std::vector<double> ys(y);
+  if (options.smoothing > 1) {
+    const size_t w = options.smoothing;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t lo = i >= w / 2 ? i - w / 2 : 0;
+      const size_t hi = std::min(n - 1, i + w / 2);
+      double sum = 0.0;
+      for (size_t k = lo; k <= hi; ++k) sum += y[k];
+      ys[i] = sum / static_cast<double>(hi - lo + 1);
+    }
+  }
+
+  // Step 2: normalize to the unit square.
+  const double x_min = x.front();
+  const double x_range = x.back() - x.front();
+  const auto [y_min_it, y_max_it] = std::minmax_element(ys.begin(), ys.end());
+  const double y_min = *y_min_it;
+  const double y_range = *y_max_it - y_min;
+  if (x_range <= 0.0 || y_range <= 0.0) {
+    return Status::FailedPrecondition("degenerate curve");
+  }
+
+  // Step 3: difference curve. For a concave increasing curve the knee
+  // maximizes y_n - x_n; a convex increasing curve is flipped about the
+  // diagonal so the elbow maximizes x_n - y_n.
+  std::vector<double> diff(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double xn = (x[i] - x_min) / x_range;
+    const double yn = (ys[i] - y_min) / y_range;
+    diff[i] = options.curve == KneedleCurve::kConcaveIncreasing ? yn - xn
+                                                                : xn - yn;
+  }
+
+  // Step 4: scan local maxima of the difference curve; accept one when the
+  // curve then drops below the Satopää threshold before rising again.
+  double mean_spacing = 0.0;
+  for (size_t i = 1; i < n; ++i) {
+    mean_spacing += (x[i] - x[i - 1]) / x_range;
+  }
+  mean_spacing /= static_cast<double>(n - 1);
+
+  int candidate = -1;
+  double threshold = 0.0;
+  for (size_t i = 1; i + 1 < n; ++i) {
+    const bool local_max = diff[i] >= diff[i - 1] && diff[i] >= diff[i + 1];
+    if (local_max) {
+      candidate = static_cast<int>(i);
+      threshold = diff[i] - options.sensitivity * mean_spacing;
+    } else if (candidate >= 0 && diff[i] < threshold) {
+      return KneePoint{static_cast<size_t>(candidate),
+                       x[static_cast<size_t>(candidate)],
+                       y[static_cast<size_t>(candidate)]};
+    }
+  }
+  // Fall back to the global maximum of the difference curve if it is
+  // decisive (common for short empirical curves like the 13-point EB sweep).
+  size_t best = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (diff[i] > diff[best]) best = i;
+  }
+  if (best > 0 && best + 1 < n && diff[best] > 0.0) {
+    return KneePoint{best, x[best], y[best]};
+  }
+  return Status::NotFound("no knee detected");
+}
+
+}  // namespace lossyts::analysis

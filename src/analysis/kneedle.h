@@ -1,0 +1,45 @@
+#ifndef LOSSYTS_ANALYSIS_KNEEDLE_H_
+#define LOSSYTS_ANALYSIS_KNEEDLE_H_
+
+#include <vector>
+
+#include "core/status.h"
+
+namespace lossyts::analysis {
+
+/// Kneedle knee/elbow detection (Satopää et al., ICDCSW'11) for discrete
+/// curves, used by the paper's §4.3.2 inflection-point analysis of TFE vs TE.
+///
+/// The input points must have strictly increasing x. `curve` selects which
+/// bend is sought:
+///  - kConcaveIncreasing: classic knee (diminishing returns).
+///  - kConvexIncreasing: elbow where growth starts accelerating — the shape
+///    of the TFE-versus-TE curves.
+enum class KneedleCurve {
+  kConcaveIncreasing,
+  kConvexIncreasing,
+};
+
+struct KneedleOptions {
+  KneedleCurve curve = KneedleCurve::kConvexIncreasing;
+  /// Satopää's sensitivity parameter S; larger is more conservative.
+  double sensitivity = 1.0;
+  /// Width of the moving-average smoother applied to y (1 = none).
+  size_t smoothing = 1;
+};
+
+struct KneePoint {
+  size_t index = 0;  ///< Index into the input arrays.
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Finds the first knee/elbow of the curve. Fails when fewer than 5 points,
+/// x is not strictly increasing, or no knee is detected.
+Result<KneePoint> FindKnee(const std::vector<double>& x,
+                           const std::vector<double>& y,
+                           const KneedleOptions& options = {});
+
+}  // namespace lossyts::analysis
+
+#endif  // LOSSYTS_ANALYSIS_KNEEDLE_H_

@@ -1,0 +1,116 @@
+#include "analysis/linreg.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lossyts::analysis {
+
+namespace {
+
+// Inverts a small symmetric positive-definite matrix via Gauss-Jordan with
+// partial pivoting. Returns false when singular.
+bool InvertMatrix(std::vector<std::vector<double>> a,
+                  std::vector<std::vector<double>>* inverse) {
+  const size_t n = a.size();
+  std::vector<std::vector<double>> inv(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) inv[i][i] = 1.0;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(inv[col], inv[pivot]);
+    const double d = a[col][col];
+    for (size_t c = 0; c < n; ++c) {
+      a[col][c] /= d;
+      inv[col][c] /= d;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col];
+      for (size_t c = 0; c < n; ++c) {
+        a[r][c] -= f * a[col][c];
+        inv[r][c] -= f * inv[col][c];
+      }
+    }
+  }
+  *inverse = std::move(inv);
+  return true;
+}
+
+}  // namespace
+
+Result<OlsResult> FitOls(const std::vector<std::vector<double>>& columns,
+                         const std::vector<double>& y) {
+  const size_t n = y.size();
+  const size_t k = columns.size() + 1;  // Regressors plus intercept.
+  if (n <= k) {
+    return Status::InvalidArgument("not enough observations for OLS");
+  }
+  for (const auto& col : columns) {
+    if (col.size() != n) {
+      return Status::InvalidArgument("regressor length mismatch");
+    }
+  }
+
+  // Normal equations X'X beta = X'y with X = [1 | columns].
+  std::vector<std::vector<double>> xtx(k, std::vector<double>(k, 0.0));
+  std::vector<double> xty(k, 0.0);
+  std::vector<double> row(k);
+  for (size_t t = 0; t < n; ++t) {
+    row[0] = 1.0;
+    for (size_t j = 0; j + 1 < k; ++j) row[j + 1] = columns[j][t];
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) xtx[i][j] += row[i] * row[j];
+      xty[i] += row[i] * y[t];
+    }
+  }
+
+  std::vector<std::vector<double>> xtx_inv;
+  if (!InvertMatrix(xtx, &xtx_inv)) {
+    return Status::FailedPrecondition("design matrix is singular");
+  }
+
+  OlsResult result;
+  result.coefficients.assign(k, 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      result.coefficients[i] += xtx_inv[i][j] * xty[j];
+    }
+  }
+
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(n);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    double pred = result.coefficients[0];
+    for (size_t j = 0; j + 1 < k; ++j) {
+      pred += result.coefficients[j + 1] * columns[j][t];
+    }
+    ss_res += (y[t] - pred) * (y[t] - pred);
+    ss_tot += (y[t] - mean_y) * (y[t] - mean_y);
+  }
+  result.residual_variance = ss_res / static_cast<double>(n - k);
+  result.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+
+  result.standard_errors.assign(k, 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    result.standard_errors[i] =
+        std::sqrt(std::max(0.0, result.residual_variance * xtx_inv[i][i]));
+  }
+  return result;
+}
+
+Result<OlsResult> FitSimpleRegression(const std::vector<double>& x,
+                                      const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("x and y lengths differ");
+  }
+  return FitOls({x}, y);
+}
+
+}  // namespace lossyts::analysis

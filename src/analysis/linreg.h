@@ -1,0 +1,33 @@
+#ifndef LOSSYTS_ANALYSIS_LINREG_H_
+#define LOSSYTS_ANALYSIS_LINREG_H_
+
+#include <vector>
+
+#include "core/status.h"
+
+namespace lossyts::analysis {
+
+/// Ordinary least squares fit with coefficient standard errors — the tool
+/// behind Table 3's "CR = θ1·TE + θ0" analysis.
+struct OlsResult {
+  /// Coefficients: [intercept, beta_1, ..., beta_k].
+  std::vector<double> coefficients;
+  /// Standard error of each coefficient, same indexing.
+  std::vector<double> standard_errors;
+  double r_squared = 0.0;
+  double residual_variance = 0.0;
+};
+
+/// Fits y = b0 + b1*x1 + ... with an automatic intercept. `columns[j]` is the
+/// j-th regressor. Fails when inputs are inconsistent, the system is
+/// singular, or there are not enough degrees of freedom.
+Result<OlsResult> FitOls(const std::vector<std::vector<double>>& columns,
+                         const std::vector<double>& y);
+
+/// Convenience wrapper for the single-regressor case of Table 3.
+Result<OlsResult> FitSimpleRegression(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+}  // namespace lossyts::analysis
+
+#endif  // LOSSYTS_ANALYSIS_LINREG_H_

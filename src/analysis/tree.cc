@@ -1,0 +1,132 @@
+#include "analysis/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace lossyts::analysis {
+
+namespace {
+
+double MeanOf(const std::vector<double>& targets,
+              const std::vector<size_t>& indices, size_t begin, size_t end) {
+  double sum = 0.0;
+  for (size_t k = begin; k < end; ++k) sum += targets[indices[k]];
+  return sum / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+Status RegressionTree::Fit(const std::vector<std::vector<double>>& rows,
+                           const std::vector<double>& targets,
+                           const std::vector<size_t>& row_indices) {
+  if (rows.size() != targets.size()) {
+    return Status::InvalidArgument("rows and targets size mismatch");
+  }
+  if (row_indices.empty()) {
+    return Status::InvalidArgument("no training rows selected");
+  }
+  for (size_t idx : row_indices) {
+    if (idx >= rows.size()) {
+      return Status::OutOfRange("row index out of range");
+    }
+  }
+  nodes_.clear();
+  std::vector<size_t> indices = row_indices;
+  BuildNode(rows, targets, indices, 0, indices.size(), 0);
+  return Status::OK();
+}
+
+Status RegressionTree::Fit(const std::vector<std::vector<double>>& rows,
+                           const std::vector<double>& targets) {
+  std::vector<size_t> all(rows.size());
+  std::iota(all.begin(), all.end(), 0);
+  return Fit(rows, targets, all);
+}
+
+int RegressionTree::BuildNode(const std::vector<std::vector<double>>& rows,
+                              const std::vector<double>& targets,
+                              std::vector<size_t>& indices, size_t begin,
+                              size_t end, int depth) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(TreeNode{});
+  nodes_[node_id].value = MeanOf(targets, indices, begin, end);
+  nodes_[node_id].cover = static_cast<double>(end - begin);
+
+  const size_t n = end - begin;
+  if (depth >= options_.max_depth || n < options_.min_samples_split) {
+    return node_id;
+  }
+
+  // Current sum of squares (for the variance-reduction criterion the
+  // constant term cancels; we maximize sum_L^2/n_L + sum_R^2/n_R).
+  const size_t num_features = rows[indices[begin]].size();
+  double best_gain = -std::numeric_limits<double>::infinity();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, double>> scratch(n);  // (feature value, y).
+  for (size_t f = 0; f < num_features; ++f) {
+    for (size_t k = 0; k < n; ++k) {
+      const size_t idx = indices[begin + k];
+      scratch[k] = {rows[idx][f], targets[idx]};
+    }
+    std::sort(scratch.begin(), scratch.end());
+    if (scratch.front().first == scratch.back().first) continue;
+
+    double total = 0.0;
+    for (const auto& [xv, yv] : scratch) total += yv;
+    double left_sum = 0.0;
+    for (size_t k = 0; k + 1 < n; ++k) {
+      left_sum += scratch[k].second;
+      // Only split between distinct feature values.
+      if (scratch[k].first == scratch[k + 1].first) continue;
+      const size_t n_left = k + 1;
+      const size_t n_right = n - n_left;
+      if (n_left < options_.min_samples_leaf ||
+          n_right < options_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = total - left_sum;
+      const double gain =
+          left_sum * left_sum / static_cast<double>(n_left) +
+          right_sum * right_sum / static_cast<double>(n_right);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (scratch[k].first + scratch[k + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition indices in place.
+  const auto mid_it = std::partition(
+      indices.begin() + begin, indices.begin() + end, [&](size_t idx) {
+        return rows[idx][static_cast<size_t>(best_feature)] <= best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // Degenerate split.
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = BuildNode(rows, targets, indices, begin, mid, depth + 1);
+  const int right = BuildNode(rows, targets, indices, mid, end, depth + 1);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double RegressionTree::Predict(const std::vector<double>& row) const {
+  if (nodes_.empty()) return 0.0;
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const TreeNode& cur = nodes_[static_cast<size_t>(node)];
+    node = row[static_cast<size_t>(cur.feature)] <= cur.threshold ? cur.left
+                                                                  : cur.right;
+  }
+  return nodes_[static_cast<size_t>(node)].value;
+}
+
+}  // namespace lossyts::analysis

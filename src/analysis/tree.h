@@ -1,0 +1,62 @@
+#ifndef LOSSYTS_ANALYSIS_TREE_H_
+#define LOSSYTS_ANALYSIS_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lossyts::analysis {
+
+/// One node of a binary regression tree, stored in a flat array.
+struct TreeNode {
+  int feature = -1;        ///< Split feature index; -1 marks a leaf.
+  double threshold = 0.0;  ///< Go left when x[feature] <= threshold.
+  int left = -1;
+  int right = -1;
+  double value = 0.0;      ///< Leaf prediction (mean of training targets).
+  double cover = 0.0;      ///< Number of training rows that reached the node.
+};
+
+/// CART-style regression tree with variance-reduction splits. The flat node
+/// array (with per-node cover counts) is exactly what the TreeSHAP
+/// conditional expectations need, so it is part of the public surface.
+class RegressionTree {
+ public:
+  struct Options {
+    int max_depth = 3;
+    size_t min_samples_leaf = 5;
+    size_t min_samples_split = 10;
+  };
+
+  RegressionTree() = default;
+  explicit RegressionTree(const Options& options) : options_(options) {}
+
+  /// Fits on row-major features (rows[i] is one observation). `row_indices`
+  /// selects the training subset (used for gradient-boosting subsampling).
+  Status Fit(const std::vector<std::vector<double>>& rows,
+             const std::vector<double>& targets,
+             const std::vector<size_t>& row_indices);
+
+  /// Convenience Fit over all rows.
+  Status Fit(const std::vector<std::vector<double>>& rows,
+             const std::vector<double>& targets);
+
+  double Predict(const std::vector<double>& row) const;
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  bool fitted() const { return !nodes_.empty(); }
+
+ private:
+  int BuildNode(const std::vector<std::vector<double>>& rows,
+                const std::vector<double>& targets,
+                std::vector<size_t>& indices, size_t begin, size_t end,
+                int depth);
+
+  Options options_;
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace lossyts::analysis
+
+#endif  // LOSSYTS_ANALYSIS_TREE_H_

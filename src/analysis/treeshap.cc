@@ -1,0 +1,131 @@
+#include "analysis/treeshap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lossyts::analysis {
+
+namespace {
+
+// Collects the distinct feature indices used by the tree's internal nodes.
+std::vector<int> DistinctFeatures(const RegressionTree& tree) {
+  std::vector<int> features;
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.feature >= 0) features.push_back(node.feature);
+  }
+  std::sort(features.begin(), features.end());
+  features.erase(std::unique(features.begin(), features.end()),
+                 features.end());
+  return features;
+}
+
+// Path-dependent conditional expectation E[f(x) | x_S]: at splits on
+// features inside S follow x; otherwise average both children by cover.
+double ExpValue(const std::vector<TreeNode>& nodes, int node_id,
+                const std::vector<double>& row, uint32_t subset_mask,
+                const std::vector<int>& features) {
+  const TreeNode& node = nodes[static_cast<size_t>(node_id)];
+  if (node.feature < 0) return node.value;
+  // Position of this node's feature in the distinct-feature list.
+  const auto it =
+      std::lower_bound(features.begin(), features.end(), node.feature);
+  const size_t pos = static_cast<size_t>(it - features.begin());
+  if (subset_mask & (1u << pos)) {
+    const int child = row[static_cast<size_t>(node.feature)] <= node.threshold
+                          ? node.left
+                          : node.right;
+    return ExpValue(nodes, child, row, subset_mask, features);
+  }
+  const TreeNode& l = nodes[static_cast<size_t>(node.left)];
+  const TreeNode& r = nodes[static_cast<size_t>(node.right)];
+  const double total = l.cover + r.cover;
+  return (l.cover * ExpValue(nodes, node.left, row, subset_mask, features) +
+          r.cover * ExpValue(nodes, node.right, row, subset_mask, features)) /
+         total;
+}
+
+}  // namespace
+
+Result<std::vector<double>> TreeShapValues(const RegressionTree& tree,
+                                           const std::vector<double>& row,
+                                           size_t num_features) {
+  std::vector<double> phi(num_features, 0.0);
+  if (!tree.fitted()) {
+    return Status::FailedPrecondition("tree is not fitted");
+  }
+  const std::vector<int> features = DistinctFeatures(tree);
+  const size_t d = features.size();
+  if (d == 0) return phi;  // Single-leaf tree: all contributions are zero.
+  if (d > 24) {
+    return Status::FailedPrecondition(
+        "tree uses too many distinct features for exact SHAP");
+  }
+  for (int f : features) {
+    if (static_cast<size_t>(f) >= num_features) {
+      return Status::InvalidArgument("row has fewer features than the tree");
+    }
+  }
+
+  // Memoize v(S) for every subset of the tree's feature set.
+  const uint32_t full = (1u << d) - 1u;
+  std::vector<double> v(full + 1u);
+  for (uint32_t mask = 0; mask <= full; ++mask) {
+    v[mask] = ExpValue(tree.nodes(), 0, row, mask, features);
+  }
+
+  // Shapley weights: |S|! (d-|S|-1)! / d!.
+  std::vector<double> factorial(d + 1, 1.0);
+  for (size_t k = 1; k <= d; ++k) {
+    factorial[k] = factorial[k - 1] * static_cast<double>(k);
+  }
+
+  for (size_t i = 0; i < d; ++i) {
+    const uint32_t bit = 1u << i;
+    double contribution = 0.0;
+    for (uint32_t mask = 0; mask <= full; ++mask) {
+      if (mask & bit) continue;
+      const int s = __builtin_popcount(mask);
+      const double weight = factorial[static_cast<size_t>(s)] *
+                            factorial[d - static_cast<size_t>(s) - 1] /
+                            factorial[d];
+      contribution += weight * (v[mask | bit] - v[mask]);
+    }
+    phi[static_cast<size_t>(features[i])] = contribution;
+  }
+  return phi;
+}
+
+Result<std::vector<double>> GbmShapValues(const GradientBoostedTrees& model,
+                                          const std::vector<double>& row,
+                                          size_t num_features) {
+  std::vector<double> phi(num_features, 0.0);
+  for (const RegressionTree& tree : model.trees()) {
+    Result<std::vector<double>> tree_phi =
+        TreeShapValues(tree, row, num_features);
+    if (!tree_phi.ok()) return tree_phi.status();
+    for (size_t f = 0; f < num_features; ++f) {
+      phi[f] += model.learning_rate() * (*tree_phi)[f];
+    }
+  }
+  return phi;
+}
+
+Result<std::vector<double>> MeanAbsoluteShap(
+    const GradientBoostedTrees& model,
+    const std::vector<std::vector<double>>& rows, size_t num_features) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("no rows to explain");
+  }
+  std::vector<double> importance(num_features, 0.0);
+  for (const std::vector<double>& row : rows) {
+    Result<std::vector<double>> phi = GbmShapValues(model, row, num_features);
+    if (!phi.ok()) return phi.status();
+    for (size_t f = 0; f < num_features; ++f) {
+      importance[f] += std::abs((*phi)[f]);
+    }
+  }
+  for (double& v : importance) v /= static_cast<double>(rows.size());
+  return importance;
+}
+
+}  // namespace lossyts::analysis

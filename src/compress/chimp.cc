@@ -1,0 +1,184 @@
+#include "compress/chimp.h"
+
+#include <cstring>
+
+#include "compress/header.h"
+#include "compress/serde.h"
+#include "zip/bitstream.h"
+
+namespace lossyts::compress {
+
+namespace {
+
+// Chimp rounds leading-zero counts down to one of eight values so the count
+// fits a 3-bit code.
+constexpr int kLeadingTable[8] = {0, 8, 12, 16, 18, 20, 22, 24};
+
+int LeadingCode(int leading) {
+  int code = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (kLeadingTable[i] <= leading) code = i;
+  }
+  return code;
+}
+
+uint64_t DoubleToBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+int LeadingZeros(uint64_t x) { return x == 0 ? 64 : __builtin_clzll(x); }
+int TrailingZeros(uint64_t x) { return x == 0 ? 64 : __builtin_ctzll(x); }
+
+void WriteBitsMsbFirst(zip::BitWriter& writer, uint64_t value, int count) {
+  for (int i = count - 1; i >= 0; --i) {
+    writer.WriteBits(static_cast<uint32_t>((value >> i) & 1u), 1);
+  }
+}
+
+Result<uint64_t> ReadBitsMsbFirst(zip::BitReader& reader, int count) {
+  uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    Result<uint32_t> bit = reader.ReadBit();
+    if (!bit.ok()) return bit.status();
+    value = (value << 1) | *bit;
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> ChimpCompressor::Compress(
+    const TimeSeries& series, double /*error_bound*/) const {
+  if (series.empty()) {
+    return Status::InvalidArgument("cannot compress an empty series");
+  }
+
+  zip::BitWriter bits;
+  uint64_t prev = DoubleToBits(series[0]);
+  WriteBitsMsbFirst(bits, prev, 64);
+
+  int prev_leading = -1;
+  for (size_t i = 1; i < series.size(); ++i) {
+    const uint64_t cur = DoubleToBits(series[i]);
+    const uint64_t x = cur ^ prev;
+    prev = cur;
+    if (x == 0) {
+      bits.WriteBits(0b00, 2);
+      prev_leading = -1;  // Chimp resets the reuse state on identical values.
+      continue;
+    }
+    const int leading_code = LeadingCode(LeadingZeros(x));
+    const int leading = kLeadingTable[leading_code];
+    const int trailing = TrailingZeros(x);
+    if (trailing > 6) {
+      // '01': center-bits case for XORs with a long zero tail.
+      const int significant = 64 - leading - trailing;
+      bits.WriteBits(0b10, 2);  // LSB-first write of the bit pair (0,1).
+      bits.WriteBits(static_cast<uint32_t>(leading_code), 3);
+      bits.WriteBits(static_cast<uint32_t>(significant), 6);
+      WriteBitsMsbFirst(bits, x >> trailing, significant);
+      prev_leading = -1;
+    } else if (leading == prev_leading) {
+      // '10': reuse the previous leading-zero count.
+      bits.WriteBits(0b01, 2);
+      WriteBitsMsbFirst(bits, x, 64 - leading);
+    } else {
+      // '11': transmit a new leading-zero count.
+      bits.WriteBits(0b11, 2);
+      bits.WriteBits(static_cast<uint32_t>(leading_code), 3);
+      WriteBitsMsbFirst(bits, x, 64 - leading);
+      prev_leading = leading;
+    }
+  }
+
+  ByteWriter writer;
+  WriteHeader(MakeHeader(AlgorithmId::kChimp, series), writer);
+  std::vector<uint8_t> payload = bits.Finish();
+  writer.PutU32(static_cast<uint32_t>(payload.size()));
+  writer.PutBytes(payload);
+  return writer.Finish();
+}
+
+Result<TimeSeries> ChimpCompressor::Decompress(
+    const std::vector<uint8_t>& blob) const {
+  ByteReader reader(blob);
+  Result<BlobHeader> header = ReadHeader(reader, AlgorithmId::kChimp);
+  if (!header.ok()) return header.status();
+  Result<uint32_t> payload_size = reader.GetU32();
+  if (!payload_size.ok()) return payload_size.status();
+  if (*payload_size > reader.remaining()) {
+    return Status::Corruption("Chimp payload truncated");
+  }
+  zip::BitReader bits(reader.current(), *payload_size);
+  if (header->num_points == 0) {
+    return Status::Corruption("Chimp blob with zero points");
+  }
+
+  std::vector<double> values;
+  values.reserve(header->num_points);
+  Result<uint64_t> first = ReadBitsMsbFirst(bits, 64);
+  if (!first.ok()) return first.status();
+  uint64_t prev = *first;
+  values.push_back(BitsToDouble(prev));
+
+  int prev_leading = -1;
+  while (values.size() < header->num_points) {
+    Result<uint32_t> control = bits.ReadBits(2);
+    if (!control.ok()) return control.status();
+    uint64_t x = 0;
+    switch (*control) {
+      case 0b00:  // Identical value.
+        prev_leading = -1;
+        break;
+      case 0b10: {  // Center-bits case (written as pair (0,1)).
+        Result<uint32_t> leading_code = bits.ReadBits(3);
+        if (!leading_code.ok()) return leading_code.status();
+        Result<uint32_t> significant = bits.ReadBits(6);
+        if (!significant.ok()) return significant.status();
+        const int leading = kLeadingTable[*leading_code];
+        const int trailing = 64 - leading - static_cast<int>(*significant);
+        if (trailing < 0) return Status::Corruption("Chimp bad bit counts");
+        Result<uint64_t> center =
+            ReadBitsMsbFirst(bits, static_cast<int>(*significant));
+        if (!center.ok()) return center.status();
+        x = *center << trailing;
+        prev_leading = -1;
+        break;
+      }
+      case 0b01: {  // Reuse previous leading count.
+        if (prev_leading < 0) {
+          return Status::Corruption("Chimp reuse before a leading count");
+        }
+        Result<uint64_t> tail = ReadBitsMsbFirst(bits, 64 - prev_leading);
+        if (!tail.ok()) return tail.status();
+        x = *tail;
+        break;
+      }
+      case 0b11: {  // New leading count.
+        Result<uint32_t> leading_code = bits.ReadBits(3);
+        if (!leading_code.ok()) return leading_code.status();
+        prev_leading = kLeadingTable[*leading_code];
+        Result<uint64_t> tail = ReadBitsMsbFirst(bits, 64 - prev_leading);
+        if (!tail.ok()) return tail.status();
+        x = *tail;
+        break;
+      }
+      default:
+        return Status::Corruption("Chimp invalid control bits");
+    }
+    prev ^= x;
+    values.push_back(BitsToDouble(prev));
+  }
+  return TimeSeries(header->first_timestamp, header->interval_seconds,
+                    std::move(values));
+}
+
+}  // namespace lossyts::compress

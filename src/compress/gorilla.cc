@@ -1,0 +1,158 @@
+#include "compress/gorilla.h"
+
+#include <cstring>
+
+#include "compress/header.h"
+#include "compress/serde.h"
+#include "zip/bitstream.h"
+
+namespace lossyts::compress {
+
+namespace {
+
+uint64_t DoubleToBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+int LeadingZeros(uint64_t x) { return x == 0 ? 64 : __builtin_clzll(x); }
+int TrailingZeros(uint64_t x) { return x == 0 ? 64 : __builtin_ctzll(x); }
+
+// Writes `count` bits of `value` starting from the most-significant of the
+// selected range (Gorilla packs meaningful XOR bits MSB-first).
+void WriteBitsMsbFirst(zip::BitWriter& writer, uint64_t value, int count) {
+  for (int i = count - 1; i >= 0; --i) {
+    writer.WriteBits(static_cast<uint32_t>((value >> i) & 1u), 1);
+  }
+}
+
+Result<uint64_t> ReadBitsMsbFirst(zip::BitReader& reader, int count) {
+  uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    Result<uint32_t> bit = reader.ReadBit();
+    if (!bit.ok()) return bit.status();
+    value = (value << 1) | *bit;
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> GorillaCompressor::Compress(
+    const TimeSeries& series, double /*error_bound*/) const {
+  if (series.empty()) {
+    return Status::InvalidArgument("cannot compress an empty series");
+  }
+
+  zip::BitWriter bits;
+  uint64_t prev = DoubleToBits(series[0]);
+  WriteBitsMsbFirst(bits, prev, 64);
+
+  int prev_leading = -1;
+  int prev_trailing = -1;
+  for (size_t i = 1; i < series.size(); ++i) {
+    const uint64_t cur = DoubleToBits(series[i]);
+    const uint64_t x = cur ^ prev;
+    prev = cur;
+    if (x == 0) {
+      bits.WriteBits(0, 1);
+      continue;
+    }
+    bits.WriteBits(1, 1);
+    int leading = LeadingZeros(x);
+    const int trailing = TrailingZeros(x);
+    if (leading > 31) leading = 31;  // The field is 5 bits wide.
+    if (prev_leading >= 0 && leading >= prev_leading &&
+        trailing >= prev_trailing) {
+      // Control '0': reuse the previous window.
+      bits.WriteBits(0, 1);
+      const int meaningful = 64 - prev_leading - prev_trailing;
+      WriteBitsMsbFirst(bits, x >> prev_trailing, meaningful);
+    } else {
+      // Control '1': transmit a new window.
+      bits.WriteBits(1, 1);
+      const int meaningful = 64 - leading - trailing;
+      bits.WriteBits(static_cast<uint32_t>(leading), 5);
+      // Store meaningful-1 in 6 bits (meaningful is in 1..64).
+      bits.WriteBits(static_cast<uint32_t>(meaningful - 1), 6);
+      WriteBitsMsbFirst(bits, x >> trailing, meaningful);
+      prev_leading = leading;
+      prev_trailing = trailing;
+    }
+  }
+
+  ByteWriter writer;
+  WriteHeader(MakeHeader(AlgorithmId::kGorilla, series), writer);
+  std::vector<uint8_t> payload = bits.Finish();
+  writer.PutU32(static_cast<uint32_t>(payload.size()));
+  writer.PutBytes(payload);
+  return writer.Finish();
+}
+
+Result<TimeSeries> GorillaCompressor::Decompress(
+    const std::vector<uint8_t>& blob) const {
+  ByteReader reader(blob);
+  Result<BlobHeader> header = ReadHeader(reader, AlgorithmId::kGorilla);
+  if (!header.ok()) return header.status();
+  Result<uint32_t> payload_size = reader.GetU32();
+  if (!payload_size.ok()) return payload_size.status();
+  if (*payload_size > reader.remaining()) {
+    return Status::Corruption("Gorilla payload truncated");
+  }
+  zip::BitReader bits(reader.current(), *payload_size);
+
+  std::vector<double> values;
+  values.reserve(header->num_points);
+  if (header->num_points == 0) {
+    return Status::Corruption("Gorilla blob with zero points");
+  }
+
+  Result<uint64_t> first = ReadBitsMsbFirst(bits, 64);
+  if (!first.ok()) return first.status();
+  uint64_t prev = *first;
+  values.push_back(BitsToDouble(prev));
+
+  int leading = 0;
+  int trailing = 0;
+  bool window_set = false;
+  while (values.size() < header->num_points) {
+    Result<uint32_t> nonzero = bits.ReadBit();
+    if (!nonzero.ok()) return nonzero.status();
+    if (*nonzero == 0) {
+      values.push_back(BitsToDouble(prev));
+      continue;
+    }
+    Result<uint32_t> new_window = bits.ReadBit();
+    if (!new_window.ok()) return new_window.status();
+    if (*new_window == 1) {
+      Result<uint32_t> lead = bits.ReadBits(5);
+      if (!lead.ok()) return lead.status();
+      Result<uint32_t> mlen = bits.ReadBits(6);
+      if (!mlen.ok()) return mlen.status();
+      leading = static_cast<int>(*lead);
+      const int meaningful = static_cast<int>(*mlen) + 1;
+      trailing = 64 - leading - meaningful;
+      if (trailing < 0) return Status::Corruption("Gorilla window invalid");
+      window_set = true;
+    } else if (!window_set) {
+      return Status::Corruption("Gorilla reuses window before defining one");
+    }
+    const int meaningful = 64 - leading - trailing;
+    Result<uint64_t> xbits = ReadBitsMsbFirst(bits, meaningful);
+    if (!xbits.ok()) return xbits.status();
+    const uint64_t x = *xbits << trailing;
+    prev ^= x;
+    values.push_back(BitsToDouble(prev));
+  }
+  return TimeSeries(header->first_timestamp, header->interval_seconds,
+                    std::move(values));
+}
+
+}  // namespace lossyts::compress

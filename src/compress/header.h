@@ -1,0 +1,72 @@
+#ifndef LOSSYTS_COMPRESS_HEADER_H_
+#define LOSSYTS_COMPRESS_HEADER_H_
+
+#include <cstdint>
+
+#include "compress/compressor.h"
+#include "compress/serde.h"
+#include "core/status.h"
+#include "core/time_series.h"
+
+namespace lossyts::compress {
+
+/// Shared blob header, following paper §3.2: "we compress the timestamps for
+/// all the methods by storing the first timestamp as a 32-bit integer, the
+/// sampling interval as a 16-bit integer, and the length of the generated
+/// segments as a 16-bit integer" plus "a header with the sampling interval,
+/// initial timestamp, and the number of data points".
+struct BlobHeader {
+  AlgorithmId algorithm;
+  int32_t first_timestamp = 0;
+  uint16_t interval_seconds = 0;
+  uint32_t num_points = 0;
+};
+
+inline void WriteHeader(const BlobHeader& header, ByteWriter& writer) {
+  writer.PutU8(static_cast<uint8_t>(header.algorithm));
+  writer.PutI32(header.first_timestamp);
+  writer.PutU16(header.interval_seconds);
+  writer.PutU32(header.num_points);
+}
+
+inline Result<BlobHeader> ReadHeader(ByteReader& reader,
+                                     AlgorithmId expected) {
+  BlobHeader h;
+  Result<uint8_t> alg = reader.GetU8();
+  if (!alg.ok()) return alg.status();
+  if (*alg != static_cast<uint8_t>(expected)) {
+    return Status::Corruption("blob was produced by a different algorithm");
+  }
+  h.algorithm = expected;
+  Result<int32_t> ts = reader.GetI32();
+  if (!ts.ok()) return ts.status();
+  h.first_timestamp = *ts;
+  Result<uint16_t> interval = reader.GetU16();
+  if (!interval.ok()) return interval.status();
+  h.interval_seconds = *interval;
+  Result<uint32_t> n = reader.GetU32();
+  if (!n.ok()) return n.status();
+  // Sanity bound against corrupted counts: even the densest segment encoding
+  // (PMC: 65535 points per 7-byte segment) cannot describe more points than
+  // this, so decoders can trust num_points for pre-allocation.
+  const uint64_t max_points =
+      static_cast<uint64_t>(reader.remaining()) * 16384 + 1;
+  if (*n > max_points) {
+    return Status::Corruption("point count exceeds what the payload can hold");
+  }
+  h.num_points = *n;
+  return h;
+}
+
+inline BlobHeader MakeHeader(AlgorithmId algorithm, const TimeSeries& series) {
+  BlobHeader h;
+  h.algorithm = algorithm;
+  h.first_timestamp = static_cast<int32_t>(series.start_timestamp());
+  h.interval_seconds = static_cast<uint16_t>(series.interval_seconds());
+  h.num_points = static_cast<uint32_t>(series.size());
+  return h;
+}
+
+}  // namespace lossyts::compress
+
+#endif  // LOSSYTS_COMPRESS_HEADER_H_

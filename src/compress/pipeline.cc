@@ -1,0 +1,153 @@
+#include "compress/pipeline.h"
+
+#include <cstdio>
+#include <string>
+
+#include "compress/chimp.h"
+#include "compress/gorilla.h"
+#include "compress/header.h"
+#include "compress/pmc.h"
+#include "compress/ppa.h"
+#include "compress/serde.h"
+#include "compress/swing.h"
+#include "compress/sz.h"
+#include "core/metrics.h"
+#include "zip/gzip.h"
+
+namespace lossyts::compress {
+
+std::vector<uint8_t> SerializeRaw(const TimeSeries& series) {
+  ByteWriter writer;
+  writer.PutI32(static_cast<int32_t>(series.start_timestamp()));
+  writer.PutU16(static_cast<uint16_t>(series.interval_seconds()));
+  writer.PutU32(static_cast<uint32_t>(series.size()));
+  for (double v : series.values()) writer.PutDouble(v);
+  return writer.Finish();
+}
+
+std::vector<uint8_t> SerializeRawCsv(const TimeSeries& series) {
+  std::string text = "timestamp,value\n";
+  char buffer[64];
+  for (size_t i = 0; i < series.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%lld,%.10g\n",
+                  static_cast<long long>(series.TimestampAt(i)), series[i]);
+    text += buffer;
+  }
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+size_t RawGzipSize(const TimeSeries& series) {
+  return zip::GzipCompress(SerializeRawCsv(series)).size();
+}
+
+size_t CountConstantRuns(const TimeSeries& series) {
+  if (series.empty()) return 0;
+  size_t runs = 1;
+  for (size_t i = 1; i < series.size(); ++i) {
+    if (series[i] != series[i - 1]) ++runs;
+  }
+  return runs;
+}
+
+Result<PipelineResult> RunPipeline(const Compressor& compressor,
+                                   const TimeSeries& series,
+                                   double error_bound) {
+  PipelineResult result;
+  result.compressor_name = std::string(compressor.name());
+  result.error_bound = error_bound;
+
+  const std::vector<uint8_t> raw_csv = SerializeRawCsv(series);
+  result.raw_bytes = raw_csv.size();
+  result.raw_gz_bytes = zip::GzipCompress(raw_csv).size();
+
+  Result<std::vector<uint8_t>> blob = compressor.Compress(series, error_bound);
+  if (!blob.ok()) return blob.status();
+  result.compressed_bytes = blob->size();
+  result.gz_bytes = zip::GzipCompress(*blob).size();
+  result.compression_ratio = static_cast<double>(result.raw_gz_bytes) /
+                             static_cast<double>(result.gz_bytes);
+
+  Result<TimeSeries> decompressed = compressor.Decompress(*blob);
+  if (!decompressed.ok()) return decompressed.status();
+  if (decompressed->size() != series.size()) {
+    return Status::Internal("decompressed size mismatch");
+  }
+
+  // Segment count: PMC and Swing encode an explicit u32 segment count right
+  // after the shared header; for other codecs fall back to constant runs.
+  if (compressor.name() == "PMC" || compressor.name() == "SWING" ||
+      compressor.name() == "PPA") {
+    ByteReader reader(*blob);
+    reader.Skip(1 + 4 + 2 + 4);  // Header: id, timestamp, interval, count.
+    Result<uint32_t> segments = reader.GetU32();
+    if (!segments.ok()) return segments.status();
+    result.segment_count = *segments;
+  } else {
+    result.segment_count = CountConstantRuns(*decompressed);
+  }
+
+  Result<double> rmse = Rmse(series.values(), decompressed->values());
+  if (!rmse.ok()) return rmse.status();
+  result.te_rmse = *rmse;
+  Result<double> nrmse = Nrmse(series.values(), decompressed->values());
+  if (!nrmse.ok()) return nrmse.status();
+  result.te_nrmse = *nrmse;
+  Result<double> rse = Rse(series.values(), decompressed->values());
+  if (!rse.ok()) return rse.status();
+  result.te_rse = *rse;
+  Result<double> max_rel = MaxRelError(series.values(), decompressed->values());
+  if (!max_rel.ok()) return max_rel.status();
+  result.te_max_rel = *max_rel;
+
+  result.decompressed = std::move(*decompressed);
+  return result;
+}
+
+Result<TimeSeries> DecompressAny(const std::vector<uint8_t>& blob) {
+  if (blob.empty()) return Status::Corruption("empty blob");
+  switch (static_cast<AlgorithmId>(blob[0])) {
+    case AlgorithmId::kPmc:
+      return PmcCompressor().Decompress(blob);
+    case AlgorithmId::kSwing:
+      return SwingCompressor().Decompress(blob);
+    case AlgorithmId::kSz:
+      return SzCompressor().Decompress(blob);
+    case AlgorithmId::kGorilla:
+      return GorillaCompressor().Decompress(blob);
+    case AlgorithmId::kChimp:
+      return ChimpCompressor().Decompress(blob);
+    case AlgorithmId::kPpa:
+      return PpaCompressor().Decompress(blob);
+  }
+  return Status::Corruption("unknown algorithm id in blob header");
+}
+
+Result<std::unique_ptr<Compressor>> MakeCompressor(const std::string& name) {
+  if (name == "PMC") return std::unique_ptr<Compressor>(new PmcCompressor());
+  if (name == "SWING") {
+    return std::unique_ptr<Compressor>(new SwingCompressor());
+  }
+  if (name == "SZ") return std::unique_ptr<Compressor>(new SzCompressor());
+  if (name == "GORILLA") {
+    return std::unique_ptr<Compressor>(new GorillaCompressor());
+  }
+  if (name == "CHIMP") {
+    return std::unique_ptr<Compressor>(new ChimpCompressor());
+  }
+  if (name == "PPA") return std::unique_ptr<Compressor>(new PpaCompressor());
+  return Status::NotFound("unknown compressor: " + name);
+}
+
+const std::vector<std::string>& LossyCompressorNames() {
+  static const std::vector<std::string>& names =
+      *new std::vector<std::string>{"PMC", "SWING", "SZ"};
+  return names;
+}
+
+const std::vector<double>& PaperErrorBounds() {
+  static const std::vector<double>& bounds = *new std::vector<double>{
+      0.01, 0.03, 0.05, 0.07, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.65, 0.8};
+  return bounds;
+}
+
+}  // namespace lossyts::compress

@@ -1,0 +1,86 @@
+#ifndef LOSSYTS_COMPRESS_PIPELINE_H_
+#define LOSSYTS_COMPRESS_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "core/status.h"
+#include "core/time_series.h"
+
+namespace lossyts::compress {
+
+/// Outcome of running one compressor at one error bound through the paper's
+/// full measurement pipeline (§3.2, §3.5): compress, gzip the result, size it
+/// against the gzipped raw representation, and decompress for error metrics.
+struct PipelineResult {
+  std::string compressor_name;
+  double error_bound = 0.0;
+
+  size_t raw_bytes = 0;         ///< Raw binary representation, pre-gzip.
+  size_t raw_gz_bytes = 0;      ///< gzip(raw), the CR denominator's source.
+  size_t compressed_bytes = 0;  ///< Algorithm output, pre-gzip.
+  size_t gz_bytes = 0;          ///< gzip(algorithm output): the ".gz file".
+
+  /// Compression ratio per Eq. 3: raw_gz_bytes / gz_bytes... — see note: the
+  /// paper sizes both raw and compressed data as .gz files, so both numerator
+  /// and denominator are gzipped byte counts.
+  double compression_ratio = 0.0;
+
+  /// Number of segments produced (Figure 3). For PMC/Swing this is the model
+  /// segment count; for SZ (which has no explicit segments) it is the number
+  /// of constant runs in the decompressed output, matching the paper's
+  /// observation that quantization makes SZ "fit a constant line like PMC".
+  size_t segment_count = 0;
+
+  /// Transformation errors (Definition 6) of decompressed vs. raw.
+  double te_rmse = 0.0;
+  double te_nrmse = 0.0;
+  double te_rse = 0.0;
+  double te_max_rel = 0.0;  ///< Realized L-inf relative error.
+
+  TimeSeries decompressed;
+};
+
+/// Serializes the raw series as binary: shared timestamp header + 8-byte
+/// IEEE values (the in-memory working format).
+std::vector<uint8_t> SerializeRaw(const TimeSeries& series);
+
+/// Serializes the raw series as CSV text ("timestamp,value" rows). The
+/// paper's raw-size baseline applies gzip *directly to the raw dataset*,
+/// i.e. to the distributed CSV files, so the CR numerator uses this form.
+std::vector<uint8_t> SerializeRawCsv(const TimeSeries& series);
+
+/// gzip(SerializeRawCsv(series)).size() — the numerator of every CR.
+size_t RawGzipSize(const TimeSeries& series);
+
+/// Runs the full pipeline for one (compressor, error bound) pair.
+Result<PipelineResult> RunPipeline(const Compressor& compressor,
+                                   const TimeSeries& series,
+                                   double error_bound);
+
+/// Counts maximal runs of identical consecutive values; the segment-count
+/// proxy for codecs without explicit segments.
+size_t CountConstantRuns(const TimeSeries& series);
+
+/// Decompresses any blob produced by this library's codecs by dispatching
+/// on the algorithm-id byte in the shared header. The entry point for tools
+/// that receive opaque compressed files.
+Result<TimeSeries> DecompressAny(const std::vector<uint8_t>& blob);
+
+/// Creates a compressor by name. Recognized names: the paper's three PEBLC
+/// methods ("PMC", "SWING", "SZ"), the lossless baselines ("GORILLA",
+/// "CHIMP") and the related-work polynomial method ("PPA").
+Result<std::unique_ptr<Compressor>> MakeCompressor(const std::string& name);
+
+/// Names of the three lossy compressors evaluated by the paper, in its order.
+const std::vector<std::string>& LossyCompressorNames();
+
+/// The paper's 13 error bounds: {0.01, 0.03, 0.05, 0.07, 0.1, 0.15, 0.2,
+/// 0.25, 0.3, 0.4, 0.5, 0.65, 0.8}.
+const std::vector<double>& PaperErrorBounds();
+
+}  // namespace lossyts::compress
+
+#endif  // LOSSYTS_COMPRESS_PIPELINE_H_

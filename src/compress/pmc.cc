@@ -1,0 +1,148 @@
+#include "compress/pmc.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "compress/header.h"
+#include "compress/serde.h"
+
+namespace lossyts::compress {
+
+namespace {
+
+constexpr size_t kMaxSegmentLength = 65535;  // Lengths are stored as u16.
+
+// Per-segment coefficient width flags. ModelarDB stores model coefficients
+// as 32-bit floats; we do the same whenever the rounded value still lies in
+// the segment's feasible mean interval, falling back to f64 otherwise so the
+// error-bound guarantee is never compromised.
+constexpr uint8_t kF32 = 0;
+constexpr uint8_t kF64 = 1;
+
+struct Segment {
+  uint16_t length;
+  double mean;
+  uint8_t width;  // kF32 or kF64.
+};
+
+}  // namespace
+
+Result<std::vector<uint8_t>> PmcCompressor::Compress(
+    const TimeSeries& series, double error_bound) const {
+  if (Status s = CheckErrorBound(error_bound); !s.ok()) return s;
+  if (series.empty()) {
+    return Status::InvalidArgument("cannot compress an empty series");
+  }
+
+  std::vector<Segment> segments;
+  const std::vector<double>& v = series.values();
+
+  size_t window_start = 0;
+  double window_sum = 0.0;
+  // The running mean must stay within [lo, hi], the intersection of the
+  // allowance intervals of every point currently in the window.
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  double committed_mean = 0.0;  // Last mean known to satisfy the window.
+
+  auto close_segment = [&](size_t end) {
+    Segment segment;
+    segment.length = static_cast<uint16_t>(end - window_start);
+    const double rounded = static_cast<double>(
+        static_cast<float>(committed_mean));
+    if (options_.f32_coefficients && rounded >= lo && rounded <= hi) {
+      segment.mean = rounded;
+      segment.width = kF32;
+    } else {
+      segment.mean = committed_mean;
+      segment.width = kF64;
+    }
+    segments.push_back(segment);
+  };
+
+  for (size_t i = 0; i < v.size(); ++i) {
+    const Allowance a = RelativeAllowance(v[i], error_bound);
+    const double new_lo = std::max(lo, a.lo);
+    const double new_hi = std::min(hi, a.hi);
+    const double new_sum = window_sum + v[i];
+    const double new_mean =
+        new_sum / static_cast<double>(i - window_start + 1);
+    const bool fits = new_lo <= new_hi && new_mean >= new_lo &&
+                      new_mean <= new_hi &&
+                      (i - window_start) < kMaxSegmentLength;
+    if (fits) {
+      lo = new_lo;
+      hi = new_hi;
+      window_sum = new_sum;
+      committed_mean = new_mean;
+    } else {
+      close_segment(i);
+      window_start = i;
+      window_sum = v[i];
+      lo = a.lo;
+      hi = a.hi;
+      committed_mean = v[i];
+    }
+  }
+  close_segment(v.size());
+
+  ByteWriter writer;
+  WriteHeader(MakeHeader(AlgorithmId::kPmc, series), writer);
+  writer.PutU32(static_cast<uint32_t>(segments.size()));
+  for (const Segment& s : segments) {
+    writer.PutU16(s.length);
+    writer.PutU8(s.width);
+    if (s.width == kF32) {
+      uint32_t bits;
+      const float f = static_cast<float>(s.mean);
+      std::memcpy(&bits, &f, sizeof(bits));
+      writer.PutU32(bits);
+    } else {
+      writer.PutDouble(s.mean);
+    }
+  }
+  return writer.Finish();
+}
+
+Result<TimeSeries> PmcCompressor::Decompress(
+    const std::vector<uint8_t>& blob) const {
+  ByteReader reader(blob);
+  Result<BlobHeader> header = ReadHeader(reader, AlgorithmId::kPmc);
+  if (!header.ok()) return header.status();
+
+  Result<uint32_t> num_segments = reader.GetU32();
+  if (!num_segments.ok()) return num_segments.status();
+
+  std::vector<double> values;
+  values.reserve(header->num_points);
+  for (uint32_t s = 0; s < *num_segments; ++s) {
+    Result<uint16_t> length = reader.GetU16();
+    if (!length.ok()) return length.status();
+    Result<uint8_t> width = reader.GetU8();
+    if (!width.ok()) return width.status();
+    double mean = 0.0;
+    if (*width == kF32) {
+      Result<uint32_t> bits = reader.GetU32();
+      if (!bits.ok()) return bits.status();
+      float f;
+      uint32_t b = *bits;
+      std::memcpy(&f, &b, sizeof(f));
+      mean = static_cast<double>(f);
+    } else if (*width == kF64) {
+      Result<double> value = reader.GetDouble();
+      if (!value.ok()) return value.status();
+      mean = *value;
+    } else {
+      return Status::Corruption("invalid PMC coefficient width flag");
+    }
+    for (uint16_t k = 0; k < *length; ++k) values.push_back(mean);
+  }
+  if (values.size() != header->num_points) {
+    return Status::Corruption("PMC segment lengths do not sum to point count");
+  }
+  return TimeSeries(header->first_timestamp, header->interval_seconds,
+                    std::move(values));
+}
+
+}  // namespace lossyts::compress

@@ -1,0 +1,197 @@
+#include "compress/ppa.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "compress/header.h"
+#include "compress/serde.h"
+
+namespace lossyts::compress {
+
+namespace {
+
+// Least-squares polynomial fit of degree `degree` over v[begin, begin+len)
+// against local indices 0..len-1. Returns false when the normal equations
+// are singular (short segments get a lower degree instead).
+bool FitPolynomial(const std::vector<double>& v, size_t begin, size_t len,
+                   int degree, std::array<double, 3>* coeffs) {
+  const int k = degree + 1;
+  double xtx[3][3] = {};
+  double xty[3] = {};
+  for (size_t i = 0; i < len; ++i) {
+    const double t = static_cast<double>(i);
+    double powers[3] = {1.0, t, t * t};
+    for (int r = 0; r < k; ++r) {
+      for (int c = 0; c < k; ++c) xtx[r][c] += powers[r] * powers[c];
+      xty[r] += powers[r] * v[begin + i];
+    }
+  }
+  // Gaussian elimination with partial pivoting on the k-by-k system.
+  double a[3][4];
+  for (int r = 0; r < k; ++r) {
+    for (int c = 0; c < k; ++c) a[r][c] = xtx[r][c];
+    a[r][k] = xty[r];
+  }
+  for (int col = 0; col < k; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < k; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    for (int c = 0; c <= k; ++c) std::swap(a[col][c], a[pivot][c]);
+    for (int r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (int c = col; c <= k; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  coeffs->fill(0.0);
+  for (int r = 0; r < k; ++r) (*coeffs)[r] = a[r][k] / a[r][r];
+  return true;
+}
+
+double EvalPolynomial(const std::array<double, 3>& coeffs, double t) {
+  return coeffs[0] + coeffs[1] * t + coeffs[2] * t * t;
+}
+
+// Checks the fitted polynomial against every point's relative allowance.
+bool Feasible(const std::vector<double>& v, size_t begin, size_t len,
+              const std::array<double, 3>& coeffs, double error_bound) {
+  for (size_t i = 0; i < len; ++i) {
+    const double rec = EvalPolynomial(coeffs, static_cast<double>(i));
+    const Allowance a = RelativeAllowance(v[begin + i], error_bound);
+    if (rec < a.lo || rec > a.hi) return false;
+  }
+  return true;
+}
+
+struct Segment {
+  uint16_t length;
+  uint8_t degree;
+  std::array<double, 3> coeffs;
+};
+
+}  // namespace
+
+Result<std::vector<uint8_t>> PpaCompressor::Compress(
+    const TimeSeries& series, double error_bound) const {
+  if (Status s = CheckErrorBound(error_bound); !s.ok()) return s;
+  if (series.empty()) {
+    return Status::InvalidArgument("cannot compress an empty series");
+  }
+
+  const std::vector<double>& v = series.values();
+  std::vector<Segment> segments;
+  size_t pos = 0;
+  while (pos < v.size()) {
+    const size_t remaining =
+        std::min(v.size() - pos, options_.max_segment_length);
+
+    // Per degree, find the maximal feasible length via exponential growth
+    // followed by binary search (each probe refits and verifies, O(len)).
+    Segment best;
+    best.length = 1;
+    best.degree = 0;
+    best.coeffs = {v[pos], 0.0, 0.0};
+    double best_density = 1.0 / (3.0 + 8.0);  // Points per stored byte.
+
+    for (int degree = 0; degree <= options_.max_degree; ++degree) {
+      auto feasible_at = [&](size_t len,
+                             std::array<double, 3>* coeffs) -> bool {
+        if (len < static_cast<size_t>(degree) + 1) return false;
+        const int effective_degree =
+            std::min<int>(degree, static_cast<int>(len) - 1);
+        if (!FitPolynomial(v, pos, len, effective_degree, coeffs)) {
+          return false;
+        }
+        return Feasible(v, pos, len, *coeffs, error_bound);
+      };
+
+      std::array<double, 3> coeffs{};
+      size_t lo = static_cast<size_t>(degree) + 1;
+      if (lo > remaining) break;
+      if (!feasible_at(lo, &coeffs)) continue;
+      size_t hi = lo;
+      std::array<double, 3> lo_coeffs = coeffs;
+      while (hi < remaining) {
+        const size_t next = std::min(remaining, hi * 2);
+        if (feasible_at(next, &coeffs)) {
+          hi = next;
+          lo_coeffs = coeffs;
+          if (next == remaining) break;
+        } else {
+          // Binary search in (hi, next).
+          size_t bad = next;
+          size_t good = hi;
+          while (good + 1 < bad) {
+            const size_t mid = (good + bad) / 2;
+            if (feasible_at(mid, &coeffs)) {
+              good = mid;
+              lo_coeffs = coeffs;
+            } else {
+              bad = mid;
+            }
+          }
+          hi = good;
+          break;
+        }
+      }
+      const double bytes = 3.0 + 8.0 * static_cast<double>(degree + 1);
+      const double density = static_cast<double>(hi) / bytes;
+      if (density > best_density) {
+        best_density = density;
+        best.length = static_cast<uint16_t>(hi);
+        best.degree = static_cast<uint8_t>(degree);
+        best.coeffs = lo_coeffs;
+      }
+    }
+    segments.push_back(best);
+    pos += best.length;
+  }
+
+  ByteWriter writer;
+  WriteHeader(MakeHeader(AlgorithmId::kPpa, series), writer);
+  writer.PutU32(static_cast<uint32_t>(segments.size()));
+  for (const Segment& s : segments) {
+    writer.PutU16(s.length);
+    writer.PutU8(s.degree);
+    for (int c = 0; c <= s.degree; ++c) writer.PutDouble(s.coeffs[c]);
+  }
+  return writer.Finish();
+}
+
+Result<TimeSeries> PpaCompressor::Decompress(
+    const std::vector<uint8_t>& blob) const {
+  ByteReader reader(blob);
+  Result<BlobHeader> header = ReadHeader(reader, AlgorithmId::kPpa);
+  if (!header.ok()) return header.status();
+  Result<uint32_t> num_segments = reader.GetU32();
+  if (!num_segments.ok()) return num_segments.status();
+
+  std::vector<double> values;
+  values.reserve(header->num_points);
+  for (uint32_t s = 0; s < *num_segments; ++s) {
+    Result<uint16_t> length = reader.GetU16();
+    if (!length.ok()) return length.status();
+    Result<uint8_t> degree = reader.GetU8();
+    if (!degree.ok()) return degree.status();
+    if (*degree > 2) return Status::Corruption("PPA degree out of range");
+    std::array<double, 3> coeffs{};
+    for (int c = 0; c <= *degree; ++c) {
+      Result<double> coeff = reader.GetDouble();
+      if (!coeff.ok()) return coeff.status();
+      coeffs[static_cast<size_t>(c)] = *coeff;
+    }
+    for (uint16_t i = 0; i < *length; ++i) {
+      values.push_back(EvalPolynomial(coeffs, static_cast<double>(i)));
+    }
+  }
+  if (values.size() != header->num_points) {
+    return Status::Corruption("PPA segment lengths do not sum to point count");
+  }
+  return TimeSeries(header->first_timestamp, header->interval_seconds,
+                    std::move(values));
+}
+
+}  // namespace lossyts::compress

@@ -1,0 +1,115 @@
+#include "compress/swing.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "compress/header.h"
+#include "compress/serde.h"
+
+namespace lossyts::compress {
+
+namespace {
+
+constexpr size_t kMaxSegmentLength = 65535;
+
+struct Segment {
+  uint16_t length;
+  double anchor;  // Exact first value of the segment.
+  double slope;   // Value change per index step.
+};
+
+// Unlike PMC's single mean (stored as f32 when safe, see pmc.cc), Swing's
+// coefficients stay f64: the slope is multiplied by the in-segment index, so
+// float rounding drifts linearly along the segment and would constantly
+// force costly re-verification fallbacks. This matches ModelarDB and is the
+// storage overhead the paper identifies as Swing's CR weakness (§4.2).
+
+}  // namespace
+
+Result<std::vector<uint8_t>> SwingCompressor::Compress(
+    const TimeSeries& series, double error_bound) const {
+  if (Status s = CheckErrorBound(error_bound); !s.ok()) return s;
+  if (series.empty()) {
+    return Status::InvalidArgument("cannot compress an empty series");
+  }
+
+  std::vector<Segment> segments;
+  const std::vector<double>& v = series.values();
+
+  size_t start = 0;
+  double anchor = v[0];
+  double slope_lo = -std::numeric_limits<double>::infinity();
+  double slope_hi = std::numeric_limits<double>::infinity();
+
+  auto close_segment = [&](size_t end) {
+    double slope = 0.0;
+    if (end - start > 1) {
+      // Mean of the upper and lower bounding slopes (ModelarDB variant).
+      slope = 0.5 * (slope_lo + slope_hi);
+    }
+    segments.push_back({static_cast<uint16_t>(end - start), anchor, slope});
+  };
+
+  for (size_t i = 1; i < v.size(); ++i) {
+    const double step = static_cast<double>(i - start);
+    const Allowance a = RelativeAllowance(v[i], error_bound);
+    // Slope range that keeps the line inside this point's allowance.
+    const double cand_lo = (a.lo - anchor) / step;
+    const double cand_hi = (a.hi - anchor) / step;
+    const double new_lo = std::max(slope_lo, cand_lo);
+    const double new_hi = std::min(slope_hi, cand_hi);
+    if (new_lo <= new_hi && (i - start) < kMaxSegmentLength) {
+      slope_lo = new_lo;
+      slope_hi = new_hi;
+    } else {
+      close_segment(i);
+      start = i;
+      anchor = v[i];
+      slope_lo = -std::numeric_limits<double>::infinity();
+      slope_hi = std::numeric_limits<double>::infinity();
+    }
+  }
+  close_segment(v.size());
+
+  ByteWriter writer;
+  WriteHeader(MakeHeader(AlgorithmId::kSwing, series), writer);
+  writer.PutU32(static_cast<uint32_t>(segments.size()));
+  for (const Segment& s : segments) {
+    writer.PutU16(s.length);
+    writer.PutDouble(s.anchor);
+    writer.PutDouble(s.slope);
+  }
+  return writer.Finish();
+}
+
+Result<TimeSeries> SwingCompressor::Decompress(
+    const std::vector<uint8_t>& blob) const {
+  ByteReader reader(blob);
+  Result<BlobHeader> header = ReadHeader(reader, AlgorithmId::kSwing);
+  if (!header.ok()) return header.status();
+
+  Result<uint32_t> num_segments = reader.GetU32();
+  if (!num_segments.ok()) return num_segments.status();
+
+  std::vector<double> values;
+  values.reserve(header->num_points);
+  for (uint32_t s = 0; s < *num_segments; ++s) {
+    Result<uint16_t> length = reader.GetU16();
+    if (!length.ok()) return length.status();
+    Result<double> anchor = reader.GetDouble();
+    if (!anchor.ok()) return anchor.status();
+    Result<double> slope = reader.GetDouble();
+    if (!slope.ok()) return slope.status();
+    for (uint16_t k = 0; k < *length; ++k) {
+      values.push_back(*anchor + *slope * static_cast<double>(k));
+    }
+  }
+  if (values.size() != header->num_points) {
+    return Status::Corruption(
+        "Swing segment lengths do not sum to point count");
+  }
+  return TimeSeries(header->first_timestamp, header->interval_seconds,
+                    std::move(values));
+}
+
+}  // namespace lossyts::compress

@@ -1,0 +1,55 @@
+#ifndef LOSSYTS_CORE_METRICS_H_
+#define LOSSYTS_CORE_METRICS_H_
+
+#include <vector>
+
+#include "core/status.h"
+
+namespace lossyts {
+
+/// Distance and similarity metrics from paper §3.5 (Eq. 4-5). In every
+/// function, `x` is the reference (raw/actual) series and `y` the compared
+/// (predicted or decompressed) series; both must be equal-length, non-empty.
+
+/// Root Mean Square Error.
+Result<double> Rmse(const std::vector<double>& x, const std::vector<double>& y);
+
+/// RMSE normalized by the range of the reference series: RMSE / (max(x)-min(x)).
+Result<double> Nrmse(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Root Relative Squared Error: sqrt(sum (x-y)^2) / sqrt(sum (x-mean(x))^2).
+Result<double> Rse(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Pearson correlation coefficient.
+Result<double> PearsonR(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+/// Mean Absolute Error.
+Result<double> Mae(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Maximum absolute pointwise deviation (the L-infinity distance); used to
+/// verify compressor error-bound guarantees.
+Result<double> MaxAbsError(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Maximum relative pointwise deviation max_i |x_i - y_i| / |x_i|, with a
+/// small-denominator guard matching the relative error-bound definition used
+/// by the compressors (see compress/compressor.h).
+Result<double> MaxRelError(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Bundle of the four accuracy metrics reported in Table 2.
+struct MetricSet {
+  double r = 0.0;
+  double rse = 0.0;
+  double rmse = 0.0;
+  double nrmse = 0.0;
+};
+
+/// Computes R, RSE, RMSE and NRMSE in one pass-friendly call.
+Result<MetricSet> CalculateMetrics(const std::vector<double>& actual,
+                                   const std::vector<double>& predicted);
+
+}  // namespace lossyts
+
+#endif  // LOSSYTS_CORE_METRICS_H_

@@ -1,0 +1,72 @@
+#ifndef LOSSYTS_CORE_RNG_H_
+#define LOSSYTS_CORE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace lossyts {
+
+/// Deterministic, seedable pseudo-random generator (SplitMix64).
+///
+/// Every stochastic component in the library (dataset generators, model weight
+/// initialization, dropout, gradient-boosting subsampling) takes an explicit
+/// Rng so that runs are reproducible bit-for-bit across platforms. The
+/// standard library distributions are avoided on purpose: their outputs are
+/// implementation-defined.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) { return NextU64() % n; }
+
+  /// Standard normal via Box-Muller (uses two uniforms per pair; the spare is
+  /// cached).
+  double Normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = Uniform();
+    double u2 = Uniform();
+    // Guard against log(0).
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Derives an independent child generator; useful for giving each model
+  /// replica its own stream.
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  uint64_t state_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace lossyts
+
+#endif  // LOSSYTS_CORE_RNG_H_

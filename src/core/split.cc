@@ -1,0 +1,36 @@
+#include "core/split.h"
+
+#include <string>
+
+namespace lossyts {
+
+Result<TrainValTest> SplitSeries(const TimeSeries& series,
+                                 const SplitOptions& options) {
+  if (options.train_fraction <= 0.0 || options.val_fraction < 0.0 ||
+      options.train_fraction + options.val_fraction >= 1.0) {
+    return Status::InvalidArgument("invalid split fractions");
+  }
+  const size_t n = series.size();
+  const size_t n_train = static_cast<size_t>(
+      static_cast<double>(n) * options.train_fraction);
+  const size_t n_val = static_cast<size_t>(
+      static_cast<double>(n) * options.val_fraction);
+  const size_t n_test = n - n_train - n_val;
+  if (n_train == 0 || n_test == 0) {
+    return Status::FailedPrecondition(
+        "series of length " + std::to_string(n) + " too short to split");
+  }
+  TrainValTest out;
+  Result<TimeSeries> train = series.Slice(0, n_train);
+  if (!train.ok()) return train.status();
+  out.train = std::move(*train);
+  Result<TimeSeries> val = series.Slice(n_train, n_train + n_val);
+  if (!val.ok()) return val.status();
+  out.val = std::move(*val);
+  Result<TimeSeries> test = series.Slice(n_train + n_val, n);
+  if (!test.ok()) return test.status();
+  out.test = std::move(*test);
+  return out;
+}
+
+}  // namespace lossyts

@@ -1,0 +1,31 @@
+#ifndef LOSSYTS_CORE_SPLIT_H_
+#define LOSSYTS_CORE_SPLIT_H_
+
+#include "core/status.h"
+#include "core/time_series.h"
+
+namespace lossyts {
+
+/// Chronological train/validation/test partition of a series.
+struct TrainValTest {
+  TimeSeries train;
+  TimeSeries val;
+  TimeSeries test;
+};
+
+/// Options for SplitSeries. Defaults follow the paper (§3.4): 70% train,
+/// 10% validation, 20% test, split chronologically.
+struct SplitOptions {
+  double train_fraction = 0.70;
+  double val_fraction = 0.10;
+  // Test gets the remainder.
+};
+
+/// Splits `series` chronologically. Fails if fractions are out of range or
+/// any partition would be empty.
+Result<TrainValTest> SplitSeries(const TimeSeries& series,
+                                 const SplitOptions& options = {});
+
+}  // namespace lossyts
+
+#endif  // LOSSYTS_CORE_SPLIT_H_

@@ -1,0 +1,63 @@
+#include "core/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lossyts {
+
+Result<TimeSeries> TimeSeries::Slice(size_t begin, size_t end) const {
+  if (begin > end || end > values_.size()) {
+    return Status::OutOfRange("Slice(" + std::to_string(begin) + ", " +
+                              std::to_string(end) + ") on series of length " +
+                              std::to_string(values_.size()));
+  }
+  std::vector<double> vals(values_.begin() + begin, values_.begin() + end);
+  return TimeSeries(TimestampAt(begin), interval_, std::move(vals));
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Result<TimeSeries::Stats> TimeSeries::ComputeStats() const {
+  if (values_.empty()) {
+    return Status::FailedPrecondition("ComputeStats on empty series");
+  }
+  Stats s;
+  s.length = values_.size();
+  double sum = 0.0;
+  double mn = values_[0];
+  double mx = values_[0];
+  for (double v : values_) {
+    sum += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  s.mean = sum / static_cast<double>(values_.size());
+  s.min = mn;
+  s.max = mx;
+  double ss = 0.0;
+  for (double v : values_) {
+    const double d = v - s.mean;
+    ss += d * d;
+  }
+  s.variance = ss / static_cast<double>(values_.size());
+
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  s.q1 = QuantileSorted(sorted, 0.25);
+  s.median = QuantileSorted(sorted, 0.50);
+  s.q3 = QuantileSorted(sorted, 0.75);
+  const double denom = std::abs(s.mean) > 1e-12 ? std::abs(s.mean) : 1e-12;
+  s.riqd_percent = (s.q3 - s.q1) / denom * 100.0;
+  return s;
+}
+
+}  // namespace lossyts

@@ -1,0 +1,86 @@
+#ifndef LOSSYTS_CORE_TIME_SERIES_H_
+#define LOSSYTS_CORE_TIME_SERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lossyts {
+
+/// A regular univariate time series (paper Definitions 1-2): values sampled
+/// at a constant interval starting from a known timestamp.
+///
+/// All six evaluation datasets are regular, and the pointwise error-bounded
+/// compressors rely on regularity to reconstruct timestamps from a compact
+/// header (first timestamp + sampling interval + per-segment lengths), so the
+/// representation stores the values densely and materializes timestamps on
+/// demand.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Builds a series starting at `start_timestamp` (seconds since epoch) with
+  /// `interval_seconds` between consecutive points.
+  TimeSeries(int64_t start_timestamp, int32_t interval_seconds,
+             std::vector<double> values)
+      : start_(start_timestamp),
+        interval_(interval_seconds),
+        values_(std::move(values)) {}
+
+  /// Number of data points.
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  int64_t start_timestamp() const { return start_; }
+  int32_t interval_seconds() const { return interval_; }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  double operator[](size_t i) const { return values_[i]; }
+
+  /// Timestamp of the i-th data point.
+  int64_t TimestampAt(size_t i) const {
+    return start_ + static_cast<int64_t>(i) * interval_;
+  }
+
+  /// Returns the sub-series covering points [begin, end) (paper Definition 3).
+  /// Fails if the range is out of bounds or inverted.
+  Result<TimeSeries> Slice(size_t begin, size_t end) const;
+
+  /// Appends a value at the next regular timestamp.
+  void Append(double value) { values_.push_back(value); }
+
+  /// Descriptive statistics used by Table 1 and the rIQD analysis.
+  struct Stats {
+    size_t length = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double q1 = 0.0;      ///< 25th percentile.
+    double median = 0.0;  ///< 50th percentile.
+    double q3 = 0.0;      ///< 75th percentile.
+    double variance = 0.0;
+    /// Relative interquartile difference (Q3-Q1)/|mean| * 100, in percent.
+    double riqd_percent = 0.0;
+  };
+
+  /// Computes descriptive statistics. Fails on an empty series.
+  Result<Stats> ComputeStats() const;
+
+ private:
+  int64_t start_ = 0;
+  int32_t interval_ = 1;
+  std::vector<double> values_;
+};
+
+/// Linear-interpolation quantile of `sorted` (must be ascending, non-empty),
+/// with q in [0, 1]. Matches the common "type 7" definition used by R/numpy.
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+}  // namespace lossyts
+
+#endif  // LOSSYTS_CORE_TIME_SERIES_H_

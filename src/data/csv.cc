@@ -1,0 +1,91 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace lossyts::data {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream stream(line);
+  while (std::getline(stream, field, delimiter)) fields.push_back(field);
+  return fields;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+Result<TimeSeries> LoadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+
+  std::vector<double> values;
+  std::vector<int64_t> timestamps;
+  std::string line;
+  size_t row = 0;
+  const int needed = std::max(options.timestamp_column, options.value_column);
+  while (std::getline(file, line)) {
+    ++row;
+    if (row == 1 && options.has_header) continue;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitLine(line, options.delimiter);
+    if (static_cast<int>(fields.size()) <= needed) {
+      return Status::Corruption(path + ": row " + std::to_string(row) +
+                                " has too few columns");
+    }
+    double value = 0.0;
+    if (!ParseDouble(fields[options.value_column], &value)) {
+      return Status::Corruption(path + ": row " + std::to_string(row) +
+                                " has a non-numeric value");
+    }
+    values.push_back(value);
+    if (options.timestamp_column >= 0) {
+      double ts = 0.0;
+      if (ParseDouble(fields[options.timestamp_column], &ts)) {
+        timestamps.push_back(static_cast<int64_t>(ts));
+      }
+    }
+  }
+  if (values.empty()) {
+    return Status::Corruption(path + ": no data rows");
+  }
+
+  int64_t start = 0;
+  int32_t interval = options.fallback_interval_seconds;
+  if (timestamps.size() == values.size() && timestamps.size() >= 2) {
+    start = timestamps[0];
+    interval = static_cast<int32_t>(timestamps[1] - timestamps[0]);
+    if (interval <= 0) interval = options.fallback_interval_seconds;
+  }
+  return TimeSeries(start, interval, std::move(values));
+}
+
+Status SaveCsv(const TimeSeries& series, const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  file << "timestamp,value\n";
+  for (size_t i = 0; i < series.size(); ++i) {
+    file << series.TimestampAt(i) << ',' << series[i] << '\n';
+  }
+  if (!file.good()) {
+    return Status::IoError("write to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace lossyts::data

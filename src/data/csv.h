@@ -1,0 +1,36 @@
+#ifndef LOSSYTS_DATA_CSV_H_
+#define LOSSYTS_DATA_CSV_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "core/time_series.h"
+
+namespace lossyts::data {
+
+/// Options for LoadCsv. The expected file shape is the one used by the
+/// paper's datasets: one row per point with a timestamp column and one or
+/// more value columns, with a header row.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  int timestamp_column = 0;  ///< -1: no timestamp column, synthesize one.
+  int value_column = 1;      ///< Target variable column.
+  /// Sampling interval used when timestamp_column is -1 or timestamps are
+  /// not plain epoch-second integers.
+  int32_t fallback_interval_seconds = 60;
+};
+
+/// Loads a regular univariate time series from a CSV file. Timestamps are
+/// parsed as epoch seconds when numeric; otherwise row index spacing with the
+/// fallback interval is used. Fails on unreadable files, short rows or
+/// non-numeric values.
+Result<TimeSeries> LoadCsv(const std::string& path,
+                           const CsvOptions& options = {});
+
+/// Writes a series as "timestamp,value" rows with a header.
+Status SaveCsv(const TimeSeries& series, const std::string& path);
+
+}  // namespace lossyts::data
+
+#endif  // LOSSYTS_DATA_CSV_H_

@@ -1,0 +1,55 @@
+#ifndef LOSSYTS_DATA_DATASETS_H_
+#define LOSSYTS_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/time_series.h"
+
+namespace lossyts::data {
+
+/// Reference statistics reported in the paper's Table 1 for one dataset.
+struct PaperStats {
+  size_t length = 0;
+  std::string freq;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double q1 = 0.0;
+  double q3 = 0.0;
+  double riqd_percent = 0.0;
+};
+
+/// One evaluation dataset: the (synthetic) target-variable series, the
+/// dominant seasonal period in samples, and the paper's reference statistics
+/// for side-by-side reporting.
+struct Dataset {
+  std::string name;
+  TimeSeries series;
+  size_t season_length = 0;  ///< Samples per dominant season (0 = none).
+  PaperStats paper;
+};
+
+/// Controls how much of the paper-scale dataset to generate. The default
+/// fraction keeps every benchmark laptop-fast while preserving dozens of
+/// seasonal cycles; pass 1.0 to generate at the paper's full lengths.
+struct DatasetOptions {
+  double length_fraction = 0.125;
+  uint64_t seed = 42;
+};
+
+/// Names of the six datasets, in the paper's Table 1 order:
+/// ETTm1, ETTm2, Solar, Weather, ElecDem, Wind.
+const std::vector<std::string>& DatasetNames();
+
+/// Generates the named dataset. Fails with NotFound for unknown names.
+Result<Dataset> MakeDataset(const std::string& name,
+                            const DatasetOptions& options = {});
+
+/// Generates all six datasets in Table 1 order.
+Result<std::vector<Dataset>> MakeAllDatasets(const DatasetOptions& options = {});
+
+}  // namespace lossyts::data
+
+#endif  // LOSSYTS_DATA_DATASETS_H_

@@ -1,0 +1,73 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lossyts::data {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+std::vector<double> Sinusoid(size_t n, double period, double amplitude,
+                             double phase) {
+  std::vector<double> out(n);
+  const double omega = 2.0 * kPi / period;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = amplitude * std::sin(omega * static_cast<double>(i) + phase);
+  }
+  return out;
+}
+
+std::vector<double> Ar1Noise(size_t n, double phi, double sigma, Rng& rng) {
+  std::vector<double> out(n);
+  double x = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    x = phi * x + rng.Normal(0.0, sigma);
+    out[i] = x;
+  }
+  return out;
+}
+
+std::vector<double> BoundedWalk(size_t n, double start, double step_sigma,
+                                double lo, double hi, Rng& rng) {
+  std::vector<double> out(n);
+  double x = start;
+  for (size_t i = 0; i < n; ++i) {
+    x += rng.Normal(0.0, step_sigma);
+    // Reflect off the boundaries to keep the level inside [lo, hi].
+    if (x > hi) x = 2.0 * hi - x;
+    if (x < lo) x = 2.0 * lo - x;
+    x = std::clamp(x, lo, hi);
+    out[i] = x;
+  }
+  return out;
+}
+
+std::vector<double> MeanRevertingWalk(size_t n, double start, double mu,
+                                      double theta, double sigma, Rng& rng) {
+  std::vector<double> out(n);
+  double x = start;
+  for (size_t i = 0; i < n; ++i) {
+    x += theta * (mu - x) + rng.Normal(0.0, sigma);
+    out[i] = x;
+  }
+  return out;
+}
+
+void ClampInPlace(std::vector<double>& values, double lo, double hi) {
+  for (double& v : values) v = std::clamp(v, lo, hi);
+}
+
+void AddInPlace(std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void QuantizeInPlace(std::vector<double>& values, double step) {
+  assert(step > 0.0);
+  for (double& v : values) v = std::round(v / step) * step;
+}
+
+}  // namespace lossyts::data

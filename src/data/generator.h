@@ -1,0 +1,48 @@
+#ifndef LOSSYTS_DATA_GENERATOR_H_
+#define LOSSYTS_DATA_GENERATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace lossyts::data {
+
+/// Composable building blocks for the synthetic dataset generators. Each
+/// helper produces an n-point component; dataset recipes add/multiply them.
+/// Everything is driven by an explicit Rng, so a (name, seed) pair fully
+/// determines a dataset.
+
+/// Sinusoid with the given period (in samples), amplitude and phase.
+std::vector<double> Sinusoid(size_t n, double period, double amplitude,
+                             double phase = 0.0);
+
+/// First-order autoregressive noise: x_t = phi·x_{t-1} + N(0, sigma).
+std::vector<double> Ar1Noise(size_t n, double phi, double sigma, Rng& rng);
+
+/// Slow random-walk level that reflects off [lo, hi], modelling multi-day
+/// drift (weather fronts, load growth, oil temperature regimes).
+std::vector<double> BoundedWalk(size_t n, double start, double step_sigma,
+                                double lo, double hi, Rng& rng);
+
+/// Mean-reverting Ornstein-Uhlenbeck-style process discretized per sample:
+/// x_{t+1} = x_t + theta·(mu − x_t) + N(0, sigma).
+std::vector<double> MeanRevertingWalk(size_t n, double start, double mu,
+                                      double theta, double sigma, Rng& rng);
+
+/// Clamps every value into [lo, hi] in place.
+void ClampInPlace(std::vector<double>& values, double lo, double hi);
+
+/// Element-wise sum of `b` into `a` (sizes must match).
+void AddInPlace(std::vector<double>& a, const std::vector<double>& b);
+
+/// Rounds every value to a multiple of `step`, emulating the fixed decimal
+/// precision of real sensor recordings (e.g. 0.01 °C for the ETT oil
+/// temperature). This matters for the lossless baselines: Gorilla and gzip
+/// both rely on exact value repeats and shared mantissa bits, which
+/// full-entropy synthetic doubles would never produce.
+void QuantizeInPlace(std::vector<double>& values, double step);
+
+}  // namespace lossyts::data
+
+#endif  // LOSSYTS_DATA_GENERATOR_H_

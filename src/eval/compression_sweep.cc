@@ -1,0 +1,137 @@
+#include "eval/compression_sweep.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "compress/pipeline.h"
+
+namespace lossyts::eval {
+
+Result<std::vector<SweepRecord>> RunCompressionSweep(
+    const SweepOptions& options) {
+  const std::vector<std::string>& datasets =
+      options.datasets.empty() ? data::DatasetNames() : options.datasets;
+  const std::vector<double>& error_bounds =
+      options.error_bounds.empty() ? compress::PaperErrorBounds()
+                                   : options.error_bounds;
+
+  std::vector<SweepRecord> records;
+  for (const std::string& dataset_name : datasets) {
+    Result<data::Dataset> dataset =
+        data::MakeDataset(dataset_name, options.data);
+    if (!dataset.ok()) return dataset.status();
+    if (options.verbose) {
+      std::fprintf(stderr, "[sweep] compressing %s (%zu points)\n",
+                   dataset_name.c_str(), dataset->series.size());
+    }
+
+    for (const std::string& compressor_name :
+         compress::LossyCompressorNames()) {
+      Result<std::unique_ptr<compress::Compressor>> compressor =
+          compress::MakeCompressor(compressor_name);
+      if (!compressor.ok()) return compressor.status();
+      for (double eb : error_bounds) {
+        Result<compress::PipelineResult> result =
+            compress::RunPipeline(**compressor, dataset->series, eb);
+        if (!result.ok()) return result.status();
+        SweepRecord rec;
+        rec.dataset = dataset_name;
+        rec.compressor = compressor_name;
+        rec.error_bound = eb;
+        rec.te_nrmse = result->te_nrmse;
+        rec.te_rmse = result->te_rmse;
+        rec.compression_ratio = result->compression_ratio;
+        rec.segment_count = static_cast<double>(result->segment_count);
+        rec.raw_gz_bytes = static_cast<double>(result->raw_gz_bytes);
+        rec.gz_bytes = static_cast<double>(result->gz_bytes);
+        records.push_back(rec);
+      }
+    }
+
+    if (options.include_gorilla) {
+      Result<std::unique_ptr<compress::Compressor>> gorilla =
+          compress::MakeCompressor("GORILLA");
+      if (!gorilla.ok()) return gorilla.status();
+      Result<compress::PipelineResult> result =
+          compress::RunPipeline(**gorilla, dataset->series, 0.0);
+      if (!result.ok()) return result.status();
+      SweepRecord rec;
+      rec.dataset = dataset_name;
+      rec.compressor = "GORILLA";
+      rec.compression_ratio = result->compression_ratio;
+      rec.segment_count = static_cast<double>(result->segment_count);
+      rec.raw_gz_bytes = static_cast<double>(result->raw_gz_bytes);
+      rec.gz_bytes = static_cast<double>(result->gz_bytes);
+      records.push_back(rec);
+    }
+  }
+  return records;
+}
+
+Status SaveSweepCsv(const std::vector<SweepRecord>& records,
+                    const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  file << "dataset,compressor,error_bound,te_nrmse,te_rmse,"
+          "compression_ratio,segment_count,raw_gz_bytes,gz_bytes\n";
+  file.precision(12);
+  for (const SweepRecord& r : records) {
+    file << r.dataset << ',' << r.compressor << ',' << r.error_bound << ','
+         << r.te_nrmse << ',' << r.te_rmse << ',' << r.compression_ratio
+         << ',' << r.segment_count << ',' << r.raw_gz_bytes << ','
+         << r.gz_bytes << '\n';
+  }
+  if (!file.good()) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<std::vector<SweepRecord>> LoadSweepCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("no sweep cache at " + path);
+  }
+  std::string line;
+  if (!std::getline(file, line)) {
+    return Status::Corruption(path + " is empty");
+  }
+  std::vector<SweepRecord> records;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(row, field, ',')) fields.push_back(field);
+    if (fields.size() != 9) {
+      return Status::Corruption(path + ": malformed row: " + line);
+    }
+    SweepRecord r;
+    r.dataset = fields[0];
+    r.compressor = fields[1];
+    r.error_bound = std::stod(fields[2]);
+    r.te_nrmse = std::stod(fields[3]);
+    r.te_rmse = std::stod(fields[4]);
+    r.compression_ratio = std::stod(fields[5]);
+    r.segment_count = std::stod(fields[6]);
+    r.raw_gz_bytes = std::stod(fields[7]);
+    r.gz_bytes = std::stod(fields[8]);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+Result<std::vector<SweepRecord>> LoadOrRunSweep(const SweepOptions& options,
+                                                const std::string& path) {
+  Result<std::vector<SweepRecord>> cached = LoadSweepCsv(path);
+  if (cached.ok()) return cached;
+  Result<std::vector<SweepRecord>> records = RunCompressionSweep(options);
+  if (!records.ok()) return records.status();
+  if (Status s = SaveSweepCsv(*records, path); !s.ok()) return s;
+  return records;
+}
+
+std::string DefaultSweepCachePath() { return "lossyts_sweep_cache.csv"; }
+
+}  // namespace lossyts::eval

@@ -1,0 +1,201 @@
+#include "eval/grid.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "compress/pipeline.h"
+#include "core/split.h"
+#include "forecast/registry.h"
+
+namespace lossyts::eval {
+
+namespace {
+
+struct TransformedTest {
+  std::string compressor;
+  double error_bound;
+  TimeSeries series;
+  double te_nrmse;
+  double te_rmse;
+  double compression_ratio;
+  double segment_count;
+};
+
+}  // namespace
+
+Result<std::vector<GridRecord>> RunGrid(const GridOptions& options) {
+  const std::vector<std::string>& datasets =
+      options.datasets.empty() ? data::DatasetNames() : options.datasets;
+  const std::vector<std::string>& models =
+      options.models.empty() ? forecast::ModelNames() : options.models;
+  const std::vector<std::string>& compressors =
+      options.compressors.empty() ? compress::LossyCompressorNames()
+                                  : options.compressors;
+  const std::vector<double>& error_bounds =
+      options.error_bounds.empty() ? compress::PaperErrorBounds()
+                                   : options.error_bounds;
+
+  std::vector<GridRecord> records;
+  for (const std::string& dataset_name : datasets) {
+    Result<data::Dataset> dataset =
+        data::MakeDataset(dataset_name, options.data);
+    if (!dataset.ok()) return dataset.status();
+    Result<TrainValTest> split = SplitSeries(dataset->series);
+    if (!split.ok()) return split.status();
+
+    // Transform the test split once per (compressor, error bound).
+    std::vector<TransformedTest> transformed;
+    for (const std::string& compressor_name : compressors) {
+      Result<std::unique_ptr<compress::Compressor>> compressor =
+          compress::MakeCompressor(compressor_name);
+      if (!compressor.ok()) return compressor.status();
+      for (double eb : error_bounds) {
+        Result<compress::PipelineResult> pipeline =
+            compress::RunPipeline(**compressor, split->test, eb);
+        if (!pipeline.ok()) return pipeline.status();
+        TransformedTest t;
+        t.compressor = compressor_name;
+        t.error_bound = eb;
+        t.series = std::move(pipeline->decompressed);
+        t.te_nrmse = pipeline->te_nrmse;
+        t.te_rmse = pipeline->te_rmse;
+        t.compression_ratio = pipeline->compression_ratio;
+        t.segment_count = static_cast<double>(pipeline->segment_count);
+        transformed.push_back(std::move(t));
+      }
+    }
+
+    for (const std::string& model_name : models) {
+      for (uint64_t seed : options.seeds) {
+        forecast::ForecastConfig config = options.forecast;
+        config.season_length = dataset->season_length;
+        config.seed = seed;
+        Result<std::unique_ptr<forecast::Forecaster>> model =
+            forecast::MakeForecaster(model_name, config);
+        if (!model.ok()) return model.status();
+        if (options.verbose) {
+          std::fprintf(stderr, "[grid] fitting %s on %s (seed %llu)\n",
+                       model_name.c_str(), dataset_name.c_str(),
+                       static_cast<unsigned long long>(seed));
+        }
+        if (Status s = (*model)->Fit(split->train, split->val); !s.ok()) {
+          return s;
+        }
+
+        Result<MetricSet> baseline = EvaluateOnTest(
+            **model, split->test, nullptr, config.input_length,
+            config.horizon, options.scenario);
+        if (!baseline.ok()) return baseline.status();
+
+        GridRecord base;
+        base.dataset = dataset_name;
+        base.model = model_name;
+        base.compressor = "NONE";
+        base.seed = seed;
+        base.r = baseline->r;
+        base.rse = baseline->rse;
+        base.rmse = baseline->rmse;
+        base.nrmse = baseline->nrmse;
+        records.push_back(base);
+
+        for (const TransformedTest& t : transformed) {
+          Result<MetricSet> metrics = EvaluateOnTest(
+              **model, split->test, &t.series, config.input_length,
+              config.horizon, options.scenario);
+          if (!metrics.ok()) return metrics.status();
+          GridRecord rec;
+          rec.dataset = dataset_name;
+          rec.model = model_name;
+          rec.compressor = t.compressor;
+          rec.error_bound = t.error_bound;
+          rec.seed = seed;
+          rec.r = metrics->r;
+          rec.rse = metrics->rse;
+          rec.rmse = metrics->rmse;
+          rec.nrmse = metrics->nrmse;
+          rec.tfe = Tfe(metrics->nrmse, baseline->nrmse);
+          rec.te_nrmse = t.te_nrmse;
+          rec.te_rmse = t.te_rmse;
+          rec.compression_ratio = t.compression_ratio;
+          rec.segment_count = t.segment_count;
+          records.push_back(rec);
+        }
+      }
+    }
+  }
+  return records;
+}
+
+Status SaveGridCsv(const std::vector<GridRecord>& records,
+                   const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  file << "dataset,model,compressor,error_bound,seed,r,rse,rmse,nrmse,tfe,"
+          "te_nrmse,te_rmse,compression_ratio,segment_count\n";
+  file.precision(12);
+  for (const GridRecord& r : records) {
+    file << r.dataset << ',' << r.model << ',' << r.compressor << ','
+         << r.error_bound << ',' << r.seed << ',' << r.r << ',' << r.rse
+         << ',' << r.rmse << ',' << r.nrmse << ',' << r.tfe << ','
+         << r.te_nrmse << ',' << r.te_rmse << ',' << r.compression_ratio
+         << ',' << r.segment_count << '\n';
+  }
+  if (!file.good()) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<std::vector<GridRecord>> LoadGridCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("no grid cache at " + path);
+  }
+  std::string line;
+  if (!std::getline(file, line)) {
+    return Status::Corruption(path + " is empty");
+  }
+  std::vector<GridRecord> records;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(row, field, ',')) fields.push_back(field);
+    if (fields.size() != 14) {
+      return Status::Corruption(path + ": malformed row: " + line);
+    }
+    GridRecord r;
+    r.dataset = fields[0];
+    r.model = fields[1];
+    r.compressor = fields[2];
+    r.error_bound = std::stod(fields[3]);
+    r.seed = static_cast<uint64_t>(std::stoull(fields[4]));
+    r.r = std::stod(fields[5]);
+    r.rse = std::stod(fields[6]);
+    r.rmse = std::stod(fields[7]);
+    r.nrmse = std::stod(fields[8]);
+    r.tfe = std::stod(fields[9]);
+    r.te_nrmse = std::stod(fields[10]);
+    r.te_rmse = std::stod(fields[11]);
+    r.compression_ratio = std::stod(fields[12]);
+    r.segment_count = std::stod(fields[13]);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+Result<std::vector<GridRecord>> LoadOrRunGrid(const GridOptions& options,
+                                              const std::string& path) {
+  Result<std::vector<GridRecord>> cached = LoadGridCsv(path);
+  if (cached.ok()) return cached;
+  Result<std::vector<GridRecord>> records = RunGrid(options);
+  if (!records.ok()) return records.status();
+  if (Status s = SaveGridCsv(*records, path); !s.ok()) return s;
+  return records;
+}
+
+std::string DefaultGridCachePath() { return "lossyts_grid_cache.csv"; }
+
+}  // namespace lossyts::eval

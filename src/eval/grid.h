@@ -1,0 +1,76 @@
+#ifndef LOSSYTS_EVAL_GRID_H_
+#define LOSSYTS_EVAL_GRID_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "data/datasets.h"
+#include "eval/scenario.h"
+#include "forecast/forecaster.h"
+
+namespace lossyts::eval {
+
+/// One row of the evaluation grid: a (dataset, model, seed, compressor,
+/// error bound) cell with its forecasting metrics, the compression-side
+/// measurements of that cell, and the TFE against the same model+seed's raw
+/// baseline. Baseline rows carry compressor = "NONE" and error_bound = 0.
+struct GridRecord {
+  std::string dataset;
+  std::string model;
+  std::string compressor;
+  double error_bound = 0.0;
+  uint64_t seed = 0;
+
+  // Forecasting accuracy (predictions vs. raw targets, §3.5).
+  double r = 0.0;
+  double rse = 0.0;
+  double rmse = 0.0;
+  double nrmse = 0.0;
+  /// TFE computed on NRMSE (Definition 9); 0 for baseline rows.
+  double tfe = 0.0;
+
+  // Compression-side measurements on the test split (0 for baseline rows).
+  double te_nrmse = 0.0;
+  double te_rmse = 0.0;
+  double compression_ratio = 0.0;
+  double segment_count = 0.0;
+};
+
+/// Full-sweep configuration. Defaults reproduce the paper's grid at
+/// laptop-scale: all six datasets, all seven models, PMC/SWING/SZ at the 13
+/// §3.2 error bounds, with scaled-down series and window budgets.
+struct GridOptions {
+  std::vector<std::string> datasets;     // Empty = all six.
+  std::vector<std::string> models;       // Empty = all seven.
+  std::vector<std::string> compressors;  // Empty = PMC, SWING, SZ.
+  std::vector<double> error_bounds;      // Empty = the paper's 13 bounds.
+  std::vector<uint64_t> seeds = {1};
+  data::DatasetOptions data;
+  forecast::ForecastConfig forecast;
+  ScenarioOptions scenario;
+  bool verbose = false;  ///< Progress lines on stderr.
+
+  GridOptions() { data.length_fraction = 0.05; }
+};
+
+/// Runs Algorithm 1 over the whole grid: per dataset, transform the test
+/// split once per (compressor, error bound); per model and seed, train once
+/// on the raw train/val splits and predict from every transformed test.
+Result<std::vector<GridRecord>> RunGrid(const GridOptions& options);
+
+/// CSV persistence so the bench binaries share one expensive sweep.
+Status SaveGridCsv(const std::vector<GridRecord>& records,
+                   const std::string& path);
+Result<std::vector<GridRecord>> LoadGridCsv(const std::string& path);
+
+/// Loads `path` if present, otherwise runs the grid and saves it.
+Result<std::vector<GridRecord>> LoadOrRunGrid(const GridOptions& options,
+                                              const std::string& path);
+
+/// The canonical cache location used by all bench binaries.
+std::string DefaultGridCachePath();
+
+}  // namespace lossyts::eval
+
+#endif  // LOSSYTS_EVAL_GRID_H_

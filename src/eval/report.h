@@ -1,0 +1,44 @@
+#ifndef LOSSYTS_EVAL_REPORT_H_
+#define LOSSYTS_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace lossyts::eval {
+
+/// Minimal fixed-width table renderer for the bench binaries: every bench
+/// prints the same rows/series the paper's corresponding table or figure
+/// reports, in plain text.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column-aligned padding and a header separator.
+  std::string ToString() const;
+
+  /// Convenience: render straight to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string FormatDouble(double value, int precision = 3);
+
+/// Mean of a vector (0 for empty input).
+double MeanOf(const std::vector<double>& values);
+
+/// Median of a vector (0 for empty input).
+double MedianOf(std::vector<double> values);
+
+/// Half-width of the normal-approximation 95% confidence interval of the
+/// mean (1.96 · sd / sqrt(n)); 0 when fewer than 2 samples.
+double CiHalfWidth95(const std::vector<double>& values);
+
+}  // namespace lossyts::eval
+
+#endif  // LOSSYTS_EVAL_REPORT_H_

@@ -1,0 +1,92 @@
+#include "eval/scenario.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "compress/pipeline.h"
+#include "forecast/registry.h"
+
+namespace lossyts::eval {
+
+Result<MetricSet> EvaluateOnTest(const forecast::Forecaster& model,
+                                 const TimeSeries& test,
+                                 const TimeSeries* transformed_test,
+                                 size_t input_length, size_t horizon,
+                                 const ScenarioOptions& options) {
+  if (transformed_test != nullptr &&
+      transformed_test->size() != test.size()) {
+    return Status::InvalidArgument(
+        "transformed test split length differs from raw test split");
+  }
+  const size_t span = input_length + horizon;
+  if (test.size() < span) {
+    return Status::FailedPrecondition("test split too short for one window");
+  }
+
+  size_t stride = std::max<size_t>(1, options.eval_stride);
+  const size_t positions = (test.size() - span) / stride + 1;
+  if (options.max_eval_windows > 0 && positions > options.max_eval_windows) {
+    stride = (test.size() - span) / (options.max_eval_windows - 1);
+  }
+
+  const std::vector<double>& raw = test.values();
+  const std::vector<double>& inputs =
+      transformed_test != nullptr ? transformed_test->values() : raw;
+
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  size_t windows = 0;
+  for (size_t start = 0; start + span <= raw.size(); start += stride) {
+    std::vector<double> window(inputs.begin() + start,
+                               inputs.begin() + start + input_length);
+    Result<std::vector<double>> pred = model.Predict(window);
+    if (!pred.ok()) return pred.status();
+    for (size_t s = 0; s < horizon; ++s) {
+      actual.push_back(raw[start + input_length + s]);
+      predicted.push_back((*pred)[s]);
+    }
+    ++windows;
+    if (options.max_eval_windows > 0 && windows >= options.max_eval_windows) {
+      break;
+    }
+  }
+  return CalculateMetrics(actual, predicted);
+}
+
+}  // namespace lossyts::eval
+
+namespace lossyts::eval {
+
+Result<MetricSet> EvaluateRetrainOnDecompressed(
+    const std::string& model_name, const forecast::ForecastConfig& config,
+    const TimeSeries& train, const TimeSeries& val, const TimeSeries& test,
+    const std::string& compressor_name, double error_bound,
+    const ScenarioOptions& options) {
+  Result<std::unique_ptr<compress::Compressor>> compressor =
+      compress::MakeCompressor(compressor_name);
+  if (!compressor.ok()) return compressor.status();
+
+  auto transform = [&](const TimeSeries& series) -> Result<TimeSeries> {
+    Result<std::vector<uint8_t>> blob =
+        (*compressor)->Compress(series, error_bound);
+    if (!blob.ok()) return blob.status();
+    return (*compressor)->Decompress(*blob);
+  };
+
+  Result<TimeSeries> train_t = transform(train);
+  if (!train_t.ok()) return train_t.status();
+  Result<TimeSeries> val_t = transform(val);
+  if (!val_t.ok()) return val_t.status();
+  Result<TimeSeries> test_t = transform(test);
+  if (!test_t.ok()) return test_t.status();
+
+  Result<std::unique_ptr<forecast::Forecaster>> model =
+      forecast::MakeForecaster(model_name, config);
+  if (!model.ok()) return model.status();
+  if (Status s = (*model)->Fit(*train_t, *val_t); !s.ok()) return s;
+
+  return EvaluateOnTest(**model, test, &*test_t, config.input_length,
+                        config.horizon, options);
+}
+
+}  // namespace lossyts::eval

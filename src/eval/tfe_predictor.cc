@@ -1,0 +1,82 @@
+#include "eval/tfe_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/treeshap.h"
+#include "features/registry.h"
+
+namespace lossyts::eval {
+
+size_t TfePredictor::FeatureCount() {
+  return features::kFeatureCount + 2;  // Characteristics + TE + CR.
+}
+
+Result<std::vector<double>> TfePredictor::BuildFeatures(
+    const TimeSeries& raw, const TimeSeries& decompressed,
+    size_t season_length, double te_nrmse, double compression_ratio) {
+  Result<features::FeatureMap> raw_features =
+      features::ComputeAllFeatures(raw, season_length);
+  if (!raw_features.ok()) return raw_features.status();
+  Result<features::FeatureMap> lossy_features =
+      features::ComputeAllFeatures(decompressed, season_length);
+  if (!lossy_features.ok()) return lossy_features.status();
+
+  std::vector<double> out;
+  out.reserve(FeatureCount());
+  for (const std::string& name : features::FeatureNames()) {
+    const double r = raw_features->at(name);
+    const double l = lossy_features->at(name);
+    out.push_back((l - r) / std::max(std::abs(r), 1e-9));
+  }
+  out.push_back(te_nrmse);
+  out.push_back(compression_ratio);
+  return out;
+}
+
+Status TfePredictor::Fit(const std::vector<Example>& examples) {
+  if (examples.size() < 10) {
+    return Status::InvalidArgument("need at least 10 training examples");
+  }
+  training_rows_.clear();
+  std::vector<double> targets;
+  for (const Example& e : examples) {
+    if (e.features.size() != FeatureCount()) {
+      return Status::InvalidArgument("example feature count mismatch");
+    }
+    training_rows_.push_back(e.features);
+    targets.push_back(e.tfe);
+  }
+  model_ = analysis::GradientBoostedTrees(options_.gbm);
+  if (Status s = model_.Fit(training_rows_, targets); !s.ok()) return s;
+
+  double mean = 0.0;
+  for (double t : targets) mean += t;
+  mean /= static_cast<double>(targets.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < training_rows_.size(); ++i) {
+    const double pred = model_.Predict(training_rows_[i]);
+    ss_res += (targets[i] - pred) * (targets[i] - pred);
+    ss_tot += (targets[i] - mean) * (targets[i] - mean);
+  }
+  r_squared_ = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> TfePredictor::Predict(
+    const std::vector<double>& features) const {
+  if (!fitted_) return Status::FailedPrecondition("Predict before Fit");
+  if (features.size() != FeatureCount()) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  return model_.Predict(features);
+}
+
+Result<std::vector<double>> TfePredictor::Importance() const {
+  if (!fitted_) return Status::FailedPrecondition("Importance before Fit");
+  return analysis::MeanAbsoluteShap(model_, training_rows_, FeatureCount());
+}
+
+}  // namespace lossyts::eval

@@ -1,0 +1,73 @@
+#ifndef LOSSYTS_EVAL_TFE_PREDICTOR_H_
+#define LOSSYTS_EVAL_TFE_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/gbm.h"
+#include "core/status.h"
+#include "core/time_series.h"
+
+namespace lossyts::eval {
+
+/// The paper's §5 research direction made concrete: a model that predicts
+/// the impact of lossy compression (TFE) on forecasting from the compression
+/// characteristics — the change of the 42 time-series characteristics plus
+/// the realized TE and CR — without running any forecasting model.
+///
+/// Feature layout: [42 signed relative characteristic changes in
+/// features::FeatureNames() order, te_nrmse, compression_ratio].
+class TfePredictor {
+ public:
+  struct Options {
+    analysis::GradientBoostedTrees::Options gbm;
+
+    Options() {
+      gbm.num_trees = 60;
+      gbm.subsample = 0.8;
+      gbm.tree.max_depth = 3;
+    }
+  };
+
+  struct Example {
+    std::vector<double> features;
+    double tfe = 0.0;
+  };
+
+  TfePredictor() : TfePredictor(Options()) {}
+  explicit TfePredictor(const Options& options) : options_(options) {}
+
+  /// Number of features per example (42 characteristics + TE + CR).
+  static size_t FeatureCount();
+
+  /// Assembles a feature vector from a raw/decompressed series pair and the
+  /// compression-side measurements. `season_length` must allow feature
+  /// computation (see features::ComputeAllFeatures); pass 0 for
+  /// non-seasonal handling.
+  static Result<std::vector<double>> BuildFeatures(
+      const TimeSeries& raw, const TimeSeries& decompressed,
+      size_t season_length, double te_nrmse, double compression_ratio);
+
+  /// Trains on examples (needs at least 10). Records the in-sample R².
+  Status Fit(const std::vector<Example>& examples);
+
+  /// Predicts the TFE for one feature vector.
+  Result<double> Predict(const std::vector<double>& features) const;
+
+  /// Mean-|SHAP| importance per feature over the training rows.
+  Result<std::vector<double>> Importance() const;
+
+  double r_squared() const { return r_squared_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  Options options_;
+  analysis::GradientBoostedTrees model_;
+  std::vector<std::vector<double>> training_rows_;
+  double r_squared_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace lossyts::eval
+
+#endif  // LOSSYTS_EVAL_TFE_PREDICTOR_H_

@@ -1,0 +1,79 @@
+#include "features/acf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lossyts::features {
+
+std::vector<double> Acf(const std::vector<double>& x, int max_lag) {
+  std::vector<double> acf(static_cast<size_t>(std::max(max_lag, 0)), 0.0);
+  const size_t n = x.size();
+  if (n < 2 || max_lag < 1) return acf;
+
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(n);
+
+  double c0 = 0.0;
+  for (double v : x) c0 += (v - mean) * (v - mean);
+  if (c0 <= 0.0) return acf;  // Constant series.
+
+  for (int lag = 1; lag <= max_lag; ++lag) {
+    if (static_cast<size_t>(lag) >= n) break;
+    double c = 0.0;
+    for (size_t t = static_cast<size_t>(lag); t < n; ++t) {
+      c += (x[t] - mean) * (x[t - lag] - mean);
+    }
+    acf[lag - 1] = c / c0;
+  }
+  return acf;
+}
+
+std::vector<double> Pacf(const std::vector<double>& x, int max_lag) {
+  std::vector<double> pacf(static_cast<size_t>(std::max(max_lag, 0)), 0.0);
+  if (max_lag < 1 || x.size() < 3) return pacf;
+  const std::vector<double> rho = Acf(x, max_lag);
+
+  // Durbin-Levinson: phi[k][k] is the partial autocorrelation at lag k.
+  std::vector<double> phi_prev(max_lag + 1, 0.0);
+  std::vector<double> phi(max_lag + 1, 0.0);
+  phi_prev[1] = rho.empty() ? 0.0 : rho[0];
+  pacf[0] = phi_prev[1];
+  for (int k = 2; k <= max_lag; ++k) {
+    double num = rho[k - 1];
+    double den = 1.0;
+    for (int j = 1; j < k; ++j) {
+      num -= phi_prev[j] * rho[k - 1 - j];
+      den -= phi_prev[j] * rho[j - 1];
+    }
+    const double phikk = std::abs(den) > 1e-12 ? num / den : 0.0;
+    for (int j = 1; j < k; ++j) {
+      phi[j] = phi_prev[j] - phikk * phi_prev[k - j];
+    }
+    phi[k] = phikk;
+    pacf[k - 1] = phikk;
+    phi_prev = phi;
+  }
+  return pacf;
+}
+
+std::vector<double> Diff(const std::vector<double>& x, int d) {
+  std::vector<double> out = x;
+  for (int k = 0; k < d; ++k) {
+    if (out.size() < 2) return {};
+    std::vector<double> next(out.size() - 1);
+    for (size_t i = 1; i < out.size(); ++i) next[i - 1] = out[i] - out[i - 1];
+    out = std::move(next);
+  }
+  return out;
+}
+
+double SumOfSquares(const std::vector<double>& values, size_t k) {
+  double sum = 0.0;
+  for (size_t i = 0; i < std::min(k, values.size()); ++i) {
+    sum += values[i] * values[i];
+  }
+  return sum;
+}
+
+}  // namespace lossyts::features

@@ -1,0 +1,221 @@
+#include "features/decompose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace lossyts::features {
+
+namespace {
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double ss = 0.0;
+  for (double x : v) ss += (x - mean) * (x - mean);
+  return ss / static_cast<double>(v.size() - 1);
+}
+
+// Centered moving average of window `w`; for even w the standard 2xMA is
+// used. Valid range is [half, n - half) with half = w/2.
+std::vector<double> CenteredMovingAverage(const std::vector<double>& x,
+                                          size_t w, size_t* half_out) {
+  const size_t n = x.size();
+  const size_t half = w / 2;
+  *half_out = half;
+  std::vector<double> trend(n, 0.0);
+  if (w % 2 == 1) {
+    double sum = 0.0;
+    for (size_t i = 0; i < w; ++i) sum += x[i];
+    for (size_t c = half; c + half < n; ++c) {
+      trend[c] = sum / static_cast<double>(w);
+      if (c + half + 1 < n) sum += x[c + half + 1] - x[c - half];
+    }
+  } else {
+    // 2xMA: average of two adjacent w-windows.
+    for (size_t c = half; c + half < n; ++c) {
+      double sum = 0.5 * x[c - half] + 0.5 * x[c + half];
+      for (size_t k = c - half + 1; k < c + half; ++k) sum += x[k];
+      trend[c] = sum / static_cast<double>(w);
+    }
+  }
+  return trend;
+}
+
+}  // namespace
+
+Result<Decomposition> Decompose(const std::vector<double>& x, size_t period) {
+  if (period < 2) {
+    return Status::InvalidArgument("seasonal period must be >= 2");
+  }
+  if (x.size() < 3 * period) {
+    return Status::FailedPrecondition(
+        "series of length " + std::to_string(x.size()) +
+        " too short for seasonal period " + std::to_string(period));
+  }
+  Decomposition d;
+  d.period = period;
+  size_t half = 0;
+  std::vector<double> full_trend = CenteredMovingAverage(x, period, &half);
+  d.valid_begin = half;
+  d.valid_end = x.size() - half;
+
+  // Seasonal indices: average detrended value per phase, then center.
+  std::vector<double> phase_sum(period, 0.0);
+  std::vector<size_t> phase_count(period, 0);
+  for (size_t i = d.valid_begin; i < d.valid_end; ++i) {
+    phase_sum[i % period] += x[i] - full_trend[i];
+    phase_count[i % period]++;
+  }
+  std::vector<double> seasonal_index(period, 0.0);
+  double mean_index = 0.0;
+  for (size_t p = 0; p < period; ++p) {
+    seasonal_index[p] =
+        phase_count[p] > 0
+            ? phase_sum[p] / static_cast<double>(phase_count[p])
+            : 0.0;
+    mean_index += seasonal_index[p];
+  }
+  mean_index /= static_cast<double>(period);
+  for (double& s : seasonal_index) s -= mean_index;
+
+  const size_t m = d.valid_end - d.valid_begin;
+  d.trend.resize(m);
+  d.seasonal.resize(m);
+  d.remainder.resize(m);
+  for (size_t k = 0; k < m; ++k) {
+    const size_t i = d.valid_begin + k;
+    d.trend[k] = full_trend[i];
+    d.seasonal[k] = seasonal_index[i % period];
+    d.remainder[k] = x[i] - d.trend[k] - d.seasonal[k];
+  }
+  return d;
+}
+
+Result<Decomposition> DetrendOnly(const std::vector<double>& x,
+                                  size_t window) {
+  if (window < 2) return Status::InvalidArgument("window must be >= 2");
+  if (x.size() < 3 * window) {
+    return Status::FailedPrecondition("series too short for detrending");
+  }
+  Decomposition d;
+  d.period = 0;
+  size_t half = 0;
+  std::vector<double> full_trend = CenteredMovingAverage(x, window, &half);
+  d.valid_begin = half;
+  d.valid_end = x.size() - half;
+  const size_t m = d.valid_end - d.valid_begin;
+  d.trend.resize(m);
+  d.seasonal.assign(m, 0.0);
+  d.remainder.resize(m);
+  for (size_t k = 0; k < m; ++k) {
+    const size_t i = d.valid_begin + k;
+    d.trend[k] = full_trend[i];
+    d.remainder[k] = x[i] - d.trend[k];
+  }
+  return d;
+}
+
+double TrendStrength(const Decomposition& d) {
+  std::vector<double> deseasonalized(d.trend.size());
+  for (size_t i = 0; i < d.trend.size(); ++i) {
+    deseasonalized[i] = d.trend[i] + d.remainder[i];
+  }
+  const double var_r = Variance(d.remainder);
+  const double var_d = Variance(deseasonalized);
+  if (var_d <= 0.0) return 0.0;
+  return std::max(0.0, 1.0 - var_r / var_d);
+}
+
+double SeasonalStrength(const Decomposition& d) {
+  if (d.period == 0) return 0.0;
+  std::vector<double> detrended(d.seasonal.size());
+  for (size_t i = 0; i < d.seasonal.size(); ++i) {
+    detrended[i] = d.seasonal[i] + d.remainder[i];
+  }
+  const double var_r = Variance(d.remainder);
+  const double var_d = Variance(detrended);
+  if (var_d <= 0.0) return 0.0;
+  return std::max(0.0, 1.0 - var_r / var_d);
+}
+
+double Spike(const Decomposition& d) {
+  const std::vector<double>& r = d.remainder;
+  const size_t n = r.size();
+  if (n < 3) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : r) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  // Leave-one-out variance for each point, then the variance of those.
+  std::vector<double> loo(n);
+  const double m = static_cast<double>(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double s = sum - r[i];
+    const double ss = sum_sq - r[i] * r[i];
+    loo[i] = std::max(0.0, ss / m - (s / m) * (s / m));
+  }
+  return Variance(loo);
+}
+
+namespace {
+
+// Coefficient of the degree-k orthogonal polynomial term when regressing the
+// trend on normalized time. Uses discrete Legendre-style bases on [-1, 1].
+double OrthoPolyCoefficient(const std::vector<double>& y, int degree) {
+  const size_t n = y.size();
+  if (n < 3) return 0.0;
+  std::vector<double> basis(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double t =
+        2.0 * static_cast<double>(i) / static_cast<double>(n - 1) - 1.0;
+    basis[i] = degree == 1 ? t : (1.5 * t * t - 0.5);
+  }
+  // Center the basis (degree-2 basis is not orthogonal to the constant on a
+  // discrete grid without centering).
+  double bm = 0.0;
+  for (double b : basis) bm += b;
+  bm /= static_cast<double>(n);
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double b = basis[i] - bm;
+    num += b * y[i];
+    den += b * b;
+  }
+  return den > 0.0 ? num / std::sqrt(den) : 0.0;
+}
+
+}  // namespace
+
+double Linearity(const Decomposition& d) {
+  return OrthoPolyCoefficient(d.trend, 1);
+}
+
+double Curvature(const Decomposition& d) {
+  return OrthoPolyCoefficient(d.trend, 2);
+}
+
+size_t SeasonalPeak(const Decomposition& d) {
+  if (d.period == 0 || d.seasonal.empty()) return 0;
+  size_t best = 0;
+  for (size_t p = 0; p < std::min(d.period, d.seasonal.size()); ++p) {
+    if (d.seasonal[p] > d.seasonal[best]) best = p;
+  }
+  return (best + d.valid_begin) % d.period;
+}
+
+size_t SeasonalTrough(const Decomposition& d) {
+  if (d.period == 0 || d.seasonal.empty()) return 0;
+  size_t best = 0;
+  for (size_t p = 0; p < std::min(d.period, d.seasonal.size()); ++p) {
+    if (d.seasonal[p] < d.seasonal[best]) best = p;
+  }
+  return (best + d.valid_begin) % d.period;
+}
+
+}  // namespace lossyts::features

@@ -1,0 +1,54 @@
+#ifndef LOSSYTS_FEATURES_DECOMPOSE_H_
+#define LOSSYTS_FEATURES_DECOMPOSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lossyts::features {
+
+/// Classical additive decomposition of a seasonal series into trend
+/// (centered moving average over one period), seasonal (period-averaged
+/// detrended values, normalized to zero mean) and remainder components.
+///
+/// The edges where the centered moving average is undefined are trimmed:
+/// all component vectors cover x[valid_begin, valid_end).
+struct Decomposition {
+  std::vector<double> trend;
+  std::vector<double> seasonal;
+  std::vector<double> remainder;
+  size_t valid_begin = 0;
+  size_t valid_end = 0;
+  size_t period = 0;
+};
+
+/// Decomposes `x` with the given seasonal period (>= 2, and the series must
+/// span at least three periods). For period < 2 use DetrendOnly.
+Result<Decomposition> Decompose(const std::vector<double>& x, size_t period);
+
+/// Non-seasonal fallback: trend via a moving average of `window` samples,
+/// seasonal identically zero.
+Result<Decomposition> DetrendOnly(const std::vector<double>& x, size_t window);
+
+/// STL-style component strengths (Hyndman & Athanasopoulos, FPP3 §4.3):
+/// strength = max(0, 1 − var(remainder)/var(component + remainder)).
+double TrendStrength(const Decomposition& d);
+double SeasonalStrength(const Decomposition& d);
+
+/// spike: variance of the leave-one-out variances of the remainder.
+double Spike(const Decomposition& d);
+
+/// linearity/curvature: coefficients of an orthogonal-polynomial regression
+/// of the trend component on time (degree 1 and 2 terms respectively).
+double Linearity(const Decomposition& d);
+double Curvature(const Decomposition& d);
+
+/// Index (0-based, within one period) of the seasonal component's peak and
+/// trough.
+size_t SeasonalPeak(const Decomposition& d);
+size_t SeasonalTrough(const Decomposition& d);
+
+}  // namespace lossyts::features
+
+#endif  // LOSSYTS_FEATURES_DECOMPOSE_H_

@@ -1,0 +1,278 @@
+#include "features/misc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lossyts::features {
+
+namespace {
+
+double Mean(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(v.size() - 1);
+}
+
+// Solves the small normal-equation system A beta = b by Gaussian elimination
+// with partial pivoting; returns false when singular.
+bool SolveLinearSystem(std::vector<std::vector<double>>& a,
+                       std::vector<double>& b) {
+  const size_t n = a.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) b[i] /= a[i][i];
+  return true;
+}
+
+// R² of the OLS regression of y on the given regressor columns (intercept
+// added automatically).
+double RSquared(const std::vector<std::vector<double>>& columns,
+                const std::vector<double>& y) {
+  const size_t n = y.size();
+  const size_t k = columns.size() + 1;
+  std::vector<std::vector<double>> xtx(k, std::vector<double>(k, 0.0));
+  std::vector<double> xty(k, 0.0);
+  for (size_t t = 0; t < n; ++t) {
+    std::vector<double> row(k);
+    row[0] = 1.0;
+    for (size_t j = 0; j < columns.size(); ++j) row[j + 1] = columns[j][t];
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) xtx[i][j] += row[i] * row[j];
+      xty[i] += row[i] * y[t];
+    }
+  }
+  std::vector<double> beta = xty;
+  if (!SolveLinearSystem(xtx, beta)) return 0.0;
+
+  const double mean_y = Mean(y);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    double pred = beta[0];
+    for (size_t j = 0; j < columns.size(); ++j) {
+      pred += beta[j + 1] * columns[j][t];
+    }
+    ss_res += (y[t] - pred) * (y[t] - pred);
+    ss_tot += (y[t] - mean_y) * (y[t] - mean_y);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return std::clamp(1.0 - ss_res / ss_tot, 0.0, 1.0);
+}
+
+}  // namespace
+
+std::vector<double> Standardize(const std::vector<double>& x) {
+  std::vector<double> out(x.size(), 0.0);
+  const double m = Mean(x);
+  const double sd = std::sqrt(Variance(x));
+  if (sd <= 0.0) return out;
+  for (size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - m) / sd;
+  return out;
+}
+
+size_t FlatSpots(const std::vector<double>& x) {
+  if (x.empty()) return 0;
+  const auto [mn_it, mx_it] = std::minmax_element(x.begin(), x.end());
+  const double mn = *mn_it;
+  const double range = *mx_it - mn;
+  if (range <= 0.0) return x.size();  // Entirely flat.
+  auto bin = [&](double v) {
+    int b = static_cast<int>((v - mn) / range * 10.0);
+    return std::clamp(b, 0, 9);
+  };
+  size_t longest = 1;
+  size_t run = 1;
+  for (size_t i = 1; i < x.size(); ++i) {
+    if (bin(x[i]) == bin(x[i - 1])) {
+      ++run;
+      longest = std::max(longest, run);
+    } else {
+      run = 1;
+    }
+  }
+  return longest;
+}
+
+size_t CrossingPoints(const std::vector<double>& x) {
+  if (x.size() < 2) return 0;
+  std::vector<double> sorted = x;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted.size() % 2 == 1
+                            ? sorted[sorted.size() / 2]
+                            : 0.5 * (sorted[sorted.size() / 2 - 1] +
+                                     sorted[sorted.size() / 2]);
+  size_t crossings = 0;
+  bool above = x[0] > median;
+  for (size_t i = 1; i < x.size(); ++i) {
+    const bool now_above = x[i] > median;
+    if (now_above != above) ++crossings;
+    above = now_above;
+  }
+  return crossings;
+}
+
+double Lumpiness(const std::vector<double>& x, size_t block) {
+  if (block < 2 || x.size() < 2 * block) return 0.0;
+  const std::vector<double> z = Standardize(x);
+  std::vector<double> block_vars;
+  for (size_t start = 0; start + block <= z.size(); start += block) {
+    std::vector<double> chunk(z.begin() + start, z.begin() + start + block);
+    block_vars.push_back(Variance(chunk));
+  }
+  return Variance(block_vars);
+}
+
+double Stability(const std::vector<double>& x, size_t block) {
+  if (block < 2 || x.size() < 2 * block) return 0.0;
+  const std::vector<double> z = Standardize(x);
+  std::vector<double> block_means;
+  for (size_t start = 0; start + block <= z.size(); start += block) {
+    std::vector<double> chunk(z.begin() + start, z.begin() + start + block);
+    block_means.push_back(Mean(chunk));
+  }
+  return Variance(block_means);
+}
+
+double HurstExponent(const std::vector<double>& x) {
+  if (x.size() < 32) return 0.5;
+  std::vector<double> log_size;
+  std::vector<double> log_rs;
+  for (size_t block = 8; block * 2 <= x.size(); block *= 2) {
+    double rs_sum = 0.0;
+    size_t count = 0;
+    for (size_t start = 0; start + block <= x.size(); start += block) {
+      std::vector<double> chunk(x.begin() + start, x.begin() + start + block);
+      const double m = Mean(chunk);
+      double s = 0.0;
+      double mn = 0.0;
+      double mx = 0.0;
+      double ss = 0.0;
+      for (double v : chunk) {
+        s += v - m;
+        mn = std::min(mn, s);
+        mx = std::max(mx, s);
+        ss += (v - m) * (v - m);
+      }
+      const double sd = std::sqrt(ss / static_cast<double>(block));
+      if (sd > 1e-12) {
+        rs_sum += (mx - mn) / sd;
+        ++count;
+      }
+    }
+    if (count > 0) {
+      log_size.push_back(std::log(static_cast<double>(block)));
+      log_rs.push_back(std::log(rs_sum / static_cast<double>(count)));
+    }
+  }
+  if (log_size.size() < 2) return 0.5;
+  // OLS slope of log(R/S) on log(block size).
+  const double mx = Mean(log_size);
+  const double my = Mean(log_rs);
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < log_size.size(); ++i) {
+    num += (log_size[i] - mx) * (log_rs[i] - my);
+    den += (log_size[i] - mx) * (log_size[i] - mx);
+  }
+  if (den <= 0.0) return 0.5;
+  return std::clamp(num / den, 0.0, 1.0);
+}
+
+double Nonlinearity(const std::vector<double>& x) {
+  if (x.size() < 16) return 0.0;
+  const std::vector<double> z = Standardize(x);
+  const size_t n = z.size() - 2;
+  std::vector<double> y(n);
+  std::vector<double> lag1(n);
+  std::vector<double> lag2(n);
+  for (size_t t = 0; t < n; ++t) {
+    y[t] = z[t + 2];
+    lag1[t] = z[t + 1];
+    lag2[t] = z[t];
+  }
+  // Residuals of the linear AR(2).
+  // Reuse RSquared machinery by computing predictions explicitly.
+  std::vector<std::vector<double>> linear_cols = {lag1, lag2};
+  const double r2_linear = RSquared(linear_cols, y);
+  // Augment with quadratic and cubic interaction terms (Teräsvirta).
+  std::vector<std::vector<double>> aug = linear_cols;
+  auto push_product = [&](const std::vector<double>& a,
+                          const std::vector<double>& b) {
+    std::vector<double> col(n);
+    for (size_t t = 0; t < n; ++t) col[t] = a[t] * b[t];
+    aug.push_back(std::move(col));
+  };
+  push_product(lag1, lag1);
+  push_product(lag1, lag2);
+  push_product(lag2, lag2);
+  std::vector<double> cubic(n);
+  for (size_t t = 0; t < n; ++t) cubic[t] = lag1[t] * lag1[t] * lag1[t];
+  aug.push_back(std::move(cubic));
+  const double r2_aug = RSquared(aug, y);
+  const double gain = std::max(0.0, r2_aug - r2_linear);
+  return static_cast<double>(n) * gain;
+}
+
+double ArchStat(const std::vector<double>& x) {
+  if (x.size() < 16) return 0.0;
+  const std::vector<double> z = Standardize(x);
+  std::vector<double> sq(z.size());
+  for (size_t i = 0; i < z.size(); ++i) sq[i] = z[i] * z[i];
+  const size_t n = sq.size() - 1;
+  std::vector<double> y(sq.begin() + 1, sq.end());
+  std::vector<double> lag(sq.begin(), sq.end() - 1);
+  (void)n;
+  std::vector<std::vector<double>> cols = {lag};
+  return RSquared(cols, y);
+}
+
+HoltParameters FitHolt(const std::vector<double>& x) {
+  HoltParameters best;
+  if (x.size() < 8) return best;
+  double best_sse = std::numeric_limits<double>::infinity();
+  for (double alpha = 0.05; alpha <= 0.95; alpha += 0.09) {
+    for (double beta = 0.01; beta <= 0.95; beta += 0.09) {
+      double level = x[0];
+      double trend = x[1] - x[0];
+      double sse = 0.0;
+      for (size_t t = 1; t < x.size(); ++t) {
+        const double forecast = level + trend;
+        const double err = x[t] - forecast;
+        sse += err * err;
+        const double new_level = alpha * x[t] + (1.0 - alpha) * forecast;
+        trend = beta * (new_level - level) + (1.0 - beta) * trend;
+        level = new_level;
+      }
+      if (sse < best_sse) {
+        best_sse = sse;
+        best.alpha = alpha;
+        best.beta = beta;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lossyts::features

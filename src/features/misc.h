@@ -1,0 +1,50 @@
+#ifndef LOSSYTS_FEATURES_MISC_H_
+#define LOSSYTS_FEATURES_MISC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lossyts::features {
+
+/// flat_spots: the longest run of consecutive values that fall into the same
+/// decile bin of the series' range.
+size_t FlatSpots(const std::vector<double>& x);
+
+/// crossing_points: number of times the series crosses its median.
+size_t CrossingPoints(const std::vector<double>& x);
+
+/// lumpiness: variance of the variances of non-overlapping blocks of the
+/// standardized series.
+double Lumpiness(const std::vector<double>& x, size_t block);
+
+/// stability: variance of the means of non-overlapping blocks of the
+/// standardized series.
+double Stability(const std::vector<double>& x, size_t block);
+
+/// Hurst exponent via the classical rescaled-range (R/S) slope estimate over
+/// dyadic block sizes. ~0.5 for white noise, > 0.5 for persistent series.
+double HurstExponent(const std::vector<double>& x);
+
+/// nonlinearity: Teräsvirta-style statistic — n·R² of regressing the linear
+/// AR(2) residuals on quadratic and cubic terms of the lags.
+double Nonlinearity(const std::vector<double>& x);
+
+/// arch_stat: R² of regressing squared demeaned values on their first lag —
+/// a measure of conditional heteroskedasticity (ARCH effect).
+double ArchStat(const std::vector<double>& x);
+
+/// Holt's linear-trend smoothing parameters (alpha: level, beta: trend)
+/// fitted by one-step-ahead SSE grid search. These are the `alpha`/`beta`
+/// features of Table 4.
+struct HoltParameters {
+  double alpha = 0.0;
+  double beta = 0.0;
+};
+HoltParameters FitHolt(const std::vector<double>& x);
+
+/// Standardizes (z-scores) the series; constant input maps to zeros.
+std::vector<double> Standardize(const std::vector<double>& x);
+
+}  // namespace lossyts::features
+
+#endif  // LOSSYTS_FEATURES_MISC_H_

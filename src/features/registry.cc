@@ -1,0 +1,148 @@
+#include "features/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "features/acf.h"
+#include "features/decompose.h"
+#include "features/misc.h"
+#include "features/rolling.h"
+#include "features/spectral.h"
+#include "features/unitroot.h"
+
+namespace lossyts::features {
+
+const std::vector<std::string>& FeatureNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      // Moments and shape.
+      "mean", "var", "entropy", "lumpiness", "stability", "flat_spots",
+      "crossing_points", "hurst", "nonlinearity", "arch_stat",
+      // Rolling-window distribution shifts.
+      "max_level_shift", "time_level_shift", "max_var_shift",
+      "time_var_shift", "max_kl_shift", "time_kl_shift",
+      // Autocorrelation structure.
+      "x_acf1", "x_acf10", "diff1_acf1", "diff1_acf10", "diff2_acf1",
+      "diff2_acf10", "seas_acf1", "x_pacf5", "diff1x_pacf5", "diff2x_pacf5",
+      "seas_pacf",
+      // Decomposition-based.
+      "trend", "seas_strength", "spike", "linearity", "curvature", "e_acf1",
+      "e_acf10", "peak", "trough", "nperiods", "seasonal_period",
+      // Stationarity and smoothing parameters.
+      "unitroot_kpss", "unitroot_pp", "alpha", "beta"};
+  return names;
+}
+
+Result<FeatureMap> ComputeAllFeatures(const TimeSeries& series,
+                                      size_t season_length) {
+  const std::vector<double>& x = series.values();
+  if (x.size() < 64) {
+    return Status::FailedPrecondition(
+        "need at least 64 points to compute features");
+  }
+  const bool seasonal = season_length >= 2;
+  if (seasonal && x.size() < 3 * season_length) {
+    return Status::FailedPrecondition(
+        "series shorter than three seasonal periods");
+  }
+
+  FeatureMap f;
+
+  // Moments and shape.
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double var = 0.0;
+  for (double v : x) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(x.size() - 1);
+  f["mean"] = mean;
+  f["var"] = var;
+  f["entropy"] = SpectralEntropy(x);
+
+  // tsfeatures convention: window width = frequency when seasonal, else 10.
+  const size_t width = seasonal ? season_length : 10;
+  f["lumpiness"] = Lumpiness(x, width);
+  f["stability"] = Stability(x, width);
+  f["flat_spots"] = static_cast<double>(FlatSpots(x));
+  f["crossing_points"] = static_cast<double>(CrossingPoints(x));
+  f["hurst"] = HurstExponent(x);
+  f["nonlinearity"] = Nonlinearity(x);
+  f["arch_stat"] = ArchStat(x);
+
+  // Rolling shifts.
+  const ShiftResult level = MaxLevelShift(x, width);
+  const ShiftResult var_shift = MaxVarShift(x, width);
+  const ShiftResult kl = MaxKlShift(x, width);
+  f["max_level_shift"] = level.max_shift;
+  f["time_level_shift"] = static_cast<double>(level.index);
+  f["max_var_shift"] = var_shift.max_shift;
+  f["time_var_shift"] = static_cast<double>(var_shift.index);
+  f["max_kl_shift"] = kl.max_shift;
+  f["time_kl_shift"] = static_cast<double>(kl.index);
+
+  // Autocorrelation structure.
+  const int seas_lag = seasonal ? static_cast<int>(season_length) : 1;
+  const int max_lag = std::max(10, seas_lag);
+  const std::vector<double> acf = Acf(x, max_lag);
+  f["x_acf1"] = acf.empty() ? 0.0 : acf[0];
+  f["x_acf10"] = SumOfSquares(acf, 10);
+  const std::vector<double> d1 = Diff(x, 1);
+  const std::vector<double> d1_acf = Acf(d1, 10);
+  f["diff1_acf1"] = d1_acf.empty() ? 0.0 : d1_acf[0];
+  f["diff1_acf10"] = SumOfSquares(d1_acf, 10);
+  const std::vector<double> d2 = Diff(x, 2);
+  const std::vector<double> d2_acf = Acf(d2, 10);
+  f["diff2_acf1"] = d2_acf.empty() ? 0.0 : d2_acf[0];
+  f["diff2_acf10"] = SumOfSquares(d2_acf, 10);
+  f["seas_acf1"] =
+      seasonal && acf.size() >= static_cast<size_t>(seas_lag)
+          ? acf[seas_lag - 1]
+          : 0.0;
+
+  const std::vector<double> pacf = Pacf(x, std::max(5, seas_lag));
+  f["x_pacf5"] = SumOfSquares(pacf, 5);
+  f["diff1x_pacf5"] = SumOfSquares(Pacf(d1, 5), 5);
+  f["diff2x_pacf5"] = SumOfSquares(Pacf(d2, 5), 5);
+  f["seas_pacf"] = seasonal && pacf.size() >= static_cast<size_t>(seas_lag)
+                       ? pacf[seas_lag - 1]
+                       : 0.0;
+
+  // Decomposition.
+  Result<Decomposition> decomp =
+      seasonal ? Decompose(x, season_length) : DetrendOnly(x, 10);
+  if (!decomp.ok()) return decomp.status();
+  f["trend"] = TrendStrength(*decomp);
+  f["seas_strength"] = SeasonalStrength(*decomp);
+  f["spike"] = Spike(*decomp);
+  f["linearity"] = Linearity(*decomp);
+  f["curvature"] = Curvature(*decomp);
+  const std::vector<double> e_acf = Acf(decomp->remainder, 10);
+  f["e_acf1"] = e_acf.empty() ? 0.0 : e_acf[0];
+  f["e_acf10"] = SumOfSquares(e_acf, 10);
+  f["peak"] = static_cast<double>(SeasonalPeak(*decomp));
+  f["trough"] = static_cast<double>(SeasonalTrough(*decomp));
+  f["nperiods"] = seasonal ? 1.0 : 0.0;
+  f["seasonal_period"] = static_cast<double>(seasonal ? season_length : 1);
+
+  // Stationarity and smoothing.
+  f["unitroot_kpss"] = UnitrootKpss(x);
+  f["unitroot_pp"] = UnitrootPp(x);
+  const HoltParameters holt = FitHolt(x);
+  f["alpha"] = holt.alpha;
+  f["beta"] = holt.beta;
+
+  return f;
+}
+
+FeatureMap RelativeDifferencePercent(const FeatureMap& original,
+                                     const FeatureMap& transformed) {
+  FeatureMap out;
+  for (const auto& [name, value] : original) {
+    auto it = transformed.find(name);
+    if (it == transformed.end()) continue;
+    const double denom = std::max(std::abs(value), 1e-9);
+    out[name] = 100.0 * std::abs(value - it->second) / denom;
+  }
+  return out;
+}
+
+}  // namespace lossyts::features

@@ -1,0 +1,39 @@
+#ifndef LOSSYTS_FEATURES_REGISTRY_H_
+#define LOSSYTS_FEATURES_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/time_series.h"
+
+namespace lossyts::features {
+
+/// A named feature vector; std::map keeps deterministic (alphabetical)
+/// iteration order for reports.
+using FeatureMap = std::map<std::string, double>;
+
+/// Number of characteristics computed by ComputeAllFeatures — the paper's
+/// "42 time series characteristics" (§4.3.1).
+inline constexpr size_t kFeatureCount = 42;
+
+/// Names of all 42 features, in the order documented in DESIGN.md.
+const std::vector<std::string>& FeatureNames();
+
+/// Computes all 42 characteristics of the series. `season_length` is the
+/// dominant seasonal period in samples (>= 2 enables the seasonal features;
+/// smaller values compute the non-seasonal fallbacks). Fails when the series
+/// is too short (< 3 seasons or < 64 points).
+Result<FeatureMap> ComputeAllFeatures(const TimeSeries& series,
+                                      size_t season_length);
+
+/// Relative difference in percent between two feature maps, per feature:
+/// 100 * |a - b| / max(|a|, tiny). This is the measurement behind the
+/// paper's Table 6 characteristic-sensitivity analysis.
+FeatureMap RelativeDifferencePercent(const FeatureMap& original,
+                                     const FeatureMap& transformed);
+
+}  // namespace lossyts::features
+
+#endif  // LOSSYTS_FEATURES_REGISTRY_H_

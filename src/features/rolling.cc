@@ -1,0 +1,93 @@
+#include "features/rolling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lossyts::features {
+
+namespace {
+
+// Smallest variance used in the KL computation; windows flattened by lossy
+// compression hit this floor and produce large (capped) divergences.
+constexpr double kVarianceFloor = 1e-10;
+
+ShiftResult MaxAdjacentDifference(const std::vector<double>& stat,
+                                  size_t width) {
+  ShiftResult result;
+  if (stat.size() <= width) return result;
+  for (size_t i = 0; i + width < stat.size(); ++i) {
+    const double shift = std::abs(stat[i + width] - stat[i]);
+    if (shift > result.max_shift) {
+      result.max_shift = shift;
+      result.index = i + width;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<double> RollingMeans(const std::vector<double>& x, size_t width) {
+  if (width == 0 || x.size() < width) return {};
+  std::vector<double> out(x.size() - width + 1);
+  double sum = 0.0;
+  for (size_t i = 0; i < width; ++i) sum += x[i];
+  out[0] = sum / static_cast<double>(width);
+  for (size_t i = 1; i < out.size(); ++i) {
+    sum += x[i + width - 1] - x[i - 1];
+    out[i] = sum / static_cast<double>(width);
+  }
+  return out;
+}
+
+std::vector<double> RollingVariances(const std::vector<double>& x,
+                                     size_t width) {
+  if (width == 0 || x.size() < width) return {};
+  std::vector<double> out(x.size() - width + 1);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < width; ++i) {
+    sum += x[i];
+    sum_sq += x[i] * x[i];
+  }
+  const double w = static_cast<double>(width);
+  out[0] = std::max(0.0, sum_sq / w - (sum / w) * (sum / w));
+  for (size_t i = 1; i < out.size(); ++i) {
+    sum += x[i + width - 1] - x[i - 1];
+    sum_sq += x[i + width - 1] * x[i + width - 1] - x[i - 1] * x[i - 1];
+    out[i] = std::max(0.0, sum_sq / w - (sum / w) * (sum / w));
+  }
+  return out;
+}
+
+ShiftResult MaxLevelShift(const std::vector<double>& x, size_t width) {
+  return MaxAdjacentDifference(RollingMeans(x, width), width);
+}
+
+ShiftResult MaxVarShift(const std::vector<double>& x, size_t width) {
+  return MaxAdjacentDifference(RollingVariances(x, width), width);
+}
+
+ShiftResult MaxKlShift(const std::vector<double>& x, size_t width,
+                       double cap) {
+  ShiftResult result;
+  const std::vector<double> means = RollingMeans(x, width);
+  const std::vector<double> vars = RollingVariances(x, width);
+  if (means.size() <= width) return result;
+  for (size_t i = 0; i + width < means.size(); ++i) {
+    // KL(N(m1,v1) || N(m2,v2)) in closed form, with a variance floor.
+    const double v1 = std::max(vars[i], kVarianceFloor);
+    const double v2 = std::max(vars[i + width], kVarianceFloor);
+    const double dm = means[i + width] - means[i];
+    double kl =
+        0.5 * (std::log(v2 / v1) + (v1 + dm * dm) / v2 - 1.0);
+    kl = std::clamp(kl, 0.0, cap);
+    if (kl > result.max_shift) {
+      result.max_shift = kl;
+      result.index = i + width;
+    }
+  }
+  return result;
+}
+
+}  // namespace lossyts::features

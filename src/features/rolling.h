@@ -1,0 +1,41 @@
+#ifndef LOSSYTS_FEATURES_ROLLING_H_
+#define LOSSYTS_FEATURES_ROLLING_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lossyts::features {
+
+/// Result of a rolling-shift scan: the maximal shift between two adjacent
+/// windows and the index (of the boundary point) where it occurs.
+struct ShiftResult {
+  double max_shift = 0.0;
+  size_t index = 0;
+};
+
+/// Rolling means over windows of `width` samples; output[i] is the mean of
+/// x[i .. i+width-1]. Empty when the series is shorter than the window.
+std::vector<double> RollingMeans(const std::vector<double>& x, size_t width);
+
+/// Rolling (population) variances over windows of `width` samples.
+std::vector<double> RollingVariances(const std::vector<double>& x,
+                                     size_t width);
+
+/// max_level_shift: largest absolute difference between the means of two
+/// adjacent non-overlapping windows of `width` samples.
+ShiftResult MaxLevelShift(const std::vector<double>& x, size_t width);
+
+/// max_var_shift: same scan on rolling variances.
+ShiftResult MaxVarShift(const std::vector<double>& x, size_t width);
+
+/// max_kl_shift: largest Kullback-Leibler divergence between Gaussian
+/// density estimates of two adjacent windows. The divergence is clamped at
+/// `cap` because a compressor that flattens a window (variance → 0) would
+/// otherwise produce infinities — the very sensitivity the paper discusses
+/// for PMC in §4.3.3.
+ShiftResult MaxKlShift(const std::vector<double>& x, size_t width,
+                       double cap = 50.0);
+
+}  // namespace lossyts::features
+
+#endif  // LOSSYTS_FEATURES_ROLLING_H_

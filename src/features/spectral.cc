@@ -1,0 +1,76 @@
+#include "features/spectral.h"
+
+#include <cmath>
+
+namespace lossyts::features {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+void Fft(std::vector<std::complex<double>>& a, bool inverse) {
+  const size_t n = a.size();
+  if (n < 2) return;
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * kPi / static_cast<double>(len) *
+                         (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<double> Periodogram(const std::vector<double>& x) {
+  if (x.size() < 4) return {};
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+
+  size_t n = 1;
+  while (n < x.size()) n <<= 1;
+  std::vector<std::complex<double>> a(n, 0.0);
+  for (size_t i = 0; i < x.size(); ++i) a[i] = x[i] - mean;
+  Fft(a);
+
+  std::vector<double> power(n / 2);
+  for (size_t k = 1; k <= n / 2; ++k) {
+    power[k - 1] = std::norm(a[k]);
+  }
+  return power;
+}
+
+double SpectralEntropy(const std::vector<double>& x) {
+  const std::vector<double> power = Periodogram(x);
+  if (power.empty()) return 0.0;
+  double total = 0.0;
+  for (double p : power) total += p;
+  if (total <= 0.0) return 0.0;  // Constant series.
+  double h = 0.0;
+  for (double p : power) {
+    if (p > 0.0) {
+      const double q = p / total;
+      h -= q * std::log(q);
+    }
+  }
+  return h / std::log(static_cast<double>(power.size()));
+}
+
+}  // namespace lossyts::features

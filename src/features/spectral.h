@@ -1,0 +1,22 @@
+#ifndef LOSSYTS_FEATURES_SPECTRAL_H_
+#define LOSSYTS_FEATURES_SPECTRAL_H_
+
+#include <complex>
+#include <vector>
+
+namespace lossyts::features {
+
+/// In-place radix-2 Cooley-Tukey FFT. The input size must be a power of two.
+void Fft(std::vector<std::complex<double>>& a, bool inverse = false);
+
+/// Periodogram of a demeaned, zero-padded series at the Fourier frequencies
+/// (excluding frequency zero).
+std::vector<double> Periodogram(const std::vector<double>& x);
+
+/// Shannon spectral entropy of the normalized periodogram, scaled to [0, 1]
+/// (1 = white noise, 0 = single dominant frequency). The `entropy` feature.
+double SpectralEntropy(const std::vector<double>& x);
+
+}  // namespace lossyts::features
+
+#endif  // LOSSYTS_FEATURES_SPECTRAL_H_

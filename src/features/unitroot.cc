@@ -1,0 +1,100 @@
+#include "features/unitroot.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lossyts::features {
+
+namespace {
+
+// Bartlett-kernel long-run variance of a (zero-mean) residual series.
+double LongRunVariance(const std::vector<double>& u, int lags) {
+  const double n = static_cast<double>(u.size());
+  double lrv = 0.0;
+  for (double v : u) lrv += v * v;
+  lrv /= n;
+  for (int l = 1; l <= lags; ++l) {
+    if (static_cast<size_t>(l) >= u.size()) break;
+    double gamma = 0.0;
+    for (size_t t = static_cast<size_t>(l); t < u.size(); ++t) {
+      gamma += u[t] * u[t - l];
+    }
+    gamma /= n;
+    const double weight =
+        1.0 - static_cast<double>(l) / static_cast<double>(lags + 1);
+    lrv += 2.0 * weight * gamma;
+  }
+  return std::max(lrv, 1e-12);
+}
+
+int DefaultLags(size_t n) {
+  return static_cast<int>(
+      std::trunc(4.0 * std::pow(static_cast<double>(n) / 100.0, 0.25)));
+}
+
+}  // namespace
+
+double UnitrootKpss(const std::vector<double>& x) {
+  const size_t n = x.size();
+  if (n < 8) return 0.0;
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(n);
+
+  std::vector<double> u(n);
+  for (size_t i = 0; i < n; ++i) u[i] = x[i] - mean;
+
+  double s = 0.0;
+  double sum_s2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    s += u[i];
+    sum_s2 += s * s;
+  }
+  const double lrv = LongRunVariance(u, DefaultLags(n));
+  return sum_s2 / (static_cast<double>(n) * static_cast<double>(n) * lrv);
+}
+
+double UnitrootPp(const std::vector<double>& x) {
+  const size_t n = x.size();
+  if (n < 8) return 0.0;
+
+  // OLS of x_t on (1, x_{t-1}).
+  const size_t m = n - 1;
+  double mean_y = 0.0;
+  double mean_z = 0.0;
+  for (size_t t = 1; t < n; ++t) {
+    mean_y += x[t];
+    mean_z += x[t - 1];
+  }
+  mean_y /= static_cast<double>(m);
+  mean_z /= static_cast<double>(m);
+  double szz = 0.0;
+  double szy = 0.0;
+  for (size_t t = 1; t < n; ++t) {
+    const double dz = x[t - 1] - mean_z;
+    szz += dz * dz;
+    szy += dz * (x[t] - mean_y);
+  }
+  if (szz <= 1e-12) return 0.0;
+  const double rho = szy / szz;
+  const double mu = mean_y - rho * mean_z;
+
+  std::vector<double> u(m);
+  double sigma2 = 0.0;
+  for (size_t t = 1; t < n; ++t) {
+    u[t - 1] = x[t] - mu - rho * x[t - 1];
+    sigma2 += u[t - 1] * u[t - 1];
+  }
+  sigma2 /= static_cast<double>(m);
+  const double lambda2 = LongRunVariance(u, DefaultLags(m));
+
+  const double se_rho = std::sqrt(sigma2 / szz);
+  const double t_rho = (rho - 1.0) / se_rho;
+  // Z-tau with the Newey-West serial-correlation correction.
+  return std::sqrt(sigma2 / lambda2) * t_rho -
+         (lambda2 - sigma2) /
+             (2.0 * std::sqrt(lambda2) * std::sqrt(szz / static_cast<double>(m)) *
+              std::sqrt(static_cast<double>(m)));
+}
+
+}  // namespace lossyts::features

@@ -1,0 +1,23 @@
+#ifndef LOSSYTS_FEATURES_UNITROOT_H_
+#define LOSSYTS_FEATURES_UNITROOT_H_
+
+#include <vector>
+
+namespace lossyts::features {
+
+/// KPSS level-stationarity test statistic (Kwiatkowski et al. 1992):
+/// eta = sum_t S_t^2 / (n^2 * lrv), with S_t the partial sums of the demeaned
+/// series and lrv a Bartlett-kernel long-run variance with the standard
+/// truncation lag trunc(4*(n/100)^(1/4)). Larger values indicate
+/// non-stationarity. This is the `unitroot_kpss` feature.
+double UnitrootKpss(const std::vector<double>& x);
+
+/// Phillips-Perron Z-tau statistic for the regression x_t = mu + rho x_{t-1},
+/// with the Bartlett long-run variance correction (Newey-West). More negative
+/// values reject the unit root more strongly. This is the `unitroot_pp`
+/// feature.
+double UnitrootPp(const std::vector<double>& x);
+
+}  // namespace lossyts::features
+
+#endif  // LOSSYTS_FEATURES_UNITROOT_H_

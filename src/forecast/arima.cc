@@ -1,0 +1,311 @@
+#include "forecast/arima.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "analysis/linreg.h"
+#include "features/acf.h"
+
+namespace lossyts::forecast {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Conditional sum of squares of an ARMA(p,q) with constant on `w`.
+double CssSse(const std::vector<double>& w, double c,
+              const std::vector<double>& ar, const std::vector<double>& ma) {
+  const size_t p = ar.size();
+  const size_t q = ma.size();
+  const size_t start = std::max(p, q);
+  std::vector<double> e(w.size(), 0.0);
+  double sse = 0.0;
+  for (size_t t = start; t < w.size(); ++t) {
+    double pred = c;
+    for (size_t i = 0; i < p; ++i) pred += ar[i] * w[t - 1 - i];
+    for (size_t j = 0; j < q; ++j) pred += ma[j] * e[t - 1 - j];
+    e[t] = w[t] - pred;
+    sse += e[t] * e[t];
+  }
+  return sse;
+}
+
+// Minimal Nelder-Mead simplex minimizer for the low-dimensional CSS fits.
+std::vector<double> NelderMead(
+    const std::vector<double>& start,
+    const std::function<double(const std::vector<double>&)>& f,
+    int max_iterations = 400) {
+  const size_t n = start.size();
+  if (n == 0) return start;
+  std::vector<std::vector<double>> simplex(n + 1, start);
+  for (size_t i = 0; i < n; ++i) simplex[i + 1][i] += 0.25;
+  std::vector<double> values(n + 1);
+  for (size_t i = 0; i <= n; ++i) values[i] = f(simplex[i]);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Order: best first.
+    std::vector<size_t> order(n + 1);
+    for (size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return values[a] < values[b]; });
+    const size_t best = order[0];
+    const size_t worst = order[n];
+    const size_t second_worst = order[n - 1];
+    if (std::abs(values[worst] - values[best]) <
+        1e-10 * (std::abs(values[best]) + 1e-10)) {
+      break;
+    }
+
+    std::vector<double> centroid(n, 0.0);
+    for (size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (size_t k = 0; k < n; ++k) centroid[k] += simplex[i][k];
+    }
+    for (double& v : centroid) v /= static_cast<double>(n);
+
+    auto blend = [&](double alpha) {
+      std::vector<double> out(n);
+      for (size_t k = 0; k < n; ++k) {
+        out[k] = centroid[k] + alpha * (centroid[k] - simplex[worst][k]);
+      }
+      return out;
+    };
+
+    const std::vector<double> reflected = blend(1.0);
+    const double fr = f(reflected);
+    if (fr < values[best]) {
+      const std::vector<double> expanded = blend(2.0);
+      const double fe = f(expanded);
+      if (fe < fr) {
+        simplex[worst] = expanded;
+        values[worst] = fe;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = fr;
+      }
+    } else if (fr < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = fr;
+    } else {
+      const std::vector<double> contracted = blend(-0.5);
+      const double fc = f(contracted);
+      if (fc < values[worst]) {
+        simplex[worst] = contracted;
+        values[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (size_t k = 0; k < n; ++k) {
+            simplex[i][k] =
+                simplex[best][k] + 0.5 * (simplex[i][k] - simplex[best][k]);
+          }
+          values[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+  size_t best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  return simplex[best];
+}
+
+// Fourier design columns for positions `t0..t0+n-1` with period `season`.
+std::vector<std::vector<double>> FourierColumns(size_t n, size_t t0,
+                                                size_t season, int harmonics) {
+  std::vector<std::vector<double>> cols;
+  for (int k = 1; k <= harmonics; ++k) {
+    std::vector<double> s(n);
+    std::vector<double> c(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double angle = 2.0 * kPi * static_cast<double>(k) *
+                           static_cast<double>(t0 + i) /
+                           static_cast<double>(season);
+      s[i] = std::sin(angle);
+      c[i] = std::cos(angle);
+    }
+    cols.push_back(std::move(s));
+    cols.push_back(std::move(c));
+  }
+  return cols;
+}
+
+}  // namespace
+
+Status ArimaForecaster::Fit(const TimeSeries& train,
+                            const TimeSeries& /*val*/) {
+  if (train.size() < config_.input_length + config_.horizon) {
+    return Status::FailedPrecondition("training series too short for Arima");
+  }
+  if (Status s = scaler_.Fit(train.values()); !s.ok()) return s;
+  std::vector<double> y = scaler_.Transform(train.values());
+  if (y.size() > options_.max_fit_points) {
+    y.erase(y.begin(), y.end() - static_cast<long>(options_.max_fit_points));
+  }
+
+  // Deseasonalize globally with the Fourier exogenous terms. Seasonality
+  // longer than twice the input window cannot be phased from a prediction
+  // window (the sin/cos pair degenerates toward a line), so such periods
+  // fall back to plain ARIMA — the Wind dataset's case.
+  const bool seasonal = config_.season_length >= 8 &&
+                        config_.season_length <= 2 * config_.input_length &&
+                        options_.fourier_harmonics > 0;
+  std::vector<double> residual = y;
+  if (seasonal) {
+    const std::vector<std::vector<double>> cols = FourierColumns(
+        y.size(), 0, config_.season_length, options_.fourier_harmonics);
+    Result<analysis::OlsResult> ols = analysis::FitOls(cols, y);
+    if (ols.ok()) {
+      for (size_t i = 0; i < y.size(); ++i) {
+        double fit = ols->coefficients[0];
+        for (size_t j = 0; j < cols.size(); ++j) {
+          fit += ols->coefficients[j + 1] * cols[j][i];
+        }
+        residual[i] = y[i] - fit;
+      }
+    }
+  }
+
+  // Grid-search (p, d, q), selecting by AIC (§3.4).
+  double best_aic = std::numeric_limits<double>::infinity();
+  for (int d = 0; d <= options_.max_d; ++d) {
+    const std::vector<double> w =
+        d == 0 ? residual : features::Diff(residual, d);
+    if (w.size() < 32) continue;
+    for (int p = 0; p <= options_.max_p; ++p) {
+      for (int q = 0; q <= options_.max_q; ++q) {
+        const int k = p + q + 1;
+        std::vector<double> start(static_cast<size_t>(k), 0.0);
+        // Seed the first AR coefficient with the lag-1 autocorrelation.
+        if (p > 0) {
+          const std::vector<double> acf = features::Acf(w, 1);
+          if (!acf.empty()) start[1] = acf[0] * 0.8;
+        }
+        auto objective = [&](const std::vector<double>& params) {
+          const double c = params[0];
+          std::vector<double> ar(params.begin() + 1, params.begin() + 1 + p);
+          std::vector<double> ma(params.begin() + 1 + p, params.end());
+          // Penalize explosive coefficients to keep CSS well-behaved.
+          double penalty = 0.0;
+          for (double v : ar) penalty += std::max(0.0, std::abs(v) - 0.99);
+          for (double v : ma) penalty += std::max(0.0, std::abs(v) - 0.99);
+          return CssSse(w, c, ar, ma) * (1.0 + 10.0 * penalty);
+        };
+        const std::vector<double> solution = NelderMead(start, objective);
+        const double sse = objective(solution);
+        const double n = static_cast<double>(w.size());
+        const double aic =
+            n * std::log(std::max(sse / n, 1e-12)) + 2.0 * (k + 1);
+        if (aic < best_aic) {
+          best_aic = aic;
+          p_ = p;
+          d_ = d;
+          q_ = q;
+          constant_ = solution[0];
+          ar_.assign(solution.begin() + 1, solution.begin() + 1 + p);
+          ma_.assign(solution.begin() + 1 + p, solution.end());
+        }
+      }
+    }
+  }
+  if (!std::isfinite(best_aic)) {
+    return Status::Internal("Arima model selection failed");
+  }
+  aic_ = best_aic;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> ArimaForecaster::Predict(
+    const std::vector<double>& window) const {
+  if (!fitted_) return Status::FailedPrecondition("Predict before Fit");
+  if (window.size() != config_.input_length) {
+    return Status::InvalidArgument("window length mismatch");
+  }
+  const std::vector<double> y = scaler_.Transform(window);
+  const size_t L = y.size();
+  const size_t h = config_.horizon;
+
+  // Local harmonic fit: the sin/cos pair absorbs the window's phase.
+  const bool seasonal = config_.season_length >= 8 &&
+                        config_.season_length <= 2 * config_.input_length &&
+                        options_.fourier_harmonics > 0;
+  std::vector<double> residual = y;
+  std::vector<double> seasonal_forecast(h, 0.0);
+  if (seasonal) {
+    const std::vector<std::vector<double>> cols = FourierColumns(
+        L, 0, config_.season_length, options_.fourier_harmonics);
+    Result<analysis::OlsResult> ols = analysis::FitOls(cols, y);
+    if (ols.ok()) {
+      for (size_t i = 0; i < L; ++i) {
+        double fit = ols->coefficients[0];
+        for (size_t j = 0; j < cols.size(); ++j) {
+          fit += ols->coefficients[j + 1] * cols[j][i];
+        }
+        residual[i] = y[i] - fit;
+      }
+      const std::vector<std::vector<double>> future = FourierColumns(
+          h, L, config_.season_length, options_.fourier_harmonics);
+      for (size_t i = 0; i < h; ++i) {
+        double fit = ols->coefficients[0];
+        for (size_t j = 0; j < future.size(); ++j) {
+          fit += ols->coefficients[j + 1] * future[j][i];
+        }
+        seasonal_forecast[i] = fit;
+      }
+    }
+  }
+
+  // Difference, run the ARMA recursion over the window to obtain the latest
+  // innovations, then iterate the forecast.
+  std::vector<double> w = d_ == 0 ? residual : features::Diff(residual, d_);
+  const size_t p = ar_.size();
+  const size_t q = ma_.size();
+  std::vector<double> e(w.size(), 0.0);
+  const size_t start = std::max(p, q);
+  for (size_t t = start; t < w.size(); ++t) {
+    double pred = constant_;
+    for (size_t i = 0; i < p; ++i) pred += ar_[i] * w[t - 1 - i];
+    for (size_t j = 0; j < q; ++j) pred += ma_[j] * e[t - 1 - j];
+    e[t] = w[t] - pred;
+  }
+  std::vector<double> w_ext = w;
+  std::vector<double> e_ext = e;
+  std::vector<double> w_forecast(h);
+  for (size_t s = 0; s < h; ++s) {
+    double pred = constant_;
+    for (size_t i = 0; i < p; ++i) {
+      pred += ar_[i] * w_ext[w_ext.size() - 1 - i];
+    }
+    for (size_t j = 0; j < q; ++j) {
+      pred += ma_[j] * e_ext[e_ext.size() - 1 - j];
+    }
+    w_forecast[s] = pred;
+    w_ext.push_back(pred);
+    e_ext.push_back(0.0);  // Future innovations have zero expectation.
+  }
+
+  // Integrate the differences back to levels.
+  std::vector<double> residual_forecast(h);
+  if (d_ == 0) {
+    residual_forecast = w_forecast;
+  } else {
+    double level = residual.back();
+    for (size_t s = 0; s < h; ++s) {
+      level += w_forecast[s];
+      residual_forecast[s] = level;
+    }
+  }
+
+  std::vector<double> out(h);
+  for (size_t s = 0; s < h; ++s) {
+    out[s] = scaler_.Inverse(residual_forecast[s] + seasonal_forecast[s]);
+  }
+  return out;
+}
+
+}  // namespace lossyts::forecast

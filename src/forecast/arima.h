@@ -1,0 +1,65 @@
+#ifndef LOSSYTS_FORECAST_ARIMA_H_
+#define LOSSYTS_FORECAST_ARIMA_H_
+
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "forecast/scaler.h"
+
+namespace lossyts::forecast {
+
+/// ARIMA(p,d,q) with Fourier seasonal terms (§3.4), fitted by conditional
+/// sum of squares and selected by AIC over a small (p,d,q) grid — the
+/// Box-Jenkins workflow the paper follows.
+///
+/// Seasonality is handled with harmonic (Fourier) regression: during
+/// training the harmonics are fit globally; at prediction time the same
+/// basis is re-fit locally on the 96-value input window (the sin/cos pair
+/// absorbs the window's unknown phase), the trained ARMA coefficients are
+/// applied to the residuals, and the harmonic continuation plus the ARMA
+/// forecast are recombined.
+class ArimaForecaster : public Forecaster {
+ public:
+  struct Options {
+    int max_p = 2;
+    int max_q = 2;
+    int max_d = 1;
+    int fourier_harmonics = 2;  ///< K harmonics when season_length >= 8.
+    size_t max_fit_points = 2000;  ///< CSS fit uses the training tail.
+  };
+
+  explicit ArimaForecaster(const ForecastConfig& config)
+      : ArimaForecaster(config, Options()) {}
+  ArimaForecaster(const ForecastConfig& config, const Options& options)
+      : config_(config), options_(options) {}
+
+  std::string_view name() const override { return "Arima"; }
+
+  Status Fit(const TimeSeries& train, const TimeSeries& val) override;
+  Result<std::vector<double>> Predict(
+      const std::vector<double>& window) const override;
+
+  // Selected orders, exposed for tests and reports.
+  int p() const { return p_; }
+  int d() const { return d_; }
+  int q() const { return q_; }
+  double aic() const { return aic_; }
+
+ private:
+  ForecastConfig config_;
+  Options options_;
+  StandardScaler scaler_;
+
+  int p_ = 0;
+  int d_ = 0;
+  int q_ = 0;
+  double aic_ = 0.0;
+  double constant_ = 0.0;
+  std::vector<double> ar_;  // phi_1..phi_p.
+  std::vector<double> ma_;  // theta_1..theta_q.
+  bool fitted_ = false;
+};
+
+}  // namespace lossyts::forecast
+
+#endif  // LOSSYTS_FORECAST_ARIMA_H_

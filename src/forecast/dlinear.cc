@@ -1,0 +1,60 @@
+#include "forecast/dlinear.h"
+
+#include <algorithm>
+
+#include "nn/module.h"
+
+namespace lossyts::forecast {
+
+namespace {
+
+// Constant L×L matrix M with (x · M^T)_i = centered moving average of x
+// around position i (edges clamped), so trend = MatMul(x, M_t) with
+// M_t = M^T precomputed.
+nn::Tensor MovingAverageMatrix(size_t length, size_t kernel) {
+  nn::Tensor m(length, length, 0.0);
+  const size_t half = kernel / 2;
+  for (size_t i = 0; i < length; ++i) {
+    const size_t lo = i >= half ? i - half : 0;
+    const size_t hi = std::min(length - 1, i + half);
+    const double w = 1.0 / static_cast<double>(hi - lo + 1);
+    for (size_t j = lo; j <= hi; ++j) m(j, i) = w;  // Transposed layout.
+  }
+  return m;
+}
+
+class DLinearNetwork : public WindowNetwork {
+ public:
+  DLinearNetwork(size_t input_length, size_t horizon, Rng& rng)
+      : trend_matrix_(nn::MakeVar(
+            MovingAverageMatrix(input_length, DLinearForecaster::kKernelSize))),
+        trend_head_(input_length, horizon, rng),
+        seasonal_head_(input_length, horizon, rng) {}
+
+  nn::Var Forward(const nn::Var& batch, bool /*train*/, Rng& /*rng*/) override {
+    const nn::Var trend = nn::MatMul(batch, trend_matrix_);
+    const nn::Var remainder = nn::Sub(batch, trend);
+    return nn::Add(trend_head_.Forward(trend),
+                   seasonal_head_.Forward(remainder));
+  }
+
+  std::vector<nn::Var> Parameters() const override {
+    std::vector<nn::Var> params = trend_head_.Parameters();
+    for (const nn::Var& p : seasonal_head_.Parameters()) params.push_back(p);
+    return params;
+  }
+
+ private:
+  nn::Var trend_matrix_;
+  nn::Linear trend_head_;
+  nn::Linear seasonal_head_;
+};
+
+}  // namespace
+
+std::unique_ptr<WindowNetwork> DLinearForecaster::BuildNetwork(Rng& rng) {
+  return std::make_unique<DLinearNetwork>(config().input_length,
+                                          config().horizon, rng);
+}
+
+}  // namespace lossyts::forecast

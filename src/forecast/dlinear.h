@@ -1,0 +1,29 @@
+#ifndef LOSSYTS_FORECAST_DLINEAR_H_
+#define LOSSYTS_FORECAST_DLINEAR_H_
+
+#include <memory>
+
+#include "forecast/nn_forecaster.h"
+
+namespace lossyts::forecast {
+
+/// DLinear (Zeng et al., AAAI'23): decompose the input window into a
+/// moving-average trend and a remainder, apply one linear layer to each and
+/// sum the two forecasts. The paper highlights this shallow model as
+/// competitive with Transformers — and §4.4.1 shows its sensitivity to
+/// compression-induced distortion of the remainder component.
+class DLinearForecaster : public NnForecaster {
+ public:
+  explicit DLinearForecaster(const ForecastConfig& config)
+      : NnForecaster("DLinear", config) {}
+
+  /// Moving-average kernel of the trend decomposition (paper default 25).
+  static constexpr size_t kKernelSize = 25;
+
+ protected:
+  std::unique_ptr<WindowNetwork> BuildNetwork(Rng& rng) override;
+};
+
+}  // namespace lossyts::forecast
+
+#endif  // LOSSYTS_FORECAST_DLINEAR_H_

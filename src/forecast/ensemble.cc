@@ -1,0 +1,59 @@
+#include "forecast/ensemble.h"
+
+namespace lossyts::forecast {
+
+EnsembleForecaster::EnsembleForecaster(
+    std::vector<std::unique_ptr<Forecaster>> members,
+    std::vector<double> weights)
+    : members_(std::move(members)), weights_(std::move(weights)) {
+  if (weights_.empty()) {
+    weights_.assign(members_.size(), 1.0);
+  }
+  name_ = "Ensemble(";
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (i > 0) name_ += "+";
+    name_ += std::string(members_[i]->name());
+  }
+  name_ += ")";
+}
+
+Status EnsembleForecaster::Fit(const TimeSeries& train, const TimeSeries& val) {
+  if (members_.empty()) {
+    return Status::FailedPrecondition("ensemble has no members");
+  }
+  if (weights_.size() != members_.size()) {
+    return Status::InvalidArgument("weight count does not match member count");
+  }
+  double total = 0.0;
+  for (double w : weights_) {
+    if (w <= 0.0) return Status::InvalidArgument("weights must be positive");
+    total += w;
+  }
+  for (double& w : weights_) w /= total;
+
+  for (auto& member : members_) {
+    if (Status s = member->Fit(train, val); !s.ok()) return s;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> EnsembleForecaster::Predict(
+    const std::vector<double>& window) const {
+  if (!fitted_) return Status::FailedPrecondition("Predict before Fit");
+  std::vector<double> combined;
+  for (size_t m = 0; m < members_.size(); ++m) {
+    Result<std::vector<double>> pred = members_[m]->Predict(window);
+    if (!pred.ok()) return pred.status();
+    if (combined.empty()) combined.assign(pred->size(), 0.0);
+    if (pred->size() != combined.size()) {
+      return Status::Internal("ensemble members disagree on horizon");
+    }
+    for (size_t i = 0; i < combined.size(); ++i) {
+      combined[i] += weights_[m] * (*pred)[i];
+    }
+  }
+  return combined;
+}
+
+}  // namespace lossyts::forecast

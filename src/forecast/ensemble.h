@@ -1,0 +1,44 @@
+#ifndef LOSSYTS_FORECAST_ENSEMBLE_H_
+#define LOSSYTS_FORECAST_ENSEMBLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.h"
+
+namespace lossyts::forecast {
+
+/// Weighted-average ensemble of forecasters — the paper's §5 research
+/// direction: "create an ensemble model using Transformer which has good
+/// overall forecasting accuracy and Arima which is more resilient [to lossy
+/// compression]; this should improve the resilience and overall accuracy."
+///
+/// Fit trains every member on the same splits; Predict averages the member
+/// forecasts with the given weights (normalized internally).
+class EnsembleForecaster : public Forecaster {
+ public:
+  /// Takes ownership of the members. Weights default to uniform; a supplied
+  /// weight vector must match the member count and be positive.
+  explicit EnsembleForecaster(
+      std::vector<std::unique_ptr<Forecaster>> members,
+      std::vector<double> weights = {});
+
+  std::string_view name() const override { return name_; }
+
+  Status Fit(const TimeSeries& train, const TimeSeries& val) override;
+  Result<std::vector<double>> Predict(
+      const std::vector<double>& window) const override;
+
+  size_t size() const { return members_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Forecaster>> members_;
+  std::vector<double> weights_;
+  std::string name_;
+  bool fitted_ = false;
+};
+
+}  // namespace lossyts::forecast
+
+#endif  // LOSSYTS_FORECAST_ENSEMBLE_H_

@@ -1,0 +1,61 @@
+#include "forecast/gru.h"
+
+#include "nn/module.h"
+
+namespace lossyts::forecast {
+
+namespace {
+
+class GruNetwork : public WindowNetwork {
+ public:
+  GruNetwork(size_t input_length, size_t horizon, size_t hidden, Rng& rng)
+      : input_length_(input_length),
+        horizon_(horizon),
+        hidden_(hidden),
+        encoder_(1, hidden, rng),
+        decoder_(1, hidden, rng),
+        head_(hidden, 1, rng) {}
+
+  nn::Var Forward(const nn::Var& batch, bool /*train*/, Rng& /*rng*/) override {
+    const size_t b = batch->value.rows();
+    // Encode: feed one value column per step across the whole batch.
+    nn::Var h = nn::MakeVar(nn::Tensor(b, hidden_, 0.0));
+    for (size_t t = 0; t < input_length_; ++t) {
+      h = encoder_.Forward(nn::SliceCols(batch, t, t + 1), h);
+    }
+    // Decode: autoregressive rollout of `horizon` steps.
+    nn::Var input = nn::SliceCols(batch, input_length_ - 1, input_length_);
+    nn::Var outputs;
+    for (size_t t = 0; t < horizon_; ++t) {
+      h = decoder_.Forward(input, h);
+      const nn::Var y = head_.Forward(h);
+      outputs = t == 0 ? y : nn::ConcatCols(outputs, y);
+      input = y;
+    }
+    return outputs;
+  }
+
+  std::vector<nn::Var> Parameters() const override {
+    std::vector<nn::Var> params = encoder_.Parameters();
+    for (const nn::Var& p : decoder_.Parameters()) params.push_back(p);
+    for (const nn::Var& p : head_.Parameters()) params.push_back(p);
+    return params;
+  }
+
+ private:
+  size_t input_length_;
+  size_t horizon_;
+  size_t hidden_;
+  nn::GruCell encoder_;
+  nn::GruCell decoder_;
+  nn::Linear head_;
+};
+
+}  // namespace
+
+std::unique_ptr<WindowNetwork> GruForecaster::BuildNetwork(Rng& rng) {
+  return std::make_unique<GruNetwork>(config().input_length, config().horizon,
+                                      arch_.hidden, rng);
+}
+
+}  // namespace lossyts::forecast

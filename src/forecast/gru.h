@@ -1,0 +1,33 @@
+#ifndef LOSSYTS_FORECAST_GRU_H_
+#define LOSSYTS_FORECAST_GRU_H_
+
+#include <memory>
+
+#include "forecast/nn_forecaster.h"
+
+namespace lossyts::forecast {
+
+/// Encoder-decoder gated recurrent network (§3.4's GRU model). The encoder
+/// consumes the input window step by step; the decoder is unrolled for the
+/// forecast horizon, feeding each prediction back as the next input.
+class GruForecaster : public NnForecaster {
+ public:
+  struct Architecture {
+    size_t hidden = 24;
+  };
+
+  explicit GruForecaster(const ForecastConfig& config)
+      : GruForecaster(config, Architecture()) {}
+  GruForecaster(const ForecastConfig& config, const Architecture& arch)
+      : NnForecaster("GRU", config), arch_(arch) {}
+
+ protected:
+  std::unique_ptr<WindowNetwork> BuildNetwork(Rng& rng) override;
+
+ private:
+  Architecture arch_;
+};
+
+}  // namespace lossyts::forecast
+
+#endif  // LOSSYTS_FORECAST_GRU_H_

@@ -1,0 +1,73 @@
+#include "forecast/nbeats.h"
+
+#include "nn/module.h"
+
+namespace lossyts::forecast {
+
+namespace {
+
+struct Block {
+  std::vector<nn::Linear> fc;
+  std::unique_ptr<nn::Linear> backcast;
+  std::unique_ptr<nn::Linear> forecast;
+};
+
+class NBeatsNetwork : public WindowNetwork {
+ public:
+  NBeatsNetwork(size_t input_length, size_t horizon,
+                const NBeatsForecaster::Architecture& arch, Rng& rng) {
+    for (size_t b = 0; b < arch.num_blocks; ++b) {
+      Block block;
+      size_t in = input_length;
+      for (size_t l = 0; l < arch.fc_layers; ++l) {
+        block.fc.emplace_back(in, arch.hidden, rng);
+        in = arch.hidden;
+      }
+      block.backcast = std::make_unique<nn::Linear>(in, input_length, rng);
+      block.forecast = std::make_unique<nn::Linear>(in, horizon, rng);
+      blocks_.push_back(std::move(block));
+    }
+  }
+
+  nn::Var Forward(const nn::Var& batch, bool /*train*/, Rng& /*rng*/) override {
+    nn::Var residual = batch;
+    nn::Var total_forecast;
+    for (const Block& block : blocks_) {
+      nn::Var h = residual;
+      for (const nn::Linear& fc : block.fc) h = nn::Relu(fc.Forward(h));
+      residual = nn::Sub(residual, block.backcast->Forward(h));
+      const nn::Var f = block.forecast->Forward(h);
+      total_forecast = total_forecast == nullptr ? f
+                                                 : nn::Add(total_forecast, f);
+    }
+    return total_forecast;
+  }
+
+  std::vector<nn::Var> Parameters() const override {
+    std::vector<nn::Var> params;
+    for (const Block& block : blocks_) {
+      for (const nn::Linear& fc : block.fc) {
+        for (const nn::Var& p : fc.Parameters()) params.push_back(p);
+      }
+      for (const nn::Var& p : block.backcast->Parameters()) {
+        params.push_back(p);
+      }
+      for (const nn::Var& p : block.forecast->Parameters()) {
+        params.push_back(p);
+      }
+    }
+    return params;
+  }
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+}  // namespace
+
+std::unique_ptr<WindowNetwork> NBeatsForecaster::BuildNetwork(Rng& rng) {
+  return std::make_unique<NBeatsNetwork>(config().input_length,
+                                         config().horizon, arch_, rng);
+}
+
+}  // namespace lossyts::forecast

@@ -1,0 +1,36 @@
+#ifndef LOSSYTS_FORECAST_NBEATS_H_
+#define LOSSYTS_FORECAST_NBEATS_H_
+
+#include <memory>
+
+#include "forecast/nn_forecaster.h"
+
+namespace lossyts::forecast {
+
+/// N-BEATS (Oreshkin et al., ICLR'20), generic architecture: a stack of
+/// fully connected blocks with backward (backcast) and forward (forecast)
+/// residual links. Each block subtracts its backcast from the running input
+/// and contributes its forecast to the running sum.
+class NBeatsForecaster : public NnForecaster {
+ public:
+  struct Architecture {
+    size_t num_blocks = 3;
+    size_t hidden = 64;
+    size_t fc_layers = 3;  ///< ReLU layers per block before the heads.
+  };
+
+  explicit NBeatsForecaster(const ForecastConfig& config)
+      : NBeatsForecaster(config, Architecture()) {}
+  NBeatsForecaster(const ForecastConfig& config, const Architecture& arch)
+      : NnForecaster("NBeats", config), arch_(arch) {}
+
+ protected:
+  std::unique_ptr<WindowNetwork> BuildNetwork(Rng& rng) override;
+
+ private:
+  Architecture arch_;
+};
+
+}  // namespace lossyts::forecast
+
+#endif  // LOSSYTS_FORECAST_NBEATS_H_

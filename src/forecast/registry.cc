@@ -1,0 +1,49 @@
+#include "forecast/registry.h"
+
+#include "forecast/arima.h"
+#include "forecast/dlinear.h"
+#include "forecast/gboost.h"
+#include "forecast/gru.h"
+#include "forecast/nbeats.h"
+#include "forecast/transformer.h"
+
+namespace lossyts::forecast {
+
+const std::vector<std::string>& ModelNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "Arima", "GBoost", "DLinear", "GRU", "Informer", "NBeats",
+      "Transformer"};
+  return names;
+}
+
+Result<std::unique_ptr<Forecaster>> MakeForecaster(
+    const std::string& name, const ForecastConfig& config) {
+  if (name == "Arima") {
+    return std::unique_ptr<Forecaster>(new ArimaForecaster(config));
+  }
+  if (name == "GBoost") {
+    return std::unique_ptr<Forecaster>(new GBoostForecaster(config));
+  }
+  if (name == "DLinear") {
+    return std::unique_ptr<Forecaster>(new DLinearForecaster(config));
+  }
+  if (name == "GRU") {
+    return std::unique_ptr<Forecaster>(new GruForecaster(config));
+  }
+  if (name == "Informer") {
+    return std::unique_ptr<Forecaster>(new InformerForecaster(config));
+  }
+  if (name == "NBeats") {
+    return std::unique_ptr<Forecaster>(new NBeatsForecaster(config));
+  }
+  if (name == "Transformer") {
+    return std::unique_ptr<Forecaster>(new TransformerForecaster(config));
+  }
+  return Status::NotFound("unknown forecasting model: " + name);
+}
+
+bool IsDeepModel(const std::string& name) {
+  return name != "Arima" && name != "GBoost";
+}
+
+}  // namespace lossyts::forecast

@@ -1,0 +1,27 @@
+#ifndef LOSSYTS_FORECAST_REGISTRY_H_
+#define LOSSYTS_FORECAST_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "forecast/forecaster.h"
+
+namespace lossyts::forecast {
+
+/// Names of the seven forecasting models, in the paper's Table 2 order:
+/// Arima, GBoost, DLinear, GRU, Informer, NBeats, Transformer.
+const std::vector<std::string>& ModelNames();
+
+/// Creates a forecaster by name. Fails with NotFound for unknown names.
+Result<std::unique_ptr<Forecaster>> MakeForecaster(
+    const std::string& name, const ForecastConfig& config);
+
+/// True for the deep-learning models the paper replicates with 10 seeds
+/// (vs. 5 for the classical ones, §3.6).
+bool IsDeepModel(const std::string& name);
+
+}  // namespace lossyts::forecast
+
+#endif  // LOSSYTS_FORECAST_REGISTRY_H_

@@ -1,0 +1,36 @@
+#include "forecast/scaler.h"
+
+#include <cmath>
+
+namespace lossyts::forecast {
+
+Status StandardScaler::Fit(const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot fit scaler on empty data");
+  }
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  mean_ = sum / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean_) * (v - mean_);
+  stddev_ = std::sqrt(ss / static_cast<double>(values.size()));
+  if (stddev_ < 1e-12) stddev_ = 1.0;  // Constant input: identity scale.
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> StandardScaler::Transform(
+    const std::vector<double>& values) const {
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) out[i] = Transform(values[i]);
+  return out;
+}
+
+std::vector<double> StandardScaler::Inverse(
+    const std::vector<double>& values) const {
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) out[i] = Inverse(values[i]);
+  return out;
+}
+
+}  // namespace lossyts::forecast

@@ -1,0 +1,37 @@
+#ifndef LOSSYTS_FORECAST_SCALER_H_
+#define LOSSYTS_FORECAST_SCALER_H_
+
+#include <vector>
+
+#include "core/status.h"
+
+namespace lossyts::forecast {
+
+/// Standard (z-score) scaler fit on the training split and applied to every
+/// model input, per §3.4. The inverse transform maps predictions back to the
+/// data scale.
+class StandardScaler {
+ public:
+  /// Computes mean and standard deviation. Fails on empty input; a constant
+  /// series gets unit scale so Transform stays well-defined.
+  Status Fit(const std::vector<double>& values);
+
+  double Transform(double v) const { return (v - mean_) / stddev_; }
+  double Inverse(double v) const { return v * stddev_ + mean_; }
+
+  std::vector<double> Transform(const std::vector<double>& values) const;
+  std::vector<double> Inverse(const std::vector<double>& values) const;
+
+  bool fitted() const { return fitted_; }
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+ private:
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace lossyts::forecast
+
+#endif  // LOSSYTS_FORECAST_SCALER_H_

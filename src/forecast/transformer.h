@@ -1,0 +1,63 @@
+#ifndef LOSSYTS_FORECAST_TRANSFORMER_H_
+#define LOSSYTS_FORECAST_TRANSFORMER_H_
+
+#include <memory>
+
+#include "forecast/nn_forecaster.h"
+
+namespace lossyts::forecast {
+
+/// Encoder-decoder Transformer for forecasting (§3.4's Transformer model,
+/// following the Darts configuration the paper used). The input window is
+/// embedded value-by-value to d_model with a sinusoidal positional encoding;
+/// the decoder receives the last `label_length` embedded inputs plus zero
+/// placeholders for the horizon and attends causally to itself and fully to
+/// the encoder memory.
+class TransformerForecaster : public NnForecaster {
+ public:
+  struct Architecture {
+    size_t d_model = 16;
+    size_t num_heads = 2;
+    size_t d_ff = 32;
+    size_t encoder_layers = 2;
+    size_t decoder_layers = 1;
+    size_t label_length = 48;  ///< Decoder warm-start tokens.
+  };
+
+  explicit TransformerForecaster(const ForecastConfig& config)
+      : TransformerForecaster(config, Architecture()) {}
+  TransformerForecaster(const ForecastConfig& config, const Architecture& arch)
+      : NnForecaster("Transformer", config), arch_(arch) {}
+
+ protected:
+  TransformerForecaster(std::string name, const ForecastConfig& config,
+                        const Architecture& arch, bool prob_sparse,
+                        bool distill)
+      : NnForecaster(std::move(name), config),
+        arch_(arch),
+        prob_sparse_(prob_sparse),
+        distill_(distill) {}
+
+  std::unique_ptr<WindowNetwork> BuildNetwork(Rng& rng) override;
+
+ private:
+  Architecture arch_;
+  bool prob_sparse_ = false;  ///< Informer's ProbSparse self-attention.
+  bool distill_ = false;      ///< Informer's stride-2 distilling pool.
+};
+
+/// Informer (Zhou et al., AAAI'21): the Transformer above with ProbSparse
+/// self-attention in the encoder and self-attention distilling between
+/// encoder layers.
+class InformerForecaster : public TransformerForecaster {
+ public:
+  explicit InformerForecaster(const ForecastConfig& config)
+      : InformerForecaster(config, Architecture()) {}
+  InformerForecaster(const ForecastConfig& config, const Architecture& arch)
+      : TransformerForecaster("Informer", config, arch,
+                              /*prob_sparse=*/true, /*distill=*/true) {}
+};
+
+}  // namespace lossyts::forecast
+
+#endif  // LOSSYTS_FORECAST_TRANSFORMER_H_

@@ -1,0 +1,42 @@
+#include "forecast/window.h"
+
+#include <algorithm>
+
+namespace lossyts::forecast {
+
+Result<std::vector<WindowExample>> MakeWindows(
+    const std::vector<double>& values, size_t input_length, size_t horizon,
+    size_t stride, size_t max_windows) {
+  if (input_length == 0 || horizon == 0 || stride == 0) {
+    return Status::InvalidArgument("window parameters must be positive");
+  }
+  if (values.size() < input_length + horizon) {
+    return Status::FailedPrecondition(
+        "series too short for one window: need " +
+        std::to_string(input_length + horizon) + ", have " +
+        std::to_string(values.size()));
+  }
+  const size_t span = input_length + horizon;
+  const size_t positions = (values.size() - span) / stride + 1;
+  size_t effective_stride = stride;
+  if (max_windows > 0 && positions > max_windows) {
+    // Widen the stride so the windows still span the whole series.
+    effective_stride = (values.size() - span) / (max_windows - 1);
+    effective_stride = std::max(effective_stride, stride);
+  }
+
+  std::vector<WindowExample> windows;
+  for (size_t start = 0; start + span <= values.size();
+       start += effective_stride) {
+    WindowExample w;
+    w.input.assign(values.begin() + start,
+                   values.begin() + start + input_length);
+    w.target.assign(values.begin() + start + input_length,
+                    values.begin() + start + span);
+    windows.push_back(std::move(w));
+    if (max_windows > 0 && windows.size() >= max_windows) break;
+  }
+  return windows;
+}
+
+}  // namespace lossyts::forecast

@@ -1,0 +1,28 @@
+#ifndef LOSSYTS_FORECAST_WINDOW_H_
+#define LOSSYTS_FORECAST_WINDOW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/status.h"
+#include "core/time_series.h"
+
+namespace lossyts::forecast {
+
+/// One supervised training/evaluation example: `input` holds input_length
+/// past values, `target` the next horizon values.
+struct WindowExample {
+  std::vector<double> input;
+  std::vector<double> target;
+};
+
+/// Extracts sliding windows from `values`. `stride` controls the step
+/// between consecutive windows; `max_windows` (0 = unlimited) subsamples by
+/// widening the stride uniformly, preserving chronological coverage.
+Result<std::vector<WindowExample>> MakeWindows(
+    const std::vector<double>& values, size_t input_length, size_t horizon,
+    size_t stride = 1, size_t max_windows = 0);
+
+}  // namespace lossyts::forecast
+
+#endif  // LOSSYTS_FORECAST_WINDOW_H_

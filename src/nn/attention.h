@@ -1,0 +1,97 @@
+#ifndef LOSSYTS_NN_ATTENTION_H_
+#define LOSSYTS_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace lossyts::nn {
+
+/// Multi-head scaled dot-product attention over a single sequence
+/// (seq_len × d_model tensors; the library trains sequence models one window
+/// at a time). `causal` adds a lower-triangular mask to the self-attention
+/// scores.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(size_t d_model, size_t num_heads, Rng& rng);
+
+  /// Full attention: softmax(Q·K^T/√d)·V per head, heads concatenated and
+  /// projected. query: (Lq×d), key/value: (Lk×d).
+  Var Forward(const Var& query, const Var& key, const Var& value,
+              bool causal = false) const;
+
+  /// Informer's ProbSparse self-attention: only the top-u queries by the
+  /// max-minus-mean sparsity score attend normally; the rest output the mean
+  /// of the values (Zhou et al., AAAI'21). u = ceil(factor·ln(Lq)).
+  Var ForwardProbSparse(const Var& x, double factor = 5.0) const;
+
+  std::vector<Var> Parameters() const override;
+
+  size_t d_model() const { return d_model_; }
+  size_t num_heads() const { return num_heads_; }
+
+ private:
+  Var HeadAttention(const Var& q, const Var& k, const Var& v,
+                    bool causal) const;
+
+  size_t d_model_;
+  size_t num_heads_;
+  size_t d_head_;
+  std::unique_ptr<Linear> wq_;
+  std::unique_ptr<Linear> wk_;
+  std::unique_ptr<Linear> wv_;
+  std::unique_ptr<Linear> wo_;
+};
+
+/// Pre-norm Transformer encoder layer: MHA + feed-forward, residuals and
+/// layer norms, with dropout.
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(size_t d_model, size_t num_heads, size_t d_ff,
+                          double dropout, Rng& rng);
+
+  /// When `prob_sparse` is true the self-attention uses Informer's
+  /// ProbSparse mechanism.
+  Var Forward(const Var& x, bool train, Rng& rng,
+              bool prob_sparse = false) const;
+
+  std::vector<Var> Parameters() const override;
+
+ private:
+  double dropout_;
+  std::unique_ptr<MultiHeadAttention> attention_;
+  std::unique_ptr<Linear> ff1_;
+  std::unique_ptr<Linear> ff2_;
+  std::unique_ptr<LayerNormModule> norm1_;
+  std::unique_ptr<LayerNormModule> norm2_;
+};
+
+/// Transformer decoder layer: causal self-attention, cross-attention to the
+/// encoder memory, feed-forward.
+class TransformerDecoderLayer : public Module {
+ public:
+  TransformerDecoderLayer(size_t d_model, size_t num_heads, size_t d_ff,
+                          double dropout, Rng& rng);
+
+  Var Forward(const Var& x, const Var& memory, bool train, Rng& rng) const;
+
+  std::vector<Var> Parameters() const override;
+
+ private:
+  double dropout_;
+  std::unique_ptr<MultiHeadAttention> self_attention_;
+  std::unique_ptr<MultiHeadAttention> cross_attention_;
+  std::unique_ptr<Linear> ff1_;
+  std::unique_ptr<Linear> ff2_;
+  std::unique_ptr<LayerNormModule> norm1_;
+  std::unique_ptr<LayerNormModule> norm2_;
+  std::unique_ptr<LayerNormModule> norm3_;
+};
+
+/// Sinusoidal positional encoding added to a (seq × d_model) tensor.
+Tensor PositionalEncoding(size_t seq_len, size_t d_model);
+
+}  // namespace lossyts::nn
+
+#endif  // LOSSYTS_NN_ATTENTION_H_

@@ -1,0 +1,65 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+namespace lossyts::nn {
+
+Var GlorotParameter(size_t rows, size_t cols, Rng& rng) {
+  Tensor t(rows, cols);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& v : t.storage()) v = rng.Uniform(-limit, limit);
+  return MakeVar(std::move(t), /*requires_grad=*/true);
+}
+
+Var ConstantParameter(size_t rows, size_t cols, double value) {
+  return MakeVar(Tensor(rows, cols, value), /*requires_grad=*/true);
+}
+
+Linear::Linear(size_t in_features, size_t out_features, Rng& rng)
+    : weight_(GlorotParameter(in_features, out_features, rng)),
+      bias_(ConstantParameter(1, out_features, 0.0)) {}
+
+Var Linear::Forward(const Var& x) const {
+  return AddRowBroadcast(MatMul(x, weight_), bias_);
+}
+
+LayerNormModule::LayerNormModule(size_t features)
+    : gain_(ConstantParameter(1, features, 1.0)),
+      bias_(ConstantParameter(1, features, 0.0)) {}
+
+Var LayerNormModule::Forward(const Var& x) const {
+  return LayerNorm(x, gain_, bias_);
+}
+
+GruCell::GruCell(size_t input_size, size_t hidden_size, Rng& rng)
+    : hidden_size_(hidden_size),
+      wz_(GlorotParameter(input_size, hidden_size, rng)),
+      uz_(GlorotParameter(hidden_size, hidden_size, rng)),
+      bz_(ConstantParameter(1, hidden_size, 0.0)),
+      wr_(GlorotParameter(input_size, hidden_size, rng)),
+      ur_(GlorotParameter(hidden_size, hidden_size, rng)),
+      br_(ConstantParameter(1, hidden_size, 0.0)),
+      wn_(GlorotParameter(input_size, hidden_size, rng)),
+      un_(GlorotParameter(hidden_size, hidden_size, rng)),
+      bn_(ConstantParameter(1, hidden_size, 0.0)) {}
+
+Var GruCell::Forward(const Var& x, const Var& h_prev) const {
+  const Var z = Sigmoid(
+      AddRowBroadcast(Add(MatMul(x, wz_), MatMul(h_prev, uz_)), bz_));
+  const Var r = Sigmoid(
+      AddRowBroadcast(Add(MatMul(x, wr_), MatMul(h_prev, ur_)), br_));
+  const Var n = Tanh(AddRowBroadcast(
+      Add(MatMul(x, wn_), MatMul(Mul(r, h_prev), un_)), bn_));
+  // h = (1-z) * n + z * h_prev.
+  const Var one_minus_z = Scale(Sub(z, MakeVar(Tensor(
+                                           z->value.rows(), z->value.cols(),
+                                           1.0))),
+                                -1.0);
+  return Add(Mul(one_minus_z, n), Mul(z, h_prev));
+}
+
+std::vector<Var> GruCell::Parameters() const {
+  return {wz_, uz_, bz_, wr_, ur_, br_, wn_, un_, bn_};
+}
+
+}  // namespace lossyts::nn

@@ -1,0 +1,61 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace lossyts::nn {
+
+Adam::Adam(std::vector<Var> parameters, const Options& options)
+    : parameters_(std::move(parameters)), options_(options) {
+  for (const Var& p : parameters_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+  ZeroGrad();
+}
+
+void Adam::ZeroGrad() {
+  for (const Var& p : parameters_) {
+    p->grad = Tensor(p->value.rows(), p->value.cols(), 0.0);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const double bc1 =
+      1.0 - std::pow(options_.beta1, static_cast<double>(step_count_));
+  const double bc2 =
+      1.0 - std::pow(options_.beta2, static_cast<double>(step_count_));
+
+  // Global gradient-norm clipping.
+  double scale = 1.0;
+  if (options_.clip_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (const Var& p : parameters_) {
+      if (p->grad.size() != p->value.size()) continue;
+      for (double g : p->grad.storage()) norm_sq += g * g;
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > options_.clip_norm) scale = options_.clip_norm / norm;
+  }
+
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Var& p = parameters_[i];
+    if (p->grad.size() != p->value.size()) continue;  // Unused this step.
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      const double g = p->grad.storage()[j] * scale;
+      m_[i].storage()[j] =
+          options_.beta1 * m_[i].storage()[j] + (1.0 - options_.beta1) * g;
+      v_[i].storage()[j] = options_.beta2 * v_[i].storage()[j] +
+                           (1.0 - options_.beta2) * g * g;
+      const double m_hat = m_[i].storage()[j] / bc1;
+      const double v_hat = v_[i].storage()[j] / bc2;
+      p->value.storage()[j] -=
+          options_.learning_rate *
+          (m_hat / (std::sqrt(v_hat) + options_.epsilon) +
+           options_.weight_decay * p->value.storage()[j]);
+    }
+  }
+  ZeroGrad();
+}
+
+}  // namespace lossyts::nn

@@ -1,0 +1,45 @@
+#ifndef LOSSYTS_NN_OPTIMIZER_H_
+#define LOSSYTS_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/autodiff.h"
+
+namespace lossyts::nn {
+
+/// Adam optimizer (Kingma & Ba 2015) with decoupled weight decay. The paper
+/// trains every deep model with learning rate 1e-3 and weight decay 1e-4
+/// (§3.4), which are the defaults here.
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 1e-4;
+    /// Gradient-norm clip; <= 0 disables clipping.
+    double clip_norm = 5.0;
+  };
+
+  explicit Adam(std::vector<Var> parameters) : Adam(std::move(parameters), Options()) {}
+  Adam(std::vector<Var> parameters, const Options& options);
+
+  /// Applies one update using the gradients accumulated by Backward().
+  void Step();
+
+  /// Clears parameter gradients (Backward() re-zeroes reachable nodes, but
+  /// parameters unused in a particular graph keep stale grads otherwise).
+  void ZeroGrad();
+
+ private:
+  std::vector<Var> parameters_;
+  Options options_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t step_count_ = 0;
+};
+
+}  // namespace lossyts::nn
+
+#endif  // LOSSYTS_NN_OPTIMIZER_H_

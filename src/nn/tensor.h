@@ -1,0 +1,60 @@
+#ifndef LOSSYTS_NN_TENSOR_H_
+#define LOSSYTS_NN_TENSOR_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace lossyts::nn {
+
+/// Dense row-major 2-D matrix of doubles — the value type of the autodiff
+/// engine. Sequence models treat rows as time steps and columns as feature
+/// channels; a plain vector is a 1×n or n×1 tensor.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Tensor FromVector(const std::vector<double>& v, bool column = true) {
+    Tensor t(column ? v.size() : 1, column ? 1 : v.size());
+    t.data_ = v;
+    return t;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& storage() { return data_; }
+  const std::vector<double>& storage() const { return data_; }
+
+  void Fill(double value) {
+    for (double& v : data_) v = value;
+  }
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace lossyts::nn
+
+#endif  // LOSSYTS_NN_TENSOR_H_

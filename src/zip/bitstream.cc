@@ -1,0 +1,78 @@
+#include "zip/bitstream.h"
+
+namespace lossyts::zip {
+
+void BitWriter::WriteBits(uint32_t value, int count) {
+  for (int i = 0; i < count; ++i) {
+    bit_buffer_ |= ((value >> i) & 1u) << bits_in_buffer_;
+    ++bits_in_buffer_;
+    if (bits_in_buffer_ == 8) {
+      bytes_.push_back(static_cast<uint8_t>(bit_buffer_));
+      bit_buffer_ = 0;
+      bits_in_buffer_ = 0;
+    }
+  }
+  bit_count_ += static_cast<size_t>(count);
+}
+
+void BitWriter::WriteHuffmanCode(uint32_t code, int length) {
+  // Reverse the code's bits so the MSB of the canonical code goes out first
+  // in the LSB-first stream (per RFC 1951 §3.1.1).
+  uint32_t reversed = 0;
+  for (int i = 0; i < length; ++i) {
+    reversed = (reversed << 1) | ((code >> i) & 1u);
+  }
+  WriteBits(reversed, length);
+}
+
+void BitWriter::AlignToByte() {
+  if (bits_in_buffer_ > 0) {
+    bit_count_ += static_cast<size_t>(8 - bits_in_buffer_);
+    bytes_.push_back(static_cast<uint8_t>(bit_buffer_));
+    bit_buffer_ = 0;
+    bits_in_buffer_ = 0;
+  }
+}
+
+void BitWriter::WriteByte(uint8_t byte) {
+  AlignToByte();
+  bytes_.push_back(byte);
+  bit_count_ += 8;
+}
+
+std::vector<uint8_t> BitWriter::Finish() {
+  AlignToByte();
+  return std::move(bytes_);
+}
+
+Result<uint32_t> BitReader::ReadBits(int count) {
+  uint32_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    if (byte_pos_ >= size_) {
+      return Status::OutOfRange("bit stream exhausted");
+    }
+    const uint32_t bit = (data_[byte_pos_] >> bit_pos_) & 1u;
+    value |= bit << i;
+    ++bit_pos_;
+    if (bit_pos_ == 8) {
+      bit_pos_ = 0;
+      ++byte_pos_;
+    }
+  }
+  return value;
+}
+
+void BitReader::AlignToByte() {
+  if (bit_pos_ > 0) {
+    bit_pos_ = 0;
+    ++byte_pos_;
+  }
+}
+
+Result<uint8_t> BitReader::ReadByte() {
+  AlignToByte();
+  if (byte_pos_ >= size_) return Status::OutOfRange("bit stream exhausted");
+  return data_[byte_pos_++];
+}
+
+}  // namespace lossyts::zip

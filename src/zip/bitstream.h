@@ -1,0 +1,77 @@
+#ifndef LOSSYTS_ZIP_BITSTREAM_H_
+#define LOSSYTS_ZIP_BITSTREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lossyts::zip {
+
+/// LSB-first bit writer matching the DEFLATE bit packing convention: bits are
+/// written into each byte starting from the least-significant bit.
+class BitWriter {
+ public:
+  /// Writes the low `count` bits of `value`, LSB first. count must be <= 32.
+  void WriteBits(uint32_t value, int count);
+
+  /// Writes a Huffman code of `length` bits. DEFLATE stores Huffman codes
+  /// with their most-significant bit first, so the code is bit-reversed
+  /// before packing.
+  void WriteHuffmanCode(uint32_t code, int length);
+
+  /// Pads with zero bits to the next byte boundary.
+  void AlignToByte();
+
+  /// Appends a raw byte (requires byte alignment for sane output; call
+  /// AlignToByte() first when mid-bit).
+  void WriteByte(uint8_t byte);
+
+  /// Number of bits written so far.
+  size_t bit_count() const { return bit_count_; }
+
+  /// Finishes the stream (pads to a byte) and returns the bytes.
+  std::vector<uint8_t> Finish();
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint32_t bit_buffer_ = 0;
+  int bits_in_buffer_ = 0;
+  size_t bit_count_ = 0;
+};
+
+/// LSB-first bit reader, the mirror of BitWriter.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BitReader(const std::vector<uint8_t>& data)
+      : BitReader(data.data(), data.size()) {}
+
+  /// Reads `count` bits (<= 32), LSB first. Fails past end of input.
+  Result<uint32_t> ReadBits(int count);
+
+  /// Reads a single bit.
+  Result<uint32_t> ReadBit() { return ReadBits(1); }
+
+  /// Discards bits up to the next byte boundary.
+  void AlignToByte();
+
+  /// Reads a raw byte; requires prior byte alignment.
+  Result<uint8_t> ReadByte();
+
+  /// Number of whole bytes consumed (rounded up when mid-byte).
+  size_t BytesConsumed() const { return byte_pos_ + (bit_pos_ > 0 ? 1 : 0); }
+
+  bool AtEnd() const { return byte_pos_ >= size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t byte_pos_ = 0;
+  int bit_pos_ = 0;  // Bit offset within the current byte, 0..7.
+};
+
+}  // namespace lossyts::zip
+
+#endif  // LOSSYTS_ZIP_BITSTREAM_H_

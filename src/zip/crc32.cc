@@ -1,0 +1,41 @@
+#include "zip/crc32.h"
+
+#include <array>
+
+namespace lossyts::zip {
+
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(const uint8_t* data, size_t size) {
+  const auto& table = Table();
+  for (size_t i = 0; i < size; ++i) {
+    state_ = table[(state_ ^ data[i]) & 0xFFu] ^ (state_ >> 8);
+  }
+}
+
+uint32_t ComputeCrc32(const uint8_t* data, size_t size) {
+  Crc32 crc;
+  crc.Update(data, size);
+  return crc.value();
+}
+
+}  // namespace lossyts::zip

@@ -1,0 +1,24 @@
+#ifndef LOSSYTS_ZIP_DEFLATE_H_
+#define LOSSYTS_ZIP_DEFLATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "zip/lz77.h"
+
+namespace lossyts::zip {
+
+/// Compresses `input` into a raw DEFLATE stream (RFC 1951). The encoder emits
+/// a single dynamic-Huffman block (or a stored block for empty input).
+std::vector<uint8_t> DeflateCompress(const std::vector<uint8_t>& input,
+                                     const Lz77Options& options = {});
+
+/// Decompresses a raw DEFLATE stream. Supports stored, fixed-Huffman and
+/// dynamic-Huffman blocks. Fails with Corruption on malformed input.
+Result<std::vector<uint8_t>> DeflateDecompress(
+    const std::vector<uint8_t>& input);
+
+}  // namespace lossyts::zip
+
+#endif  // LOSSYTS_ZIP_DEFLATE_H_

@@ -1,0 +1,201 @@
+#include "zip/huffman.h"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+
+namespace lossyts::zip {
+
+namespace {
+
+struct Node {
+  uint64_t weight;
+  int index;   // Node index in the pool.
+  int symbol;  // >= 0 for leaves, -1 for internal.
+};
+
+struct NodeCompare {
+  bool operator()(const Node& a, const Node& b) const {
+    // Min-heap on weight; break ties on index for determinism.
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.index > b.index;
+  }
+};
+
+}  // namespace
+
+Result<std::vector<int>> BuildCodeLengths(const std::vector<uint64_t>& freqs,
+                                          int max_length) {
+  const int n = static_cast<int>(freqs.size());
+  std::vector<int> lengths(n, 0);
+
+  std::vector<int> used;
+  for (int i = 0; i < n; ++i) {
+    if (freqs[i] > 0) used.push_back(i);
+  }
+  if (used.empty()) return lengths;
+  if (used.size() == 1) {
+    lengths[used[0]] = 1;
+    return lengths;
+  }
+  if ((1u << max_length) < used.size()) {
+    return Status::InvalidArgument(
+        "alphabet of " + std::to_string(used.size()) +
+        " symbols cannot fit in codes of max length " +
+        std::to_string(max_length));
+  }
+
+  // Standard Huffman construction; track parents to recover leaf depths.
+  std::vector<int> parent;
+  std::vector<int> leaf_node_of_symbol(n, -1);
+  std::priority_queue<Node, std::vector<Node>, NodeCompare> heap;
+  int next_index = 0;
+  for (int s : used) {
+    leaf_node_of_symbol[s] = next_index;
+    parent.push_back(-1);
+    heap.push(Node{freqs[s], next_index, s});
+    ++next_index;
+  }
+  while (heap.size() > 1) {
+    Node a = heap.top();
+    heap.pop();
+    Node b = heap.top();
+    heap.pop();
+    parent.push_back(-1);
+    parent[a.index] = next_index;
+    parent[b.index] = next_index;
+    heap.push(Node{a.weight + b.weight, next_index, -1});
+    ++next_index;
+  }
+
+  std::vector<int> depth(parent.size(), 0);
+  // Nodes are created children-before-parents, so a reverse sweep fills
+  // depths top-down.
+  for (int i = static_cast<int>(parent.size()) - 2; i >= 0; --i) {
+    depth[i] = depth[parent[i]] + 1;
+  }
+  for (int s : used) lengths[s] = depth[leaf_node_of_symbol[s]];
+
+  // Enforce the maximum code length, then repair the Kraft sum (miniz-style).
+  int max_used = 0;
+  for (int s : used) max_used = std::max(max_used, lengths[s]);
+  if (max_used > max_length) {
+    std::vector<int> count(max_length + 1, 0);
+    for (int s : used) count[std::min(lengths[s], max_length)]++;
+    uint64_t total = 0;
+    for (int l = max_length; l >= 1; --l) {
+      total += static_cast<uint64_t>(count[l]) << (max_length - l);
+    }
+    while (total > (1ull << max_length)) {
+      // Shorten one max-length code by promoting a shorter code deeper.
+      count[max_length]--;
+      for (int l = max_length - 1; l >= 1; --l) {
+        if (count[l] > 0) {
+          count[l]--;
+          count[l + 1] += 2;
+          break;
+        }
+      }
+      total--;
+    }
+    // Reassign lengths: least frequent symbols get the longest codes.
+    std::vector<int> order = used;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      if (freqs[a] != freqs[b]) return freqs[a] < freqs[b];
+      return a < b;
+    });
+    size_t pos = 0;
+    for (int l = max_length; l >= 1; --l) {
+      for (int k = 0; k < count[l]; ++k) lengths[order[pos++]] = l;
+    }
+  }
+  return lengths;
+}
+
+std::vector<uint32_t> CanonicalCodes(const std::vector<int>& lengths) {
+  int max_len = 0;
+  for (int l : lengths) max_len = std::max(max_len, l);
+  std::vector<int> count(max_len + 1, 0);
+  for (int l : lengths) {
+    if (l > 0) count[l]++;
+  }
+  std::vector<uint32_t> next_code(max_len + 2, 0);
+  uint32_t code = 0;
+  for (int l = 1; l <= max_len; ++l) {
+    code = (code + static_cast<uint32_t>(count[l - 1])) << 1;
+    next_code[l] = code;
+  }
+  std::vector<uint32_t> codes(lengths.size(), 0);
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) codes[s] = next_code[lengths[s]]++;
+  }
+  return codes;
+}
+
+Status HuffmanDecoder::Init(const std::vector<int>& lengths) {
+  sorted_symbols_.clear();
+  max_used_length_ = 0;
+  std::fill(std::begin(count_), std::end(count_), 0);
+  int used = 0;
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    const int l = lengths[s];
+    if (l < 0 || l > kMaxLength) {
+      return Status::Corruption("invalid Huffman code length");
+    }
+    if (l > 0) {
+      count_[l]++;
+      max_used_length_ = std::max(max_used_length_, l);
+      ++used;
+    }
+  }
+  if (used == 0) return Status::Corruption("empty Huffman alphabet");
+
+  // Validate Kraft inequality; allow the single-symbol degenerate code.
+  uint64_t kraft = 0;
+  for (int l = 1; l <= max_used_length_; ++l) {
+    kraft += static_cast<uint64_t>(count_[l]) << (max_used_length_ - l);
+  }
+  const uint64_t full = 1ull << max_used_length_;
+  if (kraft > full) return Status::Corruption("oversubscribed Huffman code");
+  if (kraft < full && used > 1) {
+    return Status::Corruption("incomplete Huffman code");
+  }
+
+  uint32_t code = 0;
+  int offset = 0;
+  for (int l = 1; l <= max_used_length_; ++l) {
+    code = (code + static_cast<uint32_t>(count_[l - 1])) << 1;
+    first_code_[l] = code;
+    offset_[l] = offset;
+    offset += count_[l];
+  }
+  sorted_symbols_.resize(offset);
+  std::vector<int> next(max_used_length_ + 1, 0);
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    const int l = lengths[s];
+    if (l > 0) {
+      sorted_symbols_[offset_[l] + next[l]] = static_cast<int>(s);
+      next[l]++;
+    }
+  }
+  return Status::OK();
+}
+
+Result<int> HuffmanDecoder::Decode(BitReader& reader) const {
+  uint32_t code = 0;
+  for (int l = 1; l <= max_used_length_; ++l) {
+    Result<uint32_t> bit = reader.ReadBit();
+    if (!bit.ok()) return bit.status();
+    code = (code << 1) | *bit;
+    if (count_[l] > 0 &&
+        code < first_code_[l] + static_cast<uint32_t>(count_[l])) {
+      if (code >= first_code_[l]) {
+        return sorted_symbols_[offset_[l] + static_cast<int>(code -
+                                                             first_code_[l])];
+      }
+    }
+  }
+  return Status::Corruption("invalid Huffman code in stream");
+}
+
+}  // namespace lossyts::zip

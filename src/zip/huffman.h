@@ -1,0 +1,54 @@
+#ifndef LOSSYTS_ZIP_HUFFMAN_H_
+#define LOSSYTS_ZIP_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "zip/bitstream.h"
+
+namespace lossyts::zip {
+
+/// Computes length-limited Huffman code lengths from symbol frequencies.
+///
+/// Builds an ordinary Huffman tree and, when any code would exceed
+/// `max_length`, redistributes lengths with the standard Kraft-sum repair
+/// (the approach used by miniz/zlib). Symbols with zero frequency get length
+/// 0. If exactly one symbol has non-zero frequency it is assigned length 1,
+/// as DEFLATE requires at least one bit per coded symbol.
+///
+/// Returns one length per symbol, or an error if max_length cannot
+/// accommodate the alphabet (needs 2^max_length >= #used symbols).
+Result<std::vector<int>> BuildCodeLengths(const std::vector<uint64_t>& freqs,
+                                          int max_length);
+
+/// Assigns canonical code values to the given code lengths per RFC 1951
+/// §3.2.2: shorter codes first, ties broken by symbol order.
+std::vector<uint32_t> CanonicalCodes(const std::vector<int>& lengths);
+
+/// Canonical Huffman decoder driven by code lengths alone (the form DEFLATE
+/// transmits). Decoding walks length by length using the first-code/offset
+/// method, which is simple and adequate for this library's block sizes.
+class HuffmanDecoder {
+ public:
+  /// Initializes from per-symbol code lengths. Fails if the lengths are not a
+  /// valid (complete or single-symbol) prefix code.
+  Status Init(const std::vector<int>& lengths);
+
+  /// Decodes one symbol from the reader.
+  Result<int> Decode(BitReader& reader) const;
+
+ private:
+  static constexpr int kMaxLength = 15;
+  // first_code_[l]: canonical code value of the first code of length l.
+  // offset_[l]: index into sorted_symbols_ of the first symbol of length l.
+  uint32_t first_code_[kMaxLength + 2] = {};
+  int offset_[kMaxLength + 2] = {};
+  int count_[kMaxLength + 2] = {};
+  std::vector<int> sorted_symbols_;
+  int max_used_length_ = 0;
+};
+
+}  // namespace lossyts::zip
+
+#endif  // LOSSYTS_ZIP_HUFFMAN_H_

@@ -1,0 +1,82 @@
+#include "zip/lz77.h"
+
+#include <algorithm>
+
+namespace lossyts::zip {
+
+namespace {
+
+constexpr size_t kWindowSize = 32768;
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 258;
+constexpr int kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+inline uint32_t Hash3(const uint8_t* p) {
+  const uint32_t v = static_cast<uint32_t>(p[0]) |
+                     (static_cast<uint32_t>(p[1]) << 8) |
+                     (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<Lz77Token> Lz77Tokenize(const uint8_t* data, size_t size,
+                                    const Lz77Options& options) {
+  std::vector<Lz77Token> tokens;
+  tokens.reserve(size / 2 + 16);
+
+  std::vector<int64_t> head(kHashSize, -1);
+  std::vector<int64_t> prev(size, -1);
+
+  size_t pos = 0;
+  while (pos < size) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (pos + kMinMatch <= size) {
+      const uint32_t h = Hash3(data + pos);
+      int64_t candidate = head[h];
+      int chain = options.max_chain_length;
+      const size_t limit = std::min(kMaxMatch, size - pos);
+      while (candidate >= 0 && chain-- > 0 &&
+             pos - static_cast<size_t>(candidate) <= kWindowSize) {
+        const uint8_t* a = data + pos;
+        const uint8_t* b = data + candidate;
+        size_t len = 0;
+        while (len < limit && a[len] == b[len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = pos - static_cast<size_t>(candidate);
+          if (len >= static_cast<size_t>(options.good_enough_length)) break;
+        }
+        candidate = prev[candidate];
+      }
+      // Insert current position into the chain.
+      prev[pos] = head[h];
+      head[h] = static_cast<int64_t>(pos);
+    }
+
+    if (best_len >= kMinMatch) {
+      Lz77Token t;
+      t.is_match = true;
+      t.length = static_cast<uint16_t>(best_len);
+      t.distance = static_cast<uint16_t>(best_dist);
+      tokens.push_back(t);
+      // Index the skipped positions so later matches can reference them.
+      for (size_t k = 1; k < best_len && pos + k + kMinMatch <= size; ++k) {
+        const uint32_t h = Hash3(data + pos + k);
+        prev[pos + k] = head[h];
+        head[h] = static_cast<int64_t>(pos + k);
+      }
+      pos += best_len;
+    } else {
+      Lz77Token t;
+      t.literal = data[pos];
+      tokens.push_back(t);
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace lossyts::zip

@@ -1,0 +1,31 @@
+#ifndef LOSSYTS_ZIP_LZ77_H_
+#define LOSSYTS_ZIP_LZ77_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lossyts::zip {
+
+/// One LZ77 token: either a literal byte or a back-reference.
+struct Lz77Token {
+  bool is_match = false;
+  uint8_t literal = 0;   // Valid when !is_match.
+  uint16_t length = 0;   // 3..258, valid when is_match.
+  uint16_t distance = 0; // 1..32768, valid when is_match.
+};
+
+/// Options controlling match effort (the usual speed/ratio dial).
+struct Lz77Options {
+  int max_chain_length = 128;  ///< Hash-chain positions probed per match.
+  int good_enough_length = 64; ///< Stop probing once a match this long found.
+};
+
+/// Greedy LZ77 tokenizer over a 32 KiB sliding window with 3-byte hashing,
+/// producing DEFLATE-compatible (length, distance) pairs.
+std::vector<Lz77Token> Lz77Tokenize(const uint8_t* data, size_t size,
+                                    const Lz77Options& options = {});
+
+}  // namespace lossyts::zip
+
+#endif  // LOSSYTS_ZIP_LZ77_H_

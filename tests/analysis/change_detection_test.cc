@@ -1,0 +1,102 @@
+#include "analysis/change_detection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace lossyts::analysis {
+namespace {
+
+std::vector<double> StepSeries(const std::vector<size_t>& change_points,
+                               double step, double noise, size_t n,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double level = 10.0;
+  size_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (next < change_points.size() && i == change_points[next]) {
+      level += (next % 2 == 0 ? step : -step);
+      ++next;
+    }
+    v[i] = level + noise * rng.Normal();
+  }
+  return v;
+}
+
+TEST(CusumTest, DetectsSingleLevelShift) {
+  std::vector<double> v = StepSeries({500}, 5.0, 0.5, 1000, 1);
+  Result<std::vector<size_t>> changes = DetectChanges(v);
+  ASSERT_TRUE(changes.ok());
+  ASSERT_GE(changes->size(), 1u);
+  EXPECT_NEAR(static_cast<double>((*changes)[0]), 500.0, 20.0);
+}
+
+TEST(CusumTest, DetectsMultipleShifts) {
+  std::vector<double> v = StepSeries({300, 600, 900}, 6.0, 0.5, 1200, 2);
+  Result<std::vector<size_t>> changes = DetectChanges(v);
+  ASSERT_TRUE(changes.ok());
+  const DetectionQuality q = ScoreDetections(*changes, {300, 600, 900}, 25);
+  EXPECT_EQ(q.false_negatives, 0u);
+  EXPECT_GE(q.precision, 0.6);
+}
+
+TEST(CusumTest, QuietSeriesRaisesNoAlarms) {
+  Rng rng(3);
+  std::vector<double> v(2000);
+  for (auto& x : v) x = 10.0 + 0.5 * rng.Normal();
+  Result<std::vector<size_t>> changes = DetectChanges(v);
+  ASSERT_TRUE(changes.ok());
+  EXPECT_LE(changes->size(), 1u);  // At most spurious noise.
+}
+
+TEST(CusumTest, ShortSeriesFails) {
+  std::vector<double> v(10, 1.0);
+  EXPECT_FALSE(DetectChanges(v).ok());
+}
+
+TEST(CusumTest, MinSpacingSuppressesDuplicateAlarms) {
+  std::vector<double> v = StepSeries({500}, 8.0, 0.3, 1000, 4);
+  CusumOptions options;
+  options.min_spacing = 200;
+  Result<std::vector<size_t>> changes = DetectChanges(v, options);
+  ASSERT_TRUE(changes.ok());
+  for (size_t i = 1; i < changes->size(); ++i) {
+    EXPECT_GE((*changes)[i] - (*changes)[i - 1], 200u);
+  }
+}
+
+TEST(ScoreTest, PerfectDetection) {
+  const DetectionQuality q = ScoreDetections({100, 200}, {101, 199}, 5);
+  EXPECT_EQ(q.true_positives, 2u);
+  EXPECT_EQ(q.false_positives, 0u);
+  EXPECT_EQ(q.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+}
+
+TEST(ScoreTest, FalsePositivesAndNegatives) {
+  const DetectionQuality q = ScoreDetections({100, 400}, {100, 200, 300}, 5);
+  EXPECT_EQ(q.true_positives, 1u);
+  EXPECT_EQ(q.false_positives, 1u);
+  EXPECT_EQ(q.false_negatives, 2u);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_NEAR(q.recall, 1.0 / 3.0, 1e-12);
+}
+
+TEST(ScoreTest, EachTruthMatchedOnce) {
+  // Two detections near one truth: only one counts as a true positive.
+  const DetectionQuality q = ScoreDetections({100, 102}, {101}, 5);
+  EXPECT_EQ(q.true_positives, 1u);
+  EXPECT_EQ(q.false_positives, 1u);
+}
+
+TEST(ScoreTest, EmptyInputs) {
+  const DetectionQuality q = ScoreDetections({}, {}, 5);
+  EXPECT_EQ(q.f1, 0.0);
+  const DetectionQuality q2 = ScoreDetections({}, {100}, 5);
+  EXPECT_EQ(q2.false_negatives, 1u);
+  EXPECT_EQ(q2.recall, 0.0);
+}
+
+}  // namespace
+}  // namespace lossyts::analysis

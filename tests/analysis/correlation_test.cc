@@ -1,0 +1,73 @@
+#include "analysis/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace lossyts::analysis {
+namespace {
+
+TEST(RanksTest, SimpleRanks) {
+  std::vector<double> ranks = AverageRanks({30.0, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(RanksTest, TiesShareAverageRank) {
+  std::vector<double> ranks = AverageRanks({1.0, 2.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(SpearmanTest, MonotonicNonlinearIsPerfect) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y = {1.0, 8.0, 27.0, 64.0, 125.0};  // x^3.
+  Result<double> rho = SpearmanCorrelation(x, y);
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, ReversedIsMinusOne) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {9.0, 7.0, 5.0, 1.0};
+  Result<double> rho = SpearmanCorrelation(x, y);
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, IndependentIsNearZero) {
+  Rng rng(1);
+  std::vector<double> x(5000);
+  std::vector<double> y(5000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  Result<double> rho = SpearmanCorrelation(x, y);
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, 0.0, 0.05);
+}
+
+TEST(SpearmanTest, RobustToOutliersUnlikePearson) {
+  // One extreme outlier wrecks Pearson but barely moves Spearman.
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  std::vector<double> y = {2.0, 3.0, 4.0, 5.0, 6.0, -1000.0};
+  Result<double> rho = SpearmanCorrelation(x, y);
+  ASSERT_TRUE(rho.ok());
+  // Ranks: y's last point just drops to rank 1; correlation stays moderate.
+  EXPECT_GT(*rho, -0.3);
+}
+
+TEST(SpearmanTest, TooShortFails) {
+  EXPECT_FALSE(SpearmanCorrelation({1.0, 2.0}, {1.0, 2.0}).ok());
+}
+
+TEST(SpearmanTest, LengthMismatchFails) {
+  EXPECT_FALSE(SpearmanCorrelation({1.0, 2.0, 3.0}, {1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace lossyts::analysis

@@ -1,0 +1,96 @@
+#include "analysis/kneedle.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lossyts::analysis {
+namespace {
+
+TEST(KneedleTest, ConvexElbowOnPiecewiseLinearCurve) {
+  // Flat until x = 10, then steep: the elbow is at x = 10.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 20; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(i <= 10 ? 0.1 * i : 1.0 + 5.0 * (i - 10));
+  }
+  KneedleOptions options;
+  options.curve = KneedleCurve::kConvexIncreasing;
+  Result<KneePoint> knee = FindKnee(x, y, options);
+  ASSERT_TRUE(knee.ok()) << knee.status().ToString();
+  EXPECT_NEAR(knee->x, 10.0, 1.0);
+}
+
+TEST(KneedleTest, ConcaveKneeOnSaturatingCurve) {
+  // y = 1 - exp(-x/2): classic diminishing-returns knee near x ~ 2.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 40; ++i) {
+    x.push_back(static_cast<double>(i) * 0.25);
+    y.push_back(1.0 - std::exp(-x.back() / 2.0));
+  }
+  KneedleOptions options;
+  options.curve = KneedleCurve::kConcaveIncreasing;
+  Result<KneePoint> knee = FindKnee(x, y, options);
+  ASSERT_TRUE(knee.ok());
+  EXPECT_GT(knee->x, 0.5);
+  EXPECT_LT(knee->x, 4.0);
+}
+
+TEST(KneedleTest, ExponentialTfeCurveElbow) {
+  // The shape of Figure 4: slow growth then super-linear takeoff.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 13; ++i) {
+    const double te = 0.005 * i;
+    x.push_back(te);
+    y.push_back(0.01 * std::expm1(60.0 * te));
+  }
+  KneedleOptions options;
+  options.curve = KneedleCurve::kConvexIncreasing;
+  Result<KneePoint> knee = FindKnee(x, y, options);
+  ASSERT_TRUE(knee.ok());
+  EXPECT_GT(knee->index, 2u);
+  EXPECT_LT(knee->index, 12u);
+}
+
+TEST(KneedleTest, SmoothingToleratesNoise) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 30; ++i) {
+    x.push_back(static_cast<double>(i));
+    const double base = i <= 15 ? 0.05 * i : 0.75 + 2.0 * (i - 15);
+    // Deterministic small ripple.
+    y.push_back(base + 0.05 * std::sin(static_cast<double>(i) * 1.7));
+  }
+  KneedleOptions options;
+  options.curve = KneedleCurve::kConvexIncreasing;
+  options.smoothing = 3;
+  Result<KneePoint> knee = FindKnee(x, y, options);
+  ASSERT_TRUE(knee.ok());
+  EXPECT_NEAR(knee->x, 15.0, 3.0);
+}
+
+TEST(KneedleTest, RejectsShortInput) {
+  EXPECT_FALSE(FindKnee({1.0, 2.0}, {1.0, 2.0}).ok());
+}
+
+TEST(KneedleTest, RejectsNonIncreasingX) {
+  std::vector<double> x = {1.0, 2.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_FALSE(FindKnee(x, y).ok());
+}
+
+TEST(KneedleTest, RejectsLengthMismatch) {
+  EXPECT_FALSE(FindKnee({1.0, 2.0, 3.0, 4.0, 5.0}, {1.0, 2.0}).ok());
+}
+
+TEST(KneedleTest, DegenerateFlatCurveFails) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y = {2.0, 2.0, 2.0, 2.0, 2.0};
+  EXPECT_FALSE(FindKnee(x, y).ok());
+}
+
+}  // namespace
+}  // namespace lossyts::analysis

@@ -1,0 +1,91 @@
+#include "analysis/linreg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace lossyts::analysis {
+namespace {
+
+TEST(LinregTest, PerfectLineRecovered) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y = {5.0, 7.0, 9.0, 11.0, 13.0};  // y = 3 + 2x.
+  Result<OlsResult> r = FitSimpleRegression(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(r->coefficients[1], 2.0, 1e-9);
+  EXPECT_NEAR(r->r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(r->standard_errors[1], 0.0, 1e-9);
+}
+
+TEST(LinregTest, NoisyLineHasPositiveStandardErrors) {
+  Rng rng(1);
+  std::vector<double> x(200);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i) / 10.0;
+    y[i] = 1.0 + 0.5 * x[i] + rng.Normal(0.0, 0.2);
+  }
+  Result<OlsResult> r = FitSimpleRegression(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->coefficients[1], 0.5, 0.02);
+  EXPECT_GT(r->standard_errors[1], 0.0);
+  EXPECT_LT(r->standard_errors[1], 0.05);
+  EXPECT_GT(r->r_squared, 0.95);
+}
+
+TEST(LinregTest, StandardErrorMatchesTextbookFormula) {
+  // For simple regression: SE(b1) = sqrt(sigma^2 / sum (x - xbar)^2).
+  Rng rng(2);
+  std::vector<double> x(100);
+  std::vector<double> y(100);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = 2.0 * x[i] + rng.Normal(0.0, 1.0);
+  }
+  Result<OlsResult> r = FitSimpleRegression(x, y);
+  ASSERT_TRUE(r.ok());
+  double xbar = 0.0;
+  for (double v : x) xbar += v;
+  xbar /= static_cast<double>(x.size());
+  double sxx = 0.0;
+  for (double v : x) sxx += (v - xbar) * (v - xbar);
+  EXPECT_NEAR(r->standard_errors[1],
+              std::sqrt(r->residual_variance / sxx), 1e-9);
+}
+
+TEST(LinregTest, MultipleRegression) {
+  Rng rng(3);
+  std::vector<double> x1(300);
+  std::vector<double> x2(300);
+  std::vector<double> y(300);
+  for (size_t i = 0; i < y.size(); ++i) {
+    x1[i] = rng.Normal();
+    x2[i] = rng.Normal();
+    y[i] = 1.0 + 2.0 * x1[i] - 3.0 * x2[i] + rng.Normal(0.0, 0.1);
+  }
+  Result<OlsResult> r = FitOls({x1, x2}, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->coefficients[0], 1.0, 0.05);
+  EXPECT_NEAR(r->coefficients[1], 2.0, 0.05);
+  EXPECT_NEAR(r->coefficients[2], -3.0, 0.05);
+}
+
+TEST(LinregTest, SingularDesignFails) {
+  std::vector<double> x = {1.0, 1.0, 1.0, 1.0, 1.0};  // Collinear with 1.
+  std::vector<double> y = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_FALSE(FitSimpleRegression(x, y).ok());
+}
+
+TEST(LinregTest, TooFewObservationsFails) {
+  EXPECT_FALSE(FitSimpleRegression({1.0, 2.0}, {1.0, 2.0}).ok());
+}
+
+TEST(LinregTest, LengthMismatchFails) {
+  EXPECT_FALSE(FitSimpleRegression({1.0, 2.0, 3.0}, {1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace lossyts::analysis

@@ -1,0 +1,194 @@
+#include "analysis/tree.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/gbm.h"
+#include "core/rng.h"
+
+namespace lossyts::analysis {
+namespace {
+
+// y = 10 when x0 <= 0.5 else -10; perfectly learnable with one split.
+void MakeStepData(std::vector<std::vector<double>>* rows,
+                  std::vector<double>* y, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  rows->clear();
+  y->clear();
+  for (size_t i = 0; i < n; ++i) {
+    const double x0 = rng.Uniform();
+    const double x1 = rng.Uniform();
+    rows->push_back({x0, x1});
+    y->push_back(x0 <= 0.5 ? 10.0 : -10.0);
+  }
+}
+
+TEST(TreeTest, LearnsSingleSplit) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  MakeStepData(&rows, &y, 200, 1);
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(rows, y).ok());
+  EXPECT_NEAR(tree.Predict({0.2, 0.9}), 10.0, 1e-9);
+  EXPECT_NEAR(tree.Predict({0.8, 0.1}), -10.0, 1e-9);
+}
+
+TEST(TreeTest, RootCoverEqualsSampleCount) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  MakeStepData(&rows, &y, 150, 2);
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(rows, y).ok());
+  EXPECT_DOUBLE_EQ(tree.nodes()[0].cover, 150.0);
+  // Children covers sum to the parent's.
+  const TreeNode& root = tree.nodes()[0];
+  ASSERT_GE(root.feature, 0);
+  EXPECT_DOUBLE_EQ(tree.nodes()[root.left].cover +
+                       tree.nodes()[root.right].cover,
+                   root.cover);
+}
+
+TEST(TreeTest, ConstantTargetGivesSingleLeaf) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({rng.Uniform()});
+    y.push_back(7.0);
+  }
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(rows, y).ok());
+  EXPECT_NEAR(tree.Predict({0.5}), 7.0, 1e-9);
+}
+
+TEST(TreeTest, RespectsMaxDepth) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform();
+    rows.push_back({x});
+    y.push_back(std::sin(10.0 * x));
+  }
+  RegressionTree::Options options;
+  options.max_depth = 2;
+  RegressionTree tree(options);
+  ASSERT_TRUE(tree.Fit(rows, y).ok());
+  // Depth-2 tree has at most 7 nodes.
+  EXPECT_LE(tree.nodes().size(), 7u);
+}
+
+TEST(TreeTest, MinSamplesLeafRespected) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  MakeStepData(&rows, &y, 30, 5);
+  RegressionTree::Options options;
+  options.min_samples_leaf = 10;
+  RegressionTree tree(options);
+  ASSERT_TRUE(tree.Fit(rows, y).ok());
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.feature < 0) {
+      EXPECT_GE(node.cover, 10.0);
+    }
+  }
+}
+
+TEST(TreeTest, FitWithSubsetOnlyUsesSubset) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  MakeStepData(&rows, &y, 100, 6);
+  // Subset where all targets are from the left regime.
+  std::vector<size_t> subset;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i][0] <= 0.5) subset.push_back(i);
+  }
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(rows, y, subset).ok());
+  EXPECT_NEAR(tree.Predict({0.9, 0.5}), 10.0, 1e-9);  // Never saw -10.
+}
+
+TEST(TreeTest, EmptySubsetFails) {
+  std::vector<std::vector<double>> rows = {{1.0}};
+  std::vector<double> y = {1.0};
+  RegressionTree tree;
+  EXPECT_FALSE(tree.Fit(rows, y, {}).ok());
+}
+
+TEST(TreeTest, MismatchedInputFails) {
+  std::vector<std::vector<double>> rows = {{1.0}, {2.0}};
+  std::vector<double> y = {1.0};
+  RegressionTree tree;
+  EXPECT_FALSE(tree.Fit(rows, y).ok());
+}
+
+TEST(GbmTest, FitsNonlinearFunction) {
+  Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 1000; ++i) {
+    const double x0 = rng.Uniform(-2.0, 2.0);
+    const double x1 = rng.Uniform(-2.0, 2.0);
+    rows.push_back({x0, x1});
+    y.push_back(std::sin(x0) + 0.5 * x1 * x1);
+  }
+  GradientBoostedTrees::Options options;
+  options.num_trees = 200;
+  GradientBoostedTrees gbm(options);
+  ASSERT_TRUE(gbm.Fit(rows, y).ok());
+  double sse = 0.0;
+  double sst = 0.0;
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(y.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double pred = gbm.Predict(rows[i]);
+    sse += (y[i] - pred) * (y[i] - pred);
+    sst += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  EXPECT_LT(sse / sst, 0.05);  // R^2 > 0.95 in-sample.
+}
+
+TEST(GbmTest, BaseScoreIsTargetMean) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  MakeStepData(&rows, &y, 100, 8);
+  GradientBoostedTrees gbm;
+  ASSERT_TRUE(gbm.Fit(rows, y).ok());
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(y.size());
+  EXPECT_NEAR(gbm.base_score(), mean_y, 1e-12);
+}
+
+TEST(GbmTest, SubsamplingStillLearns) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  MakeStepData(&rows, &y, 500, 9);
+  GradientBoostedTrees::Options options;
+  options.subsample = 0.5;
+  options.num_trees = 50;
+  GradientBoostedTrees gbm(options);
+  ASSERT_TRUE(gbm.Fit(rows, y).ok());
+  EXPECT_GT(gbm.Predict({0.2, 0.5}), 5.0);
+  EXPECT_LT(gbm.Predict({0.8, 0.5}), -5.0);
+}
+
+TEST(GbmTest, InvalidOptionsFail) {
+  std::vector<std::vector<double>> rows = {{1.0}, {2.0}, {3.0}};
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  GradientBoostedTrees::Options options;
+  options.num_trees = 0;
+  EXPECT_FALSE(GradientBoostedTrees(options).Fit(rows, y).ok());
+  options.num_trees = 10;
+  options.subsample = 1.5;
+  EXPECT_FALSE(GradientBoostedTrees(options).Fit(rows, y).ok());
+}
+
+TEST(GbmTest, EmptyInputFails) {
+  GradientBoostedTrees gbm;
+  EXPECT_FALSE(gbm.Fit({}, {}).ok());
+}
+
+}  // namespace
+}  // namespace lossyts::analysis

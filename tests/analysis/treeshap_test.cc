@@ -1,0 +1,159 @@
+#include "analysis/treeshap.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace lossyts::analysis {
+namespace {
+
+// Local accuracy: sum(phi) + E[f(x)] == f(x), where E[f] is the root's
+// cover-weighted mean, i.e. the value of the empty coalition.
+double RootMean(const RegressionTree& tree) {
+  // The root's `value` is the mean of training targets by construction.
+  return tree.nodes()[0].value;
+}
+
+TEST(TreeShapTest, SingleSplitSharesDifference) {
+  // Balanced split on feature 0: phi_0 = f(x) - E[f], phi_1 = 0.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const double x0 = i < 50 ? 0.25 : 0.75;
+    rows.push_back({x0, rng.Uniform()});
+    y.push_back(x0 < 0.5 ? 4.0 : 8.0);
+  }
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(rows, y).ok());
+
+  Result<std::vector<double>> phi = TreeShapValues(tree, {0.25, 0.5}, 2);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_NEAR((*phi)[0], 4.0 - 6.0, 1e-9);  // f(x)=4, E[f]=6.
+  EXPECT_NEAR((*phi)[1], 0.0, 1e-12);       // Missingness.
+}
+
+TEST(TreeShapTest, LocalAccuracyOnRandomTrees) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::vector<double>> rows;
+    std::vector<double> y;
+    for (int i = 0; i < 300; ++i) {
+      std::vector<double> row(4);
+      for (auto& v : row) v = rng.Uniform(-1.0, 1.0);
+      y.push_back(std::sin(3.0 * row[0]) + row[1] * row[2] +
+                  0.1 * rng.Normal());
+      rows.push_back(std::move(row));
+    }
+    RegressionTree::Options options;
+    options.max_depth = 4;
+    RegressionTree tree(options);
+    ASSERT_TRUE(tree.Fit(rows, y).ok());
+
+    for (int q = 0; q < 20; ++q) {
+      std::vector<double> row(4);
+      for (auto& v : row) v = rng.Uniform(-1.0, 1.0);
+      Result<std::vector<double>> phi = TreeShapValues(tree, row, 4);
+      ASSERT_TRUE(phi.ok());
+      const double sum = std::accumulate(phi->begin(), phi->end(), 0.0);
+      EXPECT_NEAR(sum + RootMean(tree), tree.Predict(row), 1e-9)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(TreeShapTest, SymmetryOfIdenticalFeatures) {
+  // Two features that are exact duplicates must share credit equally for a
+  // symmetric function (Shapley symmetry axiom).
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.Uniform();
+    const double b = rng.Uniform();
+    rows.push_back({a, b});
+    y.push_back((a > 0.5 ? 1.0 : 0.0) + (b > 0.5 ? 1.0 : 0.0));
+  }
+  RegressionTree::Options options;
+  options.max_depth = 2;
+  RegressionTree tree(options);
+  ASSERT_TRUE(tree.Fit(rows, y).ok());
+  Result<std::vector<double>> phi = TreeShapValues(tree, {0.9, 0.9}, 2);
+  ASSERT_TRUE(phi.ok());
+  // Both features push the prediction the same way.
+  EXPECT_GT((*phi)[0], 0.0);
+  EXPECT_GT((*phi)[1], 0.0);
+}
+
+TEST(TreeShapTest, SingleLeafTreeGivesZeros) {
+  std::vector<std::vector<double>> rows = {{1.0}, {2.0}, {3.0}};
+  std::vector<double> y = {5.0, 5.0, 5.0};
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(rows, y).ok());
+  Result<std::vector<double>> phi = TreeShapValues(tree, {1.5}, 1);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ((*phi)[0], 0.0);
+}
+
+TEST(TreeShapTest, UnfittedTreeFails) {
+  RegressionTree tree;
+  EXPECT_FALSE(TreeShapValues(tree, {1.0}, 1).ok());
+}
+
+TEST(GbmShapTest, LocalAccuracyForEnsemble) {
+  Rng rng(4);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> row(3);
+    for (auto& v : row) v = rng.Uniform(-1.0, 1.0);
+    y.push_back(2.0 * row[0] - row[1] + 0.5 * row[2] * row[0]);
+    rows.push_back(std::move(row));
+  }
+  GradientBoostedTrees::Options options;
+  options.num_trees = 50;
+  GradientBoostedTrees gbm(options);
+  ASSERT_TRUE(gbm.Fit(rows, y).ok());
+
+  for (int q = 0; q < 10; ++q) {
+    std::vector<double> row(3);
+    for (auto& v : row) v = rng.Uniform(-1.0, 1.0);
+    Result<std::vector<double>> phi = GbmShapValues(gbm, row, 3);
+    ASSERT_TRUE(phi.ok());
+    const double sum = std::accumulate(phi->begin(), phi->end(), 0.0);
+    EXPECT_NEAR(sum + gbm.base_score(), gbm.Predict(row), 1e-9);
+  }
+}
+
+TEST(GbmShapTest, ImportanceRanksInformativeFeatureFirst) {
+  // Feature 0 drives the target; features 1-2 are noise.
+  Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 600; ++i) {
+    std::vector<double> row = {rng.Uniform(-1.0, 1.0), rng.Uniform(),
+                               rng.Uniform()};
+    y.push_back(5.0 * row[0] + 0.05 * rng.Normal());
+    rows.push_back(std::move(row));
+  }
+  GradientBoostedTrees gbm;
+  ASSERT_TRUE(gbm.Fit(rows, y).ok());
+  Result<std::vector<double>> importance = MeanAbsoluteShap(gbm, rows, 3);
+  ASSERT_TRUE(importance.ok());
+  EXPECT_GT((*importance)[0], 10.0 * (*importance)[1]);
+  EXPECT_GT((*importance)[0], 10.0 * (*importance)[2]);
+}
+
+TEST(GbmShapTest, EmptyRowsFail) {
+  GradientBoostedTrees gbm;
+  std::vector<std::vector<double>> rows = {{1.0}, {2.0}, {3.0}};
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  ASSERT_TRUE(gbm.Fit(rows, y).ok());
+  EXPECT_FALSE(MeanAbsoluteShap(gbm, {}, 1).ok());
+}
+
+}  // namespace
+}  // namespace lossyts::analysis

@@ -1,0 +1,125 @@
+#include "compress/chimp.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "compress/gorilla.h"
+#include "core/rng.h"
+
+namespace lossyts::compress {
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void ExpectLossless(const TimeSeries& ts) {
+  ChimpCompressor chimp;
+  Result<std::vector<uint8_t>> blob = chimp.Compress(ts, 0.0);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = chimp.Decompress(*blob);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(DoubleBits(ts[i]), DoubleBits((*out)[i])) << "i=" << i;
+  }
+}
+
+TEST(ChimpTest, SingleValue) { ExpectLossless(TimeSeries(0, 60, {2.5})); }
+
+TEST(ChimpTest, ConstantSeriesIsTiny) {
+  TimeSeries ts(0, 60, std::vector<double>(8000, 12.25));
+  ChimpCompressor chimp;
+  Result<std::vector<uint8_t>> blob = chimp.Compress(ts, 0.0);
+  ASSERT_TRUE(blob.ok());
+  // Two control bits per repeated value.
+  EXPECT_LT(blob->size(), 8000u / 4 + 64);
+  ExpectLossless(ts);
+}
+
+TEST(ChimpTest, SmoothSeriesRoundTrips) {
+  std::vector<double> v(5000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = 20.0 + std::sin(static_cast<double>(i) * 0.01);
+  }
+  ExpectLossless(TimeSeries(0, 60, std::move(v)));
+}
+
+TEST(ChimpTest, QuantizedSensorDataRoundTrips) {
+  Rng rng(1);
+  std::vector<double> v(4000);
+  double x = 400.0;
+  for (auto& val : v) {
+    x += rng.Normal();
+    val = std::round(x * 100.0) / 100.0;
+  }
+  ExpectLossless(TimeSeries(0, 60, std::move(v)));
+}
+
+TEST(ChimpTest, RandomValuesRoundTrip) {
+  Rng rng(2);
+  std::vector<double> v(3000);
+  for (auto& x : v) x = rng.Normal(0.0, 1e6);
+  ExpectLossless(TimeSeries(0, 60, std::move(v)));
+}
+
+TEST(ChimpTest, SpecialValuesRoundTrip) {
+  ExpectLossless(TimeSeries(
+      0, 60,
+      {0.0, -0.0, 1.0, -1.0, 1e300, -1e-300, 5e-324,
+       std::numeric_limits<double>::infinity(),
+       std::numeric_limits<double>::max()}));
+}
+
+TEST(ChimpTest, BeatsGorillaOnQuantizedData) {
+  // Chimp's headline claim: better ratios than Gorilla on real traces.
+  Rng rng(3);
+  std::vector<double> v(20000);
+  double x = 25.0;
+  for (auto& val : v) {
+    x += 0.05 * rng.Normal();
+    val = std::round(x * 100.0) / 100.0;
+  }
+  TimeSeries ts(0, 60, std::move(v));
+  ChimpCompressor chimp;
+  GorillaCompressor gorilla;
+  Result<std::vector<uint8_t>> chimp_blob = chimp.Compress(ts, 0.0);
+  Result<std::vector<uint8_t>> gorilla_blob = gorilla.Compress(ts, 0.0);
+  ASSERT_TRUE(chimp_blob.ok());
+  ASSERT_TRUE(gorilla_blob.ok());
+  EXPECT_LT(chimp_blob->size(), gorilla_blob->size());
+}
+
+TEST(ChimpTest, EmptySeriesFails) {
+  ChimpCompressor chimp;
+  EXPECT_FALSE(chimp.Compress(TimeSeries(), 0.0).ok());
+}
+
+TEST(ChimpTest, DecompressRejectsTruncatedBlob) {
+  Rng rng(4);
+  std::vector<double> v(500);
+  for (auto& val : v) val = rng.Normal();
+  ChimpCompressor chimp;
+  Result<std::vector<uint8_t>> blob =
+      chimp.Compress(TimeSeries(0, 60, std::move(v)), 0.0);
+  ASSERT_TRUE(blob.ok());
+  blob->resize(blob->size() - 20);
+  EXPECT_FALSE(chimp.Decompress(*blob).ok());
+}
+
+TEST(ChimpTest, DecompressRejectsWrongAlgorithm) {
+  ChimpCompressor chimp;
+  Result<std::vector<uint8_t>> blob =
+      chimp.Compress(TimeSeries(0, 60, {1.0, 2.0}), 0.0);
+  ASSERT_TRUE(blob.ok());
+  (*blob)[0] = 4;  // Gorilla's id.
+  EXPECT_FALSE(chimp.Decompress(*blob).ok());
+}
+
+}  // namespace
+}  // namespace lossyts::compress

@@ -1,0 +1,118 @@
+#include "compress/gorilla.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace lossyts::compress {
+namespace {
+
+void ExpectLossless(const TimeSeries& ts) {
+  GorillaCompressor gorilla;
+  Result<std::vector<uint8_t>> blob = gorilla.Compress(ts, 0.0);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = gorilla.Decompress(*blob);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ((*out)[i], ts[i]) << "i=" << i;
+  }
+}
+
+TEST(GorillaTest, SingleValue) { ExpectLossless(TimeSeries(0, 60, {3.14})); }
+
+TEST(GorillaTest, ConstantSeriesIsTiny) {
+  TimeSeries ts(0, 60, std::vector<double>(10000, 7.25));
+  GorillaCompressor gorilla;
+  Result<std::vector<uint8_t>> blob = gorilla.Compress(ts, 0.0);
+  ASSERT_TRUE(blob.ok());
+  // One 64-bit value + one bit per repeat + headers.
+  EXPECT_LT(blob->size(), 10000u / 8 + 64);
+  ExpectLossless(ts);
+}
+
+TEST(GorillaTest, SmoothSeriesRoundTrips) {
+  std::vector<double> v(5000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = 20.0 + std::sin(static_cast<double>(i) * 0.01);
+  }
+  ExpectLossless(TimeSeries(0, 60, std::move(v)));
+}
+
+TEST(GorillaTest, RandomValuesRoundTrip) {
+  Rng rng(31);
+  std::vector<double> v(3000);
+  for (auto& x : v) x = rng.Normal(0.0, 1000.0);
+  ExpectLossless(TimeSeries(0, 60, std::move(v)));
+}
+
+TEST(GorillaTest, SpecialValuesRoundTrip) {
+  ExpectLossless(TimeSeries(
+      0, 60,
+      {0.0, -0.0, 1.0, -1.0, 1e300, -1e300, 1e-300, 5e-324,
+       std::numeric_limits<double>::infinity(),
+       -std::numeric_limits<double>::infinity(),
+       std::numeric_limits<double>::max(),
+       std::numeric_limits<double>::min()}));
+}
+
+TEST(GorillaTest, SignFlipsRoundTrip) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(i % 2 == 0 ? 42.5 : -42.5);
+  }
+  ExpectLossless(TimeSeries(0, 60, std::move(v)));
+}
+
+TEST(GorillaTest, SimilarValuesCompressBetterThanRandom) {
+  GorillaCompressor gorilla;
+  Rng rng(8);
+
+  std::vector<double> smooth(4096);
+  double x = 1000.0;
+  for (auto& val : smooth) {
+    x += 0.125;  // Exactly representable increments XOR compactly.
+    val = x;
+  }
+  std::vector<double> random(4096);
+  for (auto& val : random) val = rng.Normal(0.0, 12345.678);
+
+  Result<std::vector<uint8_t>> smooth_blob =
+      gorilla.Compress(TimeSeries(0, 60, smooth), 0.0);
+  Result<std::vector<uint8_t>> random_blob =
+      gorilla.Compress(TimeSeries(0, 60, random), 0.0);
+  ASSERT_TRUE(smooth_blob.ok());
+  ASSERT_TRUE(random_blob.ok());
+  EXPECT_LT(smooth_blob->size(), random_blob->size());
+}
+
+TEST(GorillaTest, EmptySeriesFails) {
+  GorillaCompressor gorilla;
+  EXPECT_FALSE(gorilla.Compress(TimeSeries(), 0.0).ok());
+}
+
+TEST(GorillaTest, DecompressRejectsTruncatedBlob) {
+  Rng rng(4);
+  std::vector<double> v(500);
+  for (auto& val : v) val = rng.Normal();
+  GorillaCompressor gorilla;
+  Result<std::vector<uint8_t>> blob =
+      gorilla.Compress(TimeSeries(0, 60, std::move(v)), 0.0);
+  ASSERT_TRUE(blob.ok());
+  blob->resize(blob->size() - 10);
+  EXPECT_FALSE(gorilla.Decompress(*blob).ok());
+}
+
+TEST(GorillaTest, DecompressRejectsWrongAlgorithm) {
+  GorillaCompressor gorilla;
+  Result<std::vector<uint8_t>> blob =
+      gorilla.Compress(TimeSeries(0, 60, {1.0, 2.0}), 0.0);
+  ASSERT_TRUE(blob.ok());
+  (*blob)[0] = 1;
+  EXPECT_FALSE(gorilla.Decompress(*blob).ok());
+}
+
+}  // namespace
+}  // namespace lossyts::compress

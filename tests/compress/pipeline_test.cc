@@ -1,0 +1,141 @@
+#include "compress/pipeline.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace lossyts::compress {
+namespace {
+
+TimeSeries SmoothSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double x = 50.0;
+  for (size_t i = 0; i < n; ++i) {
+    x += 0.05 * rng.Normal();
+    v[i] = x + 3.0 * std::sin(static_cast<double>(i) * 0.02);
+  }
+  return TimeSeries(0, 900, std::move(v));
+}
+
+TEST(PipelineTest, SerializeRawHasExpectedSize) {
+  TimeSeries ts = SmoothSeries(100, 1);
+  std::vector<uint8_t> raw = SerializeRaw(ts);
+  EXPECT_EQ(raw.size(), 4u + 2u + 4u + 100u * 8u);
+}
+
+TEST(PipelineTest, SerializeRawCsvIsParsableText) {
+  TimeSeries ts = SmoothSeries(10, 1);
+  std::vector<uint8_t> csv = SerializeRawCsv(ts);
+  const std::string text(csv.begin(), csv.end());
+  EXPECT_EQ(text.rfind("timestamp,value\n", 0), 0u);
+  // One header line plus one line per point.
+  size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 11u);
+}
+
+TEST(PipelineTest, RawGzipShrinksSmoothData) {
+  TimeSeries ts = SmoothSeries(5000, 2);
+  EXPECT_LT(RawGzipSize(ts), SerializeRawCsv(ts).size());
+}
+
+TEST(PipelineTest, RunPipelineProducesConsistentResult) {
+  TimeSeries ts = SmoothSeries(3000, 3);
+  Result<std::unique_ptr<Compressor>> pmc = MakeCompressor("PMC");
+  ASSERT_TRUE(pmc.ok());
+  Result<PipelineResult> result = RunPipeline(**pmc, ts, 0.05);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->compressor_name, "PMC");
+  EXPECT_DOUBLE_EQ(result->error_bound, 0.05);
+  EXPECT_GT(result->compression_ratio, 1.0);
+  EXPECT_GT(result->segment_count, 0u);
+  EXPECT_LT(result->segment_count, ts.size());
+  EXPECT_GT(result->te_rmse, 0.0);
+  EXPECT_LE(result->te_max_rel, 0.05 * (1.0 + 1e-9));
+  EXPECT_EQ(result->decompressed.size(), ts.size());
+  EXPECT_EQ(result->raw_gz_bytes, RawGzipSize(ts));
+  EXPECT_DOUBLE_EQ(result->compression_ratio,
+                   static_cast<double>(result->raw_gz_bytes) /
+                       static_cast<double>(result->gz_bytes));
+}
+
+TEST(PipelineTest, CrIncreasesWithErrorBoundForPmc) {
+  TimeSeries ts = SmoothSeries(4000, 5);
+  Result<std::unique_ptr<Compressor>> pmc = MakeCompressor("PMC");
+  ASSERT_TRUE(pmc.ok());
+  Result<PipelineResult> low = RunPipeline(**pmc, ts, 0.01);
+  Result<PipelineResult> high = RunPipeline(**pmc, ts, 0.5);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(high->compression_ratio, low->compression_ratio);
+  EXPECT_GE(high->te_rmse, low->te_rmse);
+  EXPECT_LT(high->segment_count, low->segment_count);
+}
+
+TEST(PipelineTest, AllThreeLossyCompressorsBeatGorillaOnSmoothData) {
+  TimeSeries ts = SmoothSeries(4000, 7);
+  Result<std::unique_ptr<Compressor>> gorilla = MakeCompressor("GORILLA");
+  ASSERT_TRUE(gorilla.ok());
+  Result<PipelineResult> baseline = RunPipeline(**gorilla, ts, 0.0);
+  ASSERT_TRUE(baseline.ok());
+  for (const std::string& name : LossyCompressorNames()) {
+    Result<std::unique_ptr<Compressor>> c = MakeCompressor(name);
+    ASSERT_TRUE(c.ok());
+    Result<PipelineResult> r = RunPipeline(**c, ts, 0.1);
+    ASSERT_TRUE(r.ok()) << name;
+    EXPECT_GT(r->compression_ratio, baseline->compression_ratio) << name;
+  }
+}
+
+TEST(PipelineTest, GorillaIsLosslessThroughPipeline) {
+  TimeSeries ts = SmoothSeries(2000, 9);
+  Result<std::unique_ptr<Compressor>> gorilla = MakeCompressor("GORILLA");
+  ASSERT_TRUE(gorilla.ok());
+  Result<PipelineResult> r = RunPipeline(**gorilla, ts, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->te_rmse, 0.0);
+  EXPECT_EQ(r->te_max_rel, 0.0);
+}
+
+TEST(PipelineTest, SegmentCountsMatchFigure3Ordering) {
+  // Swing's two-coefficient model needs fewer segments than PMC's constant.
+  TimeSeries ts = SmoothSeries(4000, 11);
+  Result<std::unique_ptr<Compressor>> pmc = MakeCompressor("PMC");
+  Result<std::unique_ptr<Compressor>> swing = MakeCompressor("SWING");
+  ASSERT_TRUE(pmc.ok());
+  ASSERT_TRUE(swing.ok());
+  Result<PipelineResult> pmc_result = RunPipeline(**pmc, ts, 0.1);
+  Result<PipelineResult> swing_result = RunPipeline(**swing, ts, 0.1);
+  ASSERT_TRUE(pmc_result.ok());
+  ASSERT_TRUE(swing_result.ok());
+  EXPECT_LE(swing_result->segment_count, pmc_result->segment_count);
+}
+
+TEST(PipelineTest, MakeCompressorRejectsUnknownName) {
+  Result<std::unique_ptr<Compressor>> c = MakeCompressor("LZMA");
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PipelineTest, PaperErrorBoundsMatchSection32) {
+  const std::vector<double>& ebs = PaperErrorBounds();
+  ASSERT_EQ(ebs.size(), 13u);
+  EXPECT_DOUBLE_EQ(ebs.front(), 0.01);
+  EXPECT_DOUBLE_EQ(ebs.back(), 0.8);
+  for (size_t i = 1; i < ebs.size(); ++i) EXPECT_GT(ebs[i], ebs[i - 1]);
+}
+
+TEST(PipelineTest, CountConstantRuns) {
+  EXPECT_EQ(CountConstantRuns(TimeSeries()), 0u);
+  EXPECT_EQ(CountConstantRuns(TimeSeries(0, 1, {1.0})), 1u);
+  EXPECT_EQ(CountConstantRuns(TimeSeries(0, 1, {1.0, 1.0, 2.0, 2.0, 1.0})),
+            3u);
+}
+
+}  // namespace
+}  // namespace lossyts::compress

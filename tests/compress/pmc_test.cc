@@ -1,0 +1,192 @@
+#include "compress/pmc.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/rng.h"
+
+namespace lossyts::compress {
+namespace {
+
+TimeSeries NoisySine(size_t n, uint64_t seed, double base = 20.0) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = base + 5.0 * std::sin(static_cast<double>(i) * 0.05) +
+           0.2 * rng.Normal();
+  }
+  return TimeSeries(0, 60, std::move(v));
+}
+
+TEST(PmcTest, RoundTripPreservesMetadata) {
+  TimeSeries ts = NoisySine(500, 1);
+  PmcCompressor pmc;
+  Result<std::vector<uint8_t>> blob = pmc.Compress(ts, 0.05);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = pmc.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), ts.size());
+  EXPECT_EQ(out->start_timestamp(), ts.start_timestamp());
+  EXPECT_EQ(out->interval_seconds(), ts.interval_seconds());
+}
+
+TEST(PmcTest, RespectsRelativeErrorBound) {
+  PmcCompressor pmc;
+  for (double eb : {0.01, 0.05, 0.1, 0.3, 0.8}) {
+    TimeSeries ts = NoisySine(2000, 7);
+    Result<std::vector<uint8_t>> blob = pmc.Compress(ts, eb);
+    ASSERT_TRUE(blob.ok());
+    Result<TimeSeries> out = pmc.Decompress(*blob);
+    ASSERT_TRUE(out.ok());
+    Result<double> max_rel = MaxRelError(ts.values(), out->values());
+    ASSERT_TRUE(max_rel.ok());
+    EXPECT_LE(*max_rel, eb * (1.0 + 1e-9)) << "eb=" << eb;
+  }
+}
+
+TEST(PmcTest, ConstantSeriesBecomesOneSegment) {
+  TimeSeries ts(0, 60, std::vector<double>(1000, 5.0));
+  PmcCompressor pmc;
+  Result<std::vector<uint8_t>> blob = pmc.Compress(ts, 0.01);
+  ASSERT_TRUE(blob.ok());
+  // Header (11) + segment count (4) + one segment (2 + 1 + 4, f32 mean).
+  EXPECT_EQ(blob->size(), 11u + 4u + 7u);
+  Result<TimeSeries> out = pmc.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  for (double v : out->values()) EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(PmcTest, OutputIsPiecewiseConstant) {
+  TimeSeries ts = NoisySine(1000, 3);
+  PmcCompressor pmc;
+  Result<std::vector<uint8_t>> blob = pmc.Compress(ts, 0.1);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = pmc.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  // Count distinct runs; must be far fewer than points.
+  size_t runs = 1;
+  for (size_t i = 1; i < out->size(); ++i) {
+    if ((*out)[i] != (*out)[i - 1]) ++runs;
+  }
+  EXPECT_LT(runs, ts.size() / 3);
+}
+
+TEST(PmcTest, HigherBoundGivesSmallerOutput) {
+  TimeSeries ts = NoisySine(4000, 9);
+  PmcCompressor pmc;
+  Result<std::vector<uint8_t>> small_eb = pmc.Compress(ts, 0.01);
+  Result<std::vector<uint8_t>> large_eb = pmc.Compress(ts, 0.5);
+  ASSERT_TRUE(small_eb.ok());
+  ASSERT_TRUE(large_eb.ok());
+  EXPECT_LT(large_eb->size(), small_eb->size());
+}
+
+TEST(PmcTest, ExactZerosAreReconstructedExactly) {
+  std::vector<double> v(200, 0.0);
+  for (size_t i = 50; i < 100; ++i) v[i] = 10.0;
+  TimeSeries ts(0, 600, std::move(v));
+  PmcCompressor pmc;
+  Result<std::vector<uint8_t>> blob = pmc.Compress(ts, 0.2);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = pmc.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ((*out)[i], 0.0);
+  for (size_t i = 100; i < 200; ++i) EXPECT_EQ((*out)[i], 0.0);
+}
+
+TEST(PmcTest, NegativeValuesRespectBound) {
+  Rng rng(13);
+  std::vector<double> v(1000);
+  for (auto& x : v) x = -50.0 + 2.0 * rng.Normal();
+  TimeSeries ts(0, 60, std::move(v));
+  PmcCompressor pmc;
+  Result<std::vector<uint8_t>> blob = pmc.Compress(ts, 0.05);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = pmc.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  Result<double> max_rel = MaxRelError(ts.values(), out->values());
+  ASSERT_TRUE(max_rel.ok());
+  EXPECT_LE(*max_rel, 0.05 * (1.0 + 1e-9));
+}
+
+TEST(PmcTest, InvalidErrorBoundFails) {
+  TimeSeries ts = NoisySine(10, 1);
+  PmcCompressor pmc;
+  EXPECT_FALSE(pmc.Compress(ts, 0.0).ok());
+  EXPECT_FALSE(pmc.Compress(ts, -0.1).ok());
+  EXPECT_FALSE(pmc.Compress(ts, 1.5).ok());
+}
+
+TEST(PmcTest, EmptySeriesFails) {
+  TimeSeries ts;
+  PmcCompressor pmc;
+  EXPECT_FALSE(pmc.Compress(ts, 0.1).ok());
+}
+
+TEST(PmcTest, DecompressRejectsWrongAlgorithm) {
+  TimeSeries ts = NoisySine(100, 1);
+  PmcCompressor pmc;
+  Result<std::vector<uint8_t>> blob = pmc.Compress(ts, 0.1);
+  ASSERT_TRUE(blob.ok());
+  (*blob)[0] = 2;  // Swing's algorithm id.
+  EXPECT_FALSE(pmc.Decompress(*blob).ok());
+}
+
+TEST(PmcTest, DecompressRejectsTruncatedBlob) {
+  TimeSeries ts = NoisySine(100, 1);
+  PmcCompressor pmc;
+  Result<std::vector<uint8_t>> blob = pmc.Compress(ts, 0.1);
+  ASSERT_TRUE(blob.ok());
+  blob->resize(blob->size() - 5);
+  EXPECT_FALSE(pmc.Decompress(*blob).ok());
+}
+
+TEST(PmcTest, F64OptionStillHoldsBoundAndGrowsBlob) {
+  TimeSeries ts = NoisySine(2000, 21);
+  PmcCompressor::Options options;
+  options.f32_coefficients = false;
+  PmcCompressor wide(options);
+  PmcCompressor narrow;
+  Result<std::vector<uint8_t>> wide_blob = wide.Compress(ts, 0.1);
+  Result<std::vector<uint8_t>> narrow_blob = narrow.Compress(ts, 0.1);
+  ASSERT_TRUE(wide_blob.ok());
+  ASSERT_TRUE(narrow_blob.ok());
+  EXPECT_GT(wide_blob->size(), narrow_blob->size());
+  Result<TimeSeries> out = wide.Decompress(*wide_blob);
+  ASSERT_TRUE(out.ok());
+  Result<double> max_rel = MaxRelError(ts.values(), out->values());
+  ASSERT_TRUE(max_rel.ok());
+  EXPECT_LE(*max_rel, 0.1 * (1.0 + 1e-9));
+}
+
+class PmcPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PmcPropertyTest, BoundHoldsOnRandomWalks) {
+  const double eb = GetParam();
+  PmcCompressor pmc;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    std::vector<double> v(1500);
+    double x = 100.0;
+    for (auto& val : v) {
+      x += rng.Normal();
+      val = x;
+    }
+    TimeSeries ts(0, 1, std::move(v));
+    Result<std::vector<uint8_t>> blob = pmc.Compress(ts, eb);
+    ASSERT_TRUE(blob.ok());
+    Result<TimeSeries> out = pmc.Decompress(*blob);
+    ASSERT_TRUE(out.ok());
+    Result<double> max_rel = MaxRelError(ts.values(), out->values());
+    ASSERT_TRUE(max_rel.ok());
+    EXPECT_LE(*max_rel, eb * (1.0 + 1e-9)) << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, PmcPropertyTest,
+                         ::testing::Values(0.01, 0.03, 0.05, 0.1, 0.2, 0.5));
+
+}  // namespace
+}  // namespace lossyts::compress

@@ -1,0 +1,204 @@
+#include "compress/sz.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/rng.h"
+
+namespace lossyts::compress {
+namespace {
+
+TimeSeries NoisySine(size_t n, uint64_t seed, double base = 20.0) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = base + 5.0 * std::sin(static_cast<double>(i) * 0.05) +
+           0.2 * rng.Normal();
+  }
+  return TimeSeries(0, 60, std::move(v));
+}
+
+TEST(SzTest, RoundTripPreservesMetadata) {
+  TimeSeries ts = NoisySine(500, 1);
+  SzCompressor sz;
+  Result<std::vector<uint8_t>> blob = sz.Compress(ts, 0.05);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = sz.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), ts.size());
+  EXPECT_EQ(out->start_timestamp(), ts.start_timestamp());
+  EXPECT_EQ(out->interval_seconds(), ts.interval_seconds());
+}
+
+TEST(SzTest, RespectsRelativeErrorBound) {
+  SzCompressor sz;
+  for (double eb : {0.01, 0.05, 0.1, 0.3, 0.8}) {
+    TimeSeries ts = NoisySine(2000, 7);
+    Result<std::vector<uint8_t>> blob = sz.Compress(ts, eb);
+    ASSERT_TRUE(blob.ok());
+    Result<TimeSeries> out = sz.Decompress(*blob);
+    ASSERT_TRUE(out.ok());
+    Result<double> max_rel = MaxRelError(ts.values(), out->values());
+    ASSERT_TRUE(max_rel.ok());
+    EXPECT_LE(*max_rel, eb * (1.0 + 1e-6)) << "eb=" << eb;
+  }
+}
+
+TEST(SzTest, ExactZerosAreReconstructedExactly) {
+  std::vector<double> v(400, 0.0);
+  for (size_t i = 100; i < 300; ++i) {
+    v[i] = 5.0 + std::sin(static_cast<double>(i) * 0.1);
+  }
+  TimeSeries ts(0, 600, std::move(v));
+  SzCompressor sz;
+  Result<std::vector<uint8_t>> blob = sz.Compress(ts, 0.1);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = sz.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ((*out)[i], 0.0);
+  for (size_t i = 300; i < 400; ++i) EXPECT_EQ((*out)[i], 0.0);
+}
+
+TEST(SzTest, NegativeValuesKeepSign) {
+  Rng rng(5);
+  std::vector<double> v(1000);
+  for (auto& x : v) x = -30.0 + rng.Normal();
+  TimeSeries ts(0, 60, std::move(v));
+  SzCompressor sz;
+  Result<std::vector<uint8_t>> blob = sz.Compress(ts, 0.05);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = sz.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_LT((*out)[i], 0.0);
+  }
+  Result<double> max_rel = MaxRelError(ts.values(), out->values());
+  ASSERT_TRUE(max_rel.ok());
+  EXPECT_LE(*max_rel, 0.05 * (1.0 + 1e-6));
+}
+
+TEST(SzTest, MixedSignSeriesRespectsBound) {
+  Rng rng(6);
+  std::vector<double> v(2000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = 10.0 * std::sin(static_cast<double>(i) * 0.02) + 0.1 * rng.Normal();
+  }
+  TimeSeries ts(0, 60, std::move(v));
+  SzCompressor sz;
+  Result<std::vector<uint8_t>> blob = sz.Compress(ts, 0.1);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = sz.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  Result<double> max_rel = MaxRelError(ts.values(), out->values());
+  ASSERT_TRUE(max_rel.ok());
+  EXPECT_LE(*max_rel, 0.1 * (1.0 + 1e-6));
+}
+
+TEST(SzTest, QuantizationCreatesConstantRuns) {
+  // The paper's Figure 1 observation: SZ output looks piecewise constant.
+  TimeSeries ts = NoisySine(2000, 11);
+  SzCompressor sz;
+  Result<std::vector<uint8_t>> blob = sz.Compress(ts, 0.1);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = sz.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  size_t runs = 1;
+  for (size_t i = 1; i < out->size(); ++i) {
+    if ((*out)[i] != (*out)[i - 1]) ++runs;
+  }
+  EXPECT_LT(runs, ts.size());
+}
+
+TEST(SzTest, HigherBoundGivesSmallerOutput) {
+  TimeSeries ts = NoisySine(4000, 9);
+  SzCompressor sz;
+  Result<std::vector<uint8_t>> small_eb = sz.Compress(ts, 0.01);
+  Result<std::vector<uint8_t>> large_eb = sz.Compress(ts, 0.5);
+  ASSERT_TRUE(small_eb.ok());
+  ASSERT_TRUE(large_eb.ok());
+  EXPECT_LE(large_eb->size(), small_eb->size());
+}
+
+TEST(SzTest, TinyValuesStoredWithinBound) {
+  std::vector<double> v = {1e-8, 2e-8, -3e-8, 1e-300, -1e-300, 4.0};
+  TimeSeries ts(0, 60, std::move(v));
+  SzCompressor sz;
+  Result<std::vector<uint8_t>> blob = sz.Compress(ts, 0.1);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = sz.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  Result<double> max_rel = MaxRelError(ts.values(), out->values());
+  ASSERT_TRUE(max_rel.ok());
+  EXPECT_LE(*max_rel, 0.1 * (1.0 + 1e-6));
+}
+
+TEST(SzTest, InvalidErrorBoundFails) {
+  TimeSeries ts = NoisySine(10, 1);
+  SzCompressor sz;
+  EXPECT_FALSE(sz.Compress(ts, 0.0).ok());
+  EXPECT_FALSE(sz.Compress(ts, 1.0).ok());
+}
+
+TEST(SzTest, EmptySeriesFails) {
+  SzCompressor sz;
+  EXPECT_FALSE(sz.Compress(TimeSeries(), 0.1).ok());
+}
+
+TEST(SzTest, DecompressRejectsCorruptedBlob) {
+  TimeSeries ts = NoisySine(500, 1);
+  SzCompressor sz;
+  Result<std::vector<uint8_t>> blob = sz.Compress(ts, 0.1);
+  ASSERT_TRUE(blob.ok());
+  std::vector<uint8_t> truncated(*blob);
+  truncated.resize(truncated.size() / 3);
+  EXPECT_FALSE(sz.Decompress(truncated).ok());
+  std::vector<uint8_t> wrong_alg(*blob);
+  wrong_alg[0] = 1;
+  EXPECT_FALSE(sz.Decompress(wrong_alg).ok());
+}
+
+TEST(SzTest, CustomBlockSizeWorks) {
+  SzCompressor::Options options;
+  options.block_size = 32;
+  SzCompressor sz(options);
+  TimeSeries ts = NoisySine(777, 2);
+  Result<std::vector<uint8_t>> blob = sz.Compress(ts, 0.05);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = sz.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  Result<double> max_rel = MaxRelError(ts.values(), out->values());
+  ASSERT_TRUE(max_rel.ok());
+  EXPECT_LE(*max_rel, 0.05 * (1.0 + 1e-6));
+}
+
+class SzPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SzPropertyTest, BoundHoldsOnRandomWalks) {
+  const double eb = GetParam();
+  SzCompressor sz;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed + 200);
+    std::vector<double> v(1500);
+    double x = 100.0;
+    for (auto& val : v) {
+      x += rng.Normal();
+      val = x;
+    }
+    TimeSeries ts(0, 1, std::move(v));
+    Result<std::vector<uint8_t>> blob = sz.Compress(ts, eb);
+    ASSERT_TRUE(blob.ok());
+    Result<TimeSeries> out = sz.Decompress(*blob);
+    ASSERT_TRUE(out.ok());
+    Result<double> max_rel = MaxRelError(ts.values(), out->values());
+    ASSERT_TRUE(max_rel.ok());
+    EXPECT_LE(*max_rel, eb * (1.0 + 1e-6)) << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, SzPropertyTest,
+                         ::testing::Values(0.01, 0.03, 0.05, 0.1, 0.2, 0.5));
+
+}  // namespace
+}  // namespace lossyts::compress

@@ -1,0 +1,142 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lossyts {
+namespace {
+
+TEST(MetricsTest, RmseIdenticalIsZero) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  Result<double> r = Rmse(x, x);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.0);
+}
+
+TEST(MetricsTest, RmseKnownValue) {
+  std::vector<double> x = {0.0, 0.0, 0.0, 0.0};
+  std::vector<double> y = {1.0, 1.0, 1.0, 1.0};
+  Result<double> r = Rmse(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 1.0);
+}
+
+TEST(MetricsTest, RmseMixedErrors) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {2.0, 4.0};
+  // Errors 1 and 2 -> sqrt((1+4)/2).
+  Result<double> r = Rmse(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, std::sqrt(2.5));
+}
+
+TEST(MetricsTest, NrmseNormalizesByRange) {
+  std::vector<double> x = {0.0, 10.0};
+  std::vector<double> y = {1.0, 11.0};
+  Result<double> r = Nrmse(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.1);
+}
+
+TEST(MetricsTest, NrmseConstantReferenceFails) {
+  std::vector<double> x = {5.0, 5.0};
+  std::vector<double> y = {4.0, 6.0};
+  EXPECT_FALSE(Nrmse(x, y).ok());
+}
+
+TEST(MetricsTest, RseKnownValue) {
+  std::vector<double> x = {1.0, 3.0};  // mean 2, sum sq dev = 2.
+  std::vector<double> y = {2.0, 2.0};  // errors 1, -1 -> sum sq = 2.
+  Result<double> r = Rse(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 1.0);
+}
+
+TEST(MetricsTest, RsePerfectIsZero) {
+  std::vector<double> x = {1.0, 3.0, 5.0};
+  Result<double> r = Rse(x, x);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.0);
+}
+
+TEST(MetricsTest, PearsonPerfectPositive) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {10.0, 20.0, 30.0};
+  Result<double> r = PearsonR(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 1.0, 1e-12);
+}
+
+TEST(MetricsTest, PearsonPerfectNegative) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {3.0, 2.0, 1.0};
+  Result<double> r = PearsonR(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, -1.0, 1e-12);
+}
+
+TEST(MetricsTest, PearsonUncorrelated) {
+  std::vector<double> x = {1.0, 2.0, 1.0, 2.0};
+  std::vector<double> y = {1.0, 1.0, 2.0, 2.0};
+  Result<double> r = PearsonR(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 0.0, 1e-12);
+}
+
+TEST(MetricsTest, PearsonConstantInputFails) {
+  std::vector<double> x = {1.0, 1.0};
+  std::vector<double> y = {1.0, 2.0};
+  EXPECT_FALSE(PearsonR(x, y).ok());
+}
+
+TEST(MetricsTest, MaeKnownValue) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {2.0, 0.0, 3.0};
+  Result<double> r = Mae(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 1.0);
+}
+
+TEST(MetricsTest, MaxAbsError) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {1.5, 1.0, 3.2};
+  Result<double> r = MaxAbsError(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 1.0);
+}
+
+TEST(MetricsTest, MaxRelError) {
+  std::vector<double> x = {10.0, 100.0};
+  std::vector<double> y = {11.0, 105.0};
+  Result<double> r = MaxRelError(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.1);
+}
+
+TEST(MetricsTest, LengthMismatchFails) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {1.0};
+  EXPECT_EQ(Rmse(x, y).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(Mae(x, y).ok());
+  EXPECT_FALSE(PearsonR(x, y).ok());
+}
+
+TEST(MetricsTest, EmptyInputFails) {
+  std::vector<double> empty;
+  EXPECT_FALSE(Rmse(empty, empty).ok());
+}
+
+TEST(MetricsTest, CalculateMetricsBundlesAllFour) {
+  std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y = {0.1, 1.1, 1.9, 3.0};
+  Result<MetricSet> m = CalculateMetrics(x, y);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->r, 0.99);
+  EXPECT_GT(m->rmse, 0.0);
+  EXPECT_NEAR(m->nrmse, m->rmse / 3.0, 1e-12);
+  EXPECT_GT(m->rse, 0.0);
+}
+
+}  // namespace
+}  // namespace lossyts

@@ -1,0 +1,82 @@
+#include "core/split.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace lossyts {
+namespace {
+
+TimeSeries MakeSeries(size_t n) {
+  std::vector<double> v(n);
+  std::iota(v.begin(), v.end(), 0.0);
+  return TimeSeries(0, 60, std::move(v));
+}
+
+TEST(SplitTest, DefaultFractions70_10_20) {
+  TimeSeries ts = MakeSeries(100);
+  Result<TrainValTest> split = SplitSeries(ts);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size(), 70u);
+  EXPECT_EQ(split->val.size(), 10u);
+  EXPECT_EQ(split->test.size(), 20u);
+}
+
+TEST(SplitTest, ChronologicalOrderPreserved) {
+  TimeSeries ts = MakeSeries(100);
+  Result<TrainValTest> split = SplitSeries(ts);
+  ASSERT_TRUE(split.ok());
+  EXPECT_DOUBLE_EQ(split->train[0], 0.0);
+  EXPECT_DOUBLE_EQ(split->train[69], 69.0);
+  EXPECT_DOUBLE_EQ(split->val[0], 70.0);
+  EXPECT_DOUBLE_EQ(split->test[0], 80.0);
+  EXPECT_DOUBLE_EQ(split->test[19], 99.0);
+}
+
+TEST(SplitTest, TimestampsContinueAcrossParts) {
+  TimeSeries ts = MakeSeries(100);
+  Result<TrainValTest> split = SplitSeries(ts);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->val.start_timestamp(), ts.TimestampAt(70));
+  EXPECT_EQ(split->test.start_timestamp(), ts.TimestampAt(80));
+}
+
+TEST(SplitTest, CustomFractions) {
+  TimeSeries ts = MakeSeries(100);
+  SplitOptions opt;
+  opt.train_fraction = 0.5;
+  opt.val_fraction = 0.25;
+  Result<TrainValTest> split = SplitSeries(ts, opt);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size(), 50u);
+  EXPECT_EQ(split->val.size(), 25u);
+  EXPECT_EQ(split->test.size(), 25u);
+}
+
+TEST(SplitTest, InvalidFractionsFail) {
+  TimeSeries ts = MakeSeries(100);
+  SplitOptions opt;
+  opt.train_fraction = 0.9;
+  opt.val_fraction = 0.2;
+  EXPECT_FALSE(SplitSeries(ts, opt).ok());
+  opt.train_fraction = 0.0;
+  opt.val_fraction = 0.1;
+  EXPECT_FALSE(SplitSeries(ts, opt).ok());
+}
+
+TEST(SplitTest, TooShortSeriesFails) {
+  TimeSeries ts = MakeSeries(1);
+  EXPECT_FALSE(SplitSeries(ts).ok());
+}
+
+TEST(SplitTest, PartsCoverWholeSeries) {
+  for (size_t n : {10u, 37u, 101u, 1000u}) {
+    TimeSeries ts = MakeSeries(n);
+    Result<TrainValTest> split = SplitSeries(ts);
+    ASSERT_TRUE(split.ok()) << "n=" << n;
+    EXPECT_EQ(split->train.size() + split->val.size() + split->test.size(), n);
+  }
+}
+
+}  // namespace
+}  // namespace lossyts

@@ -1,0 +1,102 @@
+#include "core/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace lossyts {
+namespace {
+
+TimeSeries MakeSeries() {
+  return TimeSeries(1000, 60, {1.0, 2.0, 3.0, 4.0, 5.0});
+}
+
+TEST(TimeSeriesTest, BasicAccessors) {
+  TimeSeries ts = MakeSeries();
+  EXPECT_EQ(ts.size(), 5u);
+  EXPECT_FALSE(ts.empty());
+  EXPECT_EQ(ts.start_timestamp(), 1000);
+  EXPECT_EQ(ts.interval_seconds(), 60);
+  EXPECT_DOUBLE_EQ(ts[2], 3.0);
+}
+
+TEST(TimeSeriesTest, TimestampsAreRegular) {
+  TimeSeries ts = MakeSeries();
+  EXPECT_EQ(ts.TimestampAt(0), 1000);
+  EXPECT_EQ(ts.TimestampAt(1), 1060);
+  EXPECT_EQ(ts.TimestampAt(4), 1240);
+}
+
+TEST(TimeSeriesTest, AppendExtendsSeries) {
+  TimeSeries ts = MakeSeries();
+  ts.Append(6.0);
+  EXPECT_EQ(ts.size(), 6u);
+  EXPECT_DOUBLE_EQ(ts[5], 6.0);
+  EXPECT_EQ(ts.TimestampAt(5), 1300);
+}
+
+TEST(TimeSeriesTest, SliceKeepsTimestampAlignment) {
+  TimeSeries ts = MakeSeries();
+  Result<TimeSeries> slice = ts.Slice(1, 4);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->size(), 3u);
+  EXPECT_EQ(slice->start_timestamp(), 1060);
+  EXPECT_DOUBLE_EQ((*slice)[0], 2.0);
+  EXPECT_DOUBLE_EQ((*slice)[2], 4.0);
+}
+
+TEST(TimeSeriesTest, SliceEmptyRangeIsAllowed) {
+  TimeSeries ts = MakeSeries();
+  Result<TimeSeries> slice = ts.Slice(2, 2);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_TRUE(slice->empty());
+}
+
+TEST(TimeSeriesTest, SliceOutOfBoundsFails) {
+  TimeSeries ts = MakeSeries();
+  EXPECT_FALSE(ts.Slice(0, 6).ok());
+  EXPECT_FALSE(ts.Slice(3, 2).ok());
+  EXPECT_EQ(ts.Slice(0, 6).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TimeSeriesTest, StatsOnKnownValues) {
+  TimeSeries ts = MakeSeries();
+  Result<TimeSeries::Stats> stats = ts.ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->length, 5u);
+  EXPECT_DOUBLE_EQ(stats->mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats->min, 1.0);
+  EXPECT_DOUBLE_EQ(stats->max, 5.0);
+  EXPECT_DOUBLE_EQ(stats->median, 3.0);
+  EXPECT_DOUBLE_EQ(stats->q1, 2.0);
+  EXPECT_DOUBLE_EQ(stats->q3, 4.0);
+  EXPECT_DOUBLE_EQ(stats->variance, 2.0);
+  // rIQD = (4-2)/3 * 100.
+  EXPECT_NEAR(stats->riqd_percent, 66.6667, 1e-3);
+}
+
+TEST(TimeSeriesTest, StatsOnEmptySeriesFails) {
+  TimeSeries ts;
+  EXPECT_FALSE(ts.ComputeStats().ok());
+}
+
+TEST(TimeSeriesTest, StatsHandleNegativeMeanInRiqd) {
+  TimeSeries ts(0, 1, {-1.0, -2.0, -3.0, -4.0, -5.0});
+  Result<TimeSeries::Stats> stats = ts.ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->riqd_percent, 0.0);
+}
+
+TEST(QuantileTest, InterpolatesType7) {
+  std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.25), 1.75);
+}
+
+TEST(QuantileTest, SingleElement) {
+  std::vector<double> sorted = {7.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.5), 7.0);
+}
+
+}  // namespace
+}  // namespace lossyts

@@ -1,0 +1,168 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace lossyts::data {
+namespace {
+
+TEST(DatasetsTest, SixDatasetsInPaperOrder) {
+  const std::vector<std::string>& names = DatasetNames();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "ETTm1");
+  EXPECT_EQ(names[1], "ETTm2");
+  EXPECT_EQ(names[2], "Solar");
+  EXPECT_EQ(names[3], "Weather");
+  EXPECT_EQ(names[4], "ElecDem");
+  EXPECT_EQ(names[5], "Wind");
+}
+
+TEST(DatasetsTest, UnknownNameFails) {
+  Result<Dataset> d = MakeDataset("Traffic");
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetsTest, InvalidFractionFails) {
+  DatasetOptions options;
+  options.length_fraction = 0.0;
+  EXPECT_FALSE(MakeDataset("ETTm1", options).ok());
+  options.length_fraction = 1.5;
+  EXPECT_FALSE(MakeDataset("ETTm1", options).ok());
+}
+
+TEST(DatasetsTest, DeterministicForSameSeed) {
+  Result<Dataset> a = MakeDataset("ETTm1");
+  Result<Dataset> b = MakeDataset("ETTm1");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->series.size(), b->series.size());
+  for (size_t i = 0; i < a->series.size(); ++i) {
+    EXPECT_EQ(a->series[i], b->series[i]);
+  }
+}
+
+TEST(DatasetsTest, DifferentSeedsDiffer) {
+  DatasetOptions options;
+  options.seed = 1;
+  Result<Dataset> a = MakeDataset("ETTm1", options);
+  options.seed = 2;
+  Result<Dataset> b = MakeDataset("ETTm1", options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  size_t differing = 0;
+  for (size_t i = 0; i < a->series.size(); ++i) {
+    if (a->series[i] != b->series[i]) ++differing;
+  }
+  EXPECT_GT(differing, a->series.size() / 2);
+}
+
+TEST(DatasetsTest, MakeAllDatasetsReturnsSix) {
+  Result<std::vector<Dataset>> all = MakeAllDatasets();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 6u);
+}
+
+// One fixture per dataset checking that the synthetic series lands in the
+// statistical regime that drives the paper's findings (Table 1).
+class DatasetStatsTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    Result<Dataset> d = MakeDataset(GetParam());
+    ASSERT_TRUE(d.ok());
+    dataset_ = std::move(*d);
+    Result<TimeSeries::Stats> stats = dataset_.series.ComputeStats();
+    ASSERT_TRUE(stats.ok());
+    stats_ = *stats;
+  }
+
+  Dataset dataset_;
+  TimeSeries::Stats stats_;
+};
+
+TEST_P(DatasetStatsTest, MeanWithinThirtyPercentOfPaper) {
+  EXPECT_NEAR(stats_.mean, dataset_.paper.mean,
+              0.30 * std::abs(dataset_.paper.mean))
+      << GetParam();
+}
+
+TEST_P(DatasetStatsTest, ValuesInsidePaperRange) {
+  EXPECT_GE(stats_.min, dataset_.paper.min - 1e-9) << GetParam();
+  EXPECT_LE(stats_.max, dataset_.paper.max + 1e-9) << GetParam();
+}
+
+TEST_P(DatasetStatsTest, SeriesLongEnoughForForecasting) {
+  // Input window 96 + horizon 24 must fit many times over.
+  EXPECT_GT(dataset_.series.size(), 1000u) << GetParam();
+}
+
+TEST_P(DatasetStatsTest, TimestampsFitThe32BitHeader) {
+  EXPECT_LT(dataset_.series.start_timestamp(), (1ll << 31)) << GetParam();
+  EXPECT_GT(dataset_.series.interval_seconds(), 0) << GetParam();
+  EXPECT_LT(dataset_.series.interval_seconds(), 65536) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetStatsTest,
+                         ::testing::ValuesIn(DatasetNames()));
+
+// The rIQD regimes are what Table 3 and Figure 2's analysis hinge on:
+// Weather tiny, ElecDem small, ETTm1/m2/Wind moderate-high, Solar extreme.
+TEST(DatasetRegimesTest, RiqdClustersMatchPaper) {
+  Result<std::vector<Dataset>> all = MakeAllDatasets();
+  ASSERT_TRUE(all.ok());
+  for (const Dataset& d : *all) {
+    Result<TimeSeries::Stats> stats = d.series.ComputeStats();
+    ASSERT_TRUE(stats.ok());
+    const double riqd = stats->riqd_percent;
+    if (d.name == "Weather") {
+      EXPECT_LT(riqd, 15.0) << d.name << " riqd=" << riqd;
+    } else if (d.name == "ElecDem") {
+      EXPECT_GT(riqd, 12.0) << d.name << " riqd=" << riqd;
+      EXPECT_LT(riqd, 50.0) << d.name << " riqd=" << riqd;
+    } else if (d.name == "Solar") {
+      EXPECT_GT(riqd, 140.0) << d.name << " riqd=" << riqd;
+    } else {
+      EXPECT_GT(riqd, 45.0) << d.name << " riqd=" << riqd;
+      EXPECT_LT(riqd, 160.0) << d.name << " riqd=" << riqd;
+    }
+  }
+}
+
+TEST(DatasetRegimesTest, SolarHasNighttimeZeros) {
+  Result<Dataset> solar = MakeDataset("Solar");
+  ASSERT_TRUE(solar.ok());
+  size_t zeros = 0;
+  for (double v : solar->series.values()) {
+    if (v == 0.0) ++zeros;
+  }
+  // Nights are at least a third of the samples and reported Q1 is 0.
+  EXPECT_GT(zeros, solar->series.size() / 3);
+  Result<TimeSeries::Stats> stats = solar->series.ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->q1, 0.0);
+}
+
+TEST(DatasetRegimesTest, WindHasNegativeIdlePower) {
+  Result<Dataset> wind = MakeDataset("Wind");
+  ASSERT_TRUE(wind.ok());
+  Result<TimeSeries::Stats> stats = wind->series.ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(stats->min, 0.0);
+  EXPECT_GT(stats->max, 1000.0);
+}
+
+TEST(DatasetRegimesTest, SeasonLengthsMatchSamplingIntervals) {
+  Result<std::vector<Dataset>> all = MakeAllDatasets();
+  ASSERT_TRUE(all.ok());
+  for (const Dataset& d : *all) {
+    if (d.name == "ETTm1" || d.name == "ETTm2") {
+      EXPECT_EQ(d.season_length, 96u);
+    } else if (d.name == "Solar" || d.name == "Weather") {
+      EXPECT_EQ(d.season_length, 144u);
+    } else if (d.name == "ElecDem") {
+      EXPECT_EQ(d.season_length, 48u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lossyts::data

@@ -1,0 +1,99 @@
+#include "data/generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lossyts::data {
+namespace {
+
+TEST(GeneratorTest, SinusoidPeriodAndAmplitude) {
+  std::vector<double> s = Sinusoid(100, 20.0, 3.0);
+  EXPECT_NEAR(s[0], 0.0, 1e-12);
+  EXPECT_NEAR(s[5], 3.0, 1e-12);   // Quarter period -> peak.
+  EXPECT_NEAR(s[10], 0.0, 1e-9);   // Half period -> zero.
+  EXPECT_NEAR(s[15], -3.0, 1e-9);  // Three quarters -> trough.
+  EXPECT_NEAR(s[20], s[0], 1e-9);  // Full period repeats.
+}
+
+TEST(GeneratorTest, SinusoidPhaseShift) {
+  std::vector<double> s = Sinusoid(10, 20.0, 1.0, 3.14159265358979 / 2.0);
+  EXPECT_NEAR(s[0], 1.0, 1e-9);  // cos at t=0.
+}
+
+TEST(GeneratorTest, Ar1NoiseIsStationaryIsh) {
+  Rng rng(1);
+  std::vector<double> noise = Ar1Noise(100000, 0.9, 1.0, rng);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : noise) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double n = static_cast<double>(noise.size());
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  // Marginal variance of AR(1): sigma^2 / (1 - phi^2) = 1/0.19.
+  EXPECT_NEAR(var, 1.0 / 0.19, 0.6);
+}
+
+TEST(GeneratorTest, Ar1NoiseIsAutocorrelated) {
+  Rng rng(2);
+  std::vector<double> noise = Ar1Noise(50000, 0.95, 1.0, rng);
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 1; i < noise.size(); ++i) {
+    num += noise[i] * noise[i - 1];
+    den += noise[i] * noise[i];
+  }
+  EXPECT_GT(num / den, 0.9);
+}
+
+TEST(GeneratorTest, BoundedWalkStaysInBounds) {
+  Rng rng(3);
+  std::vector<double> walk = BoundedWalk(100000, 5.0, 0.5, 0.0, 10.0, rng);
+  for (double x : walk) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 10.0);
+  }
+}
+
+TEST(GeneratorTest, BoundedWalkMoves) {
+  Rng rng(4);
+  std::vector<double> walk = BoundedWalk(1000, 5.0, 0.5, 0.0, 10.0, rng);
+  double min = walk[0];
+  double max = walk[0];
+  for (double x : walk) {
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  EXPECT_GT(max - min, 1.0);
+}
+
+TEST(GeneratorTest, MeanRevertingWalkPullsTowardsMu) {
+  Rng rng(5);
+  std::vector<double> walk = MeanRevertingWalk(200000, 0.0, 10.0, 0.01, 0.1, rng);
+  double sum = 0.0;
+  for (size_t i = walk.size() / 2; i < walk.size(); ++i) sum += walk[i];
+  EXPECT_NEAR(sum / (walk.size() / 2.0), 10.0, 1.0);
+}
+
+TEST(GeneratorTest, ClampInPlace) {
+  std::vector<double> v = {-5.0, 0.0, 5.0, 10.0};
+  ClampInPlace(v, -1.0, 6.0);
+  EXPECT_DOUBLE_EQ(v[0], -1.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 5.0);
+  EXPECT_DOUBLE_EQ(v[3], 6.0);
+}
+
+TEST(GeneratorTest, AddInPlace) {
+  std::vector<double> a = {1.0, 2.0};
+  AddInPlace(a, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(a[0], 11.0);
+  EXPECT_DOUBLE_EQ(a[1], 22.0);
+}
+
+}  // namespace
+}  // namespace lossyts::data

@@ -1,0 +1,114 @@
+#include "eval/tfe_predictor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "compress/pipeline.h"
+#include "core/rng.h"
+#include "features/registry.h"
+
+namespace lossyts::eval {
+namespace {
+
+TEST(TfePredictorTest, FeatureCountIs44) {
+  EXPECT_EQ(TfePredictor::FeatureCount(), 44u);
+  EXPECT_EQ(TfePredictor::FeatureCount(), features::kFeatureCount + 2);
+}
+
+TEST(TfePredictorTest, BuildFeaturesFromRealCompression) {
+  Rng rng(1);
+  std::vector<double> v(600);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = 20.0 + 4.0 * std::sin(static_cast<double>(i) * 0.26) +
+           0.3 * rng.Normal();
+  }
+  TimeSeries ts(0, 3600, std::move(v));
+  Result<std::unique_ptr<compress::Compressor>> pmc =
+      compress::MakeCompressor("PMC");
+  ASSERT_TRUE(pmc.ok());
+  Result<compress::PipelineResult> run = compress::RunPipeline(**pmc, ts, 0.1);
+  ASSERT_TRUE(run.ok());
+  Result<std::vector<double>> features = TfePredictor::BuildFeatures(
+      ts, run->decompressed, 24, run->te_nrmse, run->compression_ratio);
+  ASSERT_TRUE(features.ok()) << features.status().ToString();
+  ASSERT_EQ(features->size(), TfePredictor::FeatureCount());
+  for (double f : *features) EXPECT_TRUE(std::isfinite(f));
+  // The TE and CR slots carry the pipeline measurements.
+  EXPECT_DOUBLE_EQ((*features)[42], run->te_nrmse);
+  EXPECT_DOUBLE_EQ((*features)[43], run->compression_ratio);
+}
+
+// Synthetic regression task: TFE is a known function of two feature slots.
+std::vector<TfePredictor::Example> SyntheticExamples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TfePredictor::Example> examples(n);
+  for (auto& e : examples) {
+    e.features.assign(TfePredictor::FeatureCount(), 0.0);
+    for (double& f : e.features) f = rng.Uniform(-1.0, 1.0);
+    // TFE driven by feature 0 (say max_kl_shift change) and TE (slot 42).
+    e.tfe = 0.5 * e.features[0] + 0.3 * e.features[42] +
+            0.02 * rng.Normal();
+  }
+  return examples;
+}
+
+TEST(TfePredictorTest, LearnsSyntheticRelationship) {
+  TfePredictor predictor;
+  ASSERT_TRUE(predictor.Fit(SyntheticExamples(300, 2)).ok());
+  EXPECT_GT(predictor.r_squared(), 0.7);
+
+  // Held-out check: predictions correlate with the known function.
+  const std::vector<TfePredictor::Example> test = SyntheticExamples(50, 3);
+  double se = 0.0;
+  double var = 0.0;
+  double mean = 0.0;
+  for (const auto& e : test) mean += e.tfe;
+  mean /= static_cast<double>(test.size());
+  for (const auto& e : test) {
+    Result<double> pred = predictor.Predict(e.features);
+    ASSERT_TRUE(pred.ok());
+    se += (*pred - e.tfe) * (*pred - e.tfe);
+    var += (e.tfe - mean) * (e.tfe - mean);
+  }
+  EXPECT_LT(se / var, 0.6);  // Out-of-sample R^2 > 0.4.
+}
+
+TEST(TfePredictorTest, ImportanceRanksDrivingFeatures) {
+  TfePredictor predictor;
+  ASSERT_TRUE(predictor.Fit(SyntheticExamples(300, 4)).ok());
+  Result<std::vector<double>> importance = predictor.Importance();
+  ASSERT_TRUE(importance.ok());
+  ASSERT_EQ(importance->size(), TfePredictor::FeatureCount());
+  // The two driving slots dominate any noise slot.
+  EXPECT_GT((*importance)[0], (*importance)[5] * 3.0);
+  EXPECT_GT((*importance)[42], (*importance)[5] * 2.0);
+}
+
+TEST(TfePredictorTest, TooFewExamplesFails) {
+  TfePredictor predictor;
+  EXPECT_FALSE(predictor.Fit(SyntheticExamples(5, 5)).ok());
+}
+
+TEST(TfePredictorTest, WrongFeatureCountFails) {
+  TfePredictor predictor;
+  std::vector<TfePredictor::Example> bad(20);
+  for (auto& e : bad) {
+    e.features.assign(3, 0.0);
+    e.tfe = 0.0;
+  }
+  EXPECT_FALSE(predictor.Fit(bad).ok());
+  ASSERT_TRUE(predictor.Fit(SyntheticExamples(50, 6)).ok());
+  EXPECT_FALSE(predictor.Predict({1.0, 2.0}).ok());
+}
+
+TEST(TfePredictorTest, PredictBeforeFitFails) {
+  TfePredictor predictor;
+  EXPECT_FALSE(
+      predictor.Predict(std::vector<double>(TfePredictor::FeatureCount(), 0.0))
+          .ok());
+  EXPECT_FALSE(predictor.Importance().ok());
+}
+
+}  // namespace
+}  // namespace lossyts::eval

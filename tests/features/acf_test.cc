@@ -1,0 +1,121 @@
+#include "features/acf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace lossyts::features {
+namespace {
+
+TEST(AcfTest, WhiteNoiseHasNearZeroAcf) {
+  Rng rng(1);
+  std::vector<double> x(20000);
+  for (auto& v : x) v = rng.Normal();
+  std::vector<double> acf = Acf(x, 5);
+  for (double a : acf) EXPECT_NEAR(a, 0.0, 0.03);
+}
+
+TEST(AcfTest, Ar1ProcessMatchesPhi) {
+  Rng rng(2);
+  std::vector<double> x(50000);
+  double v = 0.0;
+  for (auto& val : x) {
+    v = 0.8 * v + rng.Normal();
+    val = v;
+  }
+  std::vector<double> acf = Acf(x, 3);
+  EXPECT_NEAR(acf[0], 0.8, 0.02);
+  EXPECT_NEAR(acf[1], 0.64, 0.03);
+  EXPECT_NEAR(acf[2], 0.512, 0.04);
+}
+
+TEST(AcfTest, PeriodicSeriesHasSeasonalAcfPeak) {
+  std::vector<double> x(1000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * 3.14159265 * static_cast<double>(i) / 24.0);
+  }
+  std::vector<double> acf = Acf(x, 24);
+  EXPECT_GT(acf[23], 0.95);  // Lag 24 = full period.
+  EXPECT_LT(acf[11], -0.9);  // Lag 12 = anti-phase.
+}
+
+TEST(AcfTest, ConstantSeriesGivesZeros) {
+  std::vector<double> x(100, 3.0);
+  std::vector<double> acf = Acf(x, 5);
+  for (double a : acf) EXPECT_EQ(a, 0.0);
+}
+
+TEST(AcfTest, ShortSeriesHandled) {
+  std::vector<double> x = {1.0};
+  EXPECT_EQ(Acf(x, 5).size(), 5u);
+  for (double a : Acf(x, 5)) EXPECT_EQ(a, 0.0);
+}
+
+TEST(PacfTest, Ar1HasSinglePacfSpike) {
+  Rng rng(3);
+  std::vector<double> x(50000);
+  double v = 0.0;
+  for (auto& val : x) {
+    v = 0.7 * v + rng.Normal();
+    val = v;
+  }
+  std::vector<double> pacf = Pacf(x, 5);
+  EXPECT_NEAR(pacf[0], 0.7, 0.02);
+  for (size_t k = 1; k < pacf.size(); ++k) {
+    EXPECT_NEAR(pacf[k], 0.0, 0.03) << "lag " << k + 1;
+  }
+}
+
+TEST(PacfTest, Ar2HasTwoPacfSpikes) {
+  Rng rng(4);
+  std::vector<double> x(50000);
+  double v1 = 0.0;
+  double v2 = 0.0;
+  for (auto& val : x) {
+    const double v = 0.5 * v1 + 0.3 * v2 + rng.Normal();
+    v2 = v1;
+    v1 = v;
+    val = v;
+  }
+  std::vector<double> pacf = Pacf(x, 4);
+  EXPECT_GT(std::abs(pacf[0]), 0.5);
+  EXPECT_NEAR(pacf[1], 0.3, 0.03);
+  EXPECT_NEAR(pacf[2], 0.0, 0.03);
+  EXPECT_NEAR(pacf[3], 0.0, 0.03);
+}
+
+TEST(DiffTest, FirstDifference) {
+  std::vector<double> x = {1.0, 4.0, 9.0, 16.0};
+  std::vector<double> d = Diff(x, 1);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+  EXPECT_DOUBLE_EQ(d[2], 7.0);
+}
+
+TEST(DiffTest, SecondDifferenceOfQuadraticIsConstant) {
+  std::vector<double> x(20);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i * i);
+  }
+  std::vector<double> d = Diff(x, 2);
+  for (double v : d) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(DiffTest, TooShortReturnsEmpty) {
+  std::vector<double> x = {1.0};
+  EXPECT_TRUE(Diff(x, 1).empty());
+  EXPECT_TRUE(Diff(x, 3).empty());
+}
+
+TEST(SumOfSquaresTest, BasicAndTruncated) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(SumOfSquares(v, 2), 5.0);
+  EXPECT_DOUBLE_EQ(SumOfSquares(v, 10), 14.0);
+  EXPECT_DOUBLE_EQ(SumOfSquares(v, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace lossyts::features

@@ -1,0 +1,142 @@
+#include "features/decompose.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace lossyts::features {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<double> SeasonalTrendSeries(size_t n, double trend_slope,
+                                        double seasonal_amp, double noise,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = 10.0 + trend_slope * static_cast<double>(i) +
+           seasonal_amp * std::sin(2.0 * kPi * static_cast<double>(i) / 24.0) +
+           noise * rng.Normal();
+  }
+  return x;
+}
+
+TEST(DecomposeTest, RecoversComponentsOfCleanSeries) {
+  std::vector<double> x = SeasonalTrendSeries(480, 0.05, 3.0, 0.0, 1);
+  Result<Decomposition> d = Decompose(x, 24);
+  ASSERT_TRUE(d.ok());
+  // Remainder of a noise-free series should be near zero.
+  for (double r : d->remainder) EXPECT_NEAR(r, 0.0, 0.15);
+  // Trend is increasing.
+  EXPECT_GT(d->trend.back(), d->trend.front());
+  // Seasonal amplitude recovered.
+  double max_s = 0.0;
+  for (double s : d->seasonal) max_s = std::max(max_s, s);
+  EXPECT_NEAR(max_s, 3.0, 0.3);
+}
+
+TEST(DecomposeTest, StrengthsOnStronglySeasonalSeries) {
+  std::vector<double> x = SeasonalTrendSeries(960, 0.0, 5.0, 0.3, 2);
+  Result<Decomposition> d = Decompose(x, 24);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(SeasonalStrength(*d), 0.9);
+}
+
+TEST(DecomposeTest, StrengthsOnPureNoise) {
+  Rng rng(3);
+  std::vector<double> x(960);
+  for (auto& v : x) v = rng.Normal();
+  Result<Decomposition> d = Decompose(x, 24);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LT(SeasonalStrength(*d), 0.35);
+  EXPECT_LT(TrendStrength(*d), 0.35);
+}
+
+TEST(DecomposeTest, TrendStrengthOnTrendingSeries) {
+  std::vector<double> x = SeasonalTrendSeries(960, 0.1, 1.0, 0.3, 4);
+  Result<Decomposition> d = Decompose(x, 24);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(TrendStrength(*d), 0.9);
+}
+
+TEST(DecomposeTest, LinearityPositiveForUpwardTrend) {
+  std::vector<double> up = SeasonalTrendSeries(480, 0.1, 1.0, 0.1, 5);
+  std::vector<double> down = SeasonalTrendSeries(480, -0.1, 1.0, 0.1, 6);
+  Result<Decomposition> du = Decompose(up, 24);
+  Result<Decomposition> dd = Decompose(down, 24);
+  ASSERT_TRUE(du.ok());
+  ASSERT_TRUE(dd.ok());
+  EXPECT_GT(Linearity(*du), 0.0);
+  EXPECT_LT(Linearity(*dd), 0.0);
+}
+
+TEST(DecomposeTest, CurvatureDetectsParabola) {
+  std::vector<double> x(480);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / 480.0 - 0.5;
+    x[i] = 100.0 * t * t +
+           std::sin(2.0 * kPi * static_cast<double>(i) / 24.0);
+  }
+  Result<Decomposition> d = Decompose(x, 24);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(std::abs(Curvature(*d)), std::abs(Linearity(*d)));
+}
+
+TEST(DecomposeTest, SpikeDetectsOutlierInRemainder) {
+  std::vector<double> clean = SeasonalTrendSeries(480, 0.0, 2.0, 0.1, 7);
+  std::vector<double> spiked = clean;
+  spiked[240] += 50.0;
+  Result<Decomposition> dc = Decompose(clean, 24);
+  Result<Decomposition> ds = Decompose(spiked, 24);
+  ASSERT_TRUE(dc.ok());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_GT(Spike(*ds), Spike(*dc) * 10.0);
+}
+
+TEST(DecomposeTest, PeakAndTroughPhases) {
+  // sin peaks at a quarter of the period (phase 6 of 24).
+  std::vector<double> x = SeasonalTrendSeries(480, 0.0, 4.0, 0.0, 8);
+  Result<Decomposition> d = Decompose(x, 24);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(SeasonalPeak(*d), 6u);
+  EXPECT_EQ(SeasonalTrough(*d), 18u);
+}
+
+TEST(DecomposeTest, RejectsTooShortSeries) {
+  std::vector<double> x(50, 1.0);
+  EXPECT_FALSE(Decompose(x, 24).ok());
+}
+
+TEST(DecomposeTest, RejectsBadPeriod) {
+  std::vector<double> x(100, 1.0);
+  EXPECT_FALSE(Decompose(x, 1).ok());
+}
+
+TEST(DecomposeTest, DetrendOnlyHasZeroSeasonal) {
+  Rng rng(9);
+  std::vector<double> x(200);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.1 * static_cast<double>(i) + rng.Normal();
+  }
+  Result<Decomposition> d = DetrendOnly(x, 10);
+  ASSERT_TRUE(d.ok());
+  for (double s : d->seasonal) EXPECT_EQ(s, 0.0);
+  EXPECT_EQ(SeasonalStrength(*d), 0.0);
+  EXPECT_GT(TrendStrength(*d), 0.8);
+}
+
+TEST(DecomposeTest, OddPeriodWorks) {
+  std::vector<double> x(300);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * kPi * static_cast<double>(i) / 7.0);
+  }
+  Result<Decomposition> d = Decompose(x, 7);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(SeasonalStrength(*d), 0.9);
+}
+
+}  // namespace
+}  // namespace lossyts::features

@@ -1,0 +1,222 @@
+#include "features/misc.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "features/spectral.h"
+
+namespace lossyts::features {
+namespace {
+
+TEST(FlatSpotsTest, ConstantSeriesIsAllFlat) {
+  std::vector<double> x(50, 3.0);
+  EXPECT_EQ(FlatSpots(x), 50u);
+}
+
+TEST(FlatSpotsTest, DetectsLongPlateau) {
+  std::vector<double> x;
+  for (int i = 0; i < 20; ++i) x.push_back(static_cast<double>(i));
+  for (int i = 0; i < 30; ++i) x.push_back(19.5);
+  for (int i = 0; i < 20; ++i) x.push_back(static_cast<double>(i) / 3.0);
+  EXPECT_GE(FlatSpots(x), 30u);
+}
+
+TEST(CrossingPointsTest, AlternatingSeries) {
+  std::vector<double> x;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  EXPECT_EQ(CrossingPoints(x), 9u);
+}
+
+TEST(CrossingPointsTest, MonotoneSeriesCrossesOnce) {
+  std::vector<double> x;
+  for (int i = 0; i < 100; ++i) x.push_back(static_cast<double>(i));
+  EXPECT_EQ(CrossingPoints(x), 1u);
+}
+
+TEST(LumpinessStabilityTest, HomogeneousNoiseHasLowValues) {
+  Rng rng(1);
+  std::vector<double> x(4000);
+  for (auto& v : x) v = rng.Normal();
+  EXPECT_LT(Lumpiness(x, 100), 0.1);
+  EXPECT_LT(Stability(x, 100), 0.1);
+}
+
+TEST(LumpinessStabilityTest, VaryingVarianceRaisesLumpiness) {
+  Rng rng(2);
+  std::vector<double> calm(4000);
+  std::vector<double> lumpy(4000);
+  for (size_t i = 0; i < 4000; ++i) {
+    calm[i] = rng.Normal();
+    lumpy[i] = (i / 500) % 2 == 0 ? rng.Normal(0.0, 0.1) : rng.Normal(0.0, 3.0);
+  }
+  EXPECT_GT(Lumpiness(lumpy, 100), Lumpiness(calm, 100) * 5.0);
+}
+
+TEST(LumpinessStabilityTest, LevelShiftsRaiseStability) {
+  Rng rng(3);
+  std::vector<double> shifting(4000);
+  for (size_t i = 0; i < 4000; ++i) {
+    shifting[i] = ((i / 500) % 2 == 0 ? -3.0 : 3.0) + rng.Normal(0.0, 0.3);
+  }
+  EXPECT_GT(Stability(shifting, 100), 0.5);
+}
+
+TEST(HurstTest, WhiteNoiseNearHalf) {
+  Rng rng(4);
+  std::vector<double> x(8192);
+  for (auto& v : x) v = rng.Normal();
+  EXPECT_NEAR(HurstExponent(x), 0.55, 0.12);
+}
+
+TEST(HurstTest, PersistentSeriesAboveHalf) {
+  Rng rng(5);
+  std::vector<double> x(8192);
+  double s = 0.0;
+  for (auto& v : x) {
+    s += rng.Normal();
+    v = s;  // Integrated noise is strongly persistent.
+  }
+  EXPECT_GT(HurstExponent(x), 0.8);
+}
+
+TEST(NonlinearityTest, LinearProcessScoresLow) {
+  Rng rng(6);
+  std::vector<double> x(4000);
+  double v = 0.0;
+  for (auto& val : x) {
+    v = 0.6 * v + rng.Normal();
+    val = v;
+  }
+  EXPECT_LT(Nonlinearity(x), 12.0);
+}
+
+TEST(NonlinearityTest, ChaoticLogisticMapScoresHigh) {
+  // The logistic map is exactly quadratic in its lag, so the Teräsvirta-style
+  // augmented regression captures almost all residual variance.
+  Rng rng(7);
+  std::vector<double> x(4000);
+  double v = 0.37;
+  for (auto& val : x) {
+    v = 3.8 * v * (1.0 - v) + 0.001 * rng.Normal();
+    v = std::clamp(v, 0.01, 0.99);
+    val = v;
+  }
+  EXPECT_GT(Nonlinearity(x), 100.0);
+}
+
+TEST(ArchStatTest, HomoskedasticNoiseScoresLow) {
+  Rng rng(8);
+  std::vector<double> x(4000);
+  for (auto& v : x) v = rng.Normal();
+  EXPECT_LT(ArchStat(x), 0.05);
+}
+
+TEST(ArchStatTest, VolatilityClusteringScoresHigher) {
+  Rng rng(9);
+  std::vector<double> x(4000);
+  double sigma = 1.0;
+  for (auto& v : x) {
+    sigma = 0.95 * sigma + 0.05 * (1.0 + 3.0 * rng.Uniform());
+    v = rng.Normal(0.0, sigma * sigma);
+  }
+  EXPECT_GT(ArchStat(x), ArchStat([&] {
+              Rng r2(10);
+              std::vector<double> w(4000);
+              for (auto& v : w) v = r2.Normal();
+              return w;
+            }()));
+}
+
+TEST(HoltTest, SmoothTrendPrefersLowAlphaHighTrendFit) {
+  std::vector<double> x(500);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = 2.0 * static_cast<double>(i) + 5.0;
+  }
+  HoltParameters p = FitHolt(x);
+  // A perfect linear series is forecast exactly for any parameters; just
+  // check the fit runs and returns valid ranges.
+  EXPECT_GE(p.alpha, 0.0);
+  EXPECT_LE(p.alpha, 1.0);
+  EXPECT_GE(p.beta, 0.0);
+  EXPECT_LE(p.beta, 1.0);
+}
+
+TEST(HoltTest, NoisyLevelPrefersSmallAlpha) {
+  Rng rng(11);
+  std::vector<double> x(2000);
+  for (auto& v : x) v = 100.0 + rng.Normal();
+  HoltParameters p = FitHolt(x);
+  EXPECT_LT(p.alpha, 0.4);
+  EXPECT_LT(p.beta, 0.3);
+}
+
+TEST(HoltTest, FastMovingLevelPrefersLargeAlpha) {
+  Rng rng(12);
+  std::vector<double> x(2000);
+  double s = 0.0;
+  for (auto& v : x) {
+    s += rng.Normal();
+    v = s;
+  }
+  HoltParameters p = FitHolt(x);
+  EXPECT_GT(p.alpha, 0.6);
+}
+
+TEST(StandardizeTest, ZeroMeanUnitVariance) {
+  Rng rng(13);
+  std::vector<double> x(1000);
+  for (auto& v : x) v = rng.Normal(50.0, 10.0);
+  std::vector<double> z = Standardize(x);
+  double mean = 0.0;
+  for (double v : z) mean += v;
+  mean /= static_cast<double>(z.size());
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+}
+
+TEST(StandardizeTest, ConstantMapsToZeros) {
+  std::vector<double> x(10, 4.0);
+  for (double v : Standardize(x)) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SpectralTest, FftRoundTrip) {
+  Rng rng(14);
+  std::vector<std::complex<double>> a(64);
+  std::vector<std::complex<double>> original(64);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = {rng.Normal(), rng.Normal()};
+    original[i] = a[i];
+  }
+  Fft(a);
+  Fft(a, /*inverse=*/true);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(a[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(SpectralTest, PureToneHasLowEntropy) {
+  std::vector<double> x(1024);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * 3.14159265 * static_cast<double>(i) / 32.0);
+  }
+  EXPECT_LT(SpectralEntropy(x), 0.3);
+}
+
+TEST(SpectralTest, WhiteNoiseHasHighEntropy) {
+  Rng rng(15);
+  std::vector<double> x(1024);
+  for (auto& v : x) v = rng.Normal();
+  EXPECT_GT(SpectralEntropy(x), 0.85);
+}
+
+TEST(SpectralTest, ConstantSeriesEntropyZero) {
+  std::vector<double> x(128, 2.0);
+  EXPECT_EQ(SpectralEntropy(x), 0.0);
+}
+
+}  // namespace
+}  // namespace lossyts::features

@@ -1,0 +1,134 @@
+#include "features/registry.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "compress/pmc.h"
+#include "core/rng.h"
+#include "data/datasets.h"
+
+namespace lossyts::features {
+namespace {
+
+TimeSeries SeasonalSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = 20.0 +
+           4.0 * std::sin(2.0 * 3.14159265 * static_cast<double>(i) / 24.0) +
+           0.5 * rng.Normal();
+  }
+  return TimeSeries(0, 3600, std::move(v));
+}
+
+TEST(RegistryTest, ExactlyFortyTwoFeatures) {
+  EXPECT_EQ(FeatureNames().size(), kFeatureCount);
+  EXPECT_EQ(kFeatureCount, 42u);
+}
+
+TEST(RegistryTest, ComputesAllNamedFeatures) {
+  Result<FeatureMap> f = ComputeAllFeatures(SeasonalSeries(500, 1), 24);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(f->size(), kFeatureCount);
+  for (const std::string& name : FeatureNames()) {
+    EXPECT_TRUE(f->count(name)) << "missing feature " << name;
+  }
+}
+
+TEST(RegistryTest, AllFeaturesAreFinite) {
+  Result<FeatureMap> f = ComputeAllFeatures(SeasonalSeries(1000, 2), 24);
+  ASSERT_TRUE(f.ok());
+  for (const auto& [name, value] : *f) {
+    EXPECT_TRUE(std::isfinite(value)) << name << " = " << value;
+  }
+}
+
+TEST(RegistryTest, SeasonalSeriesHasHighSeasStrength) {
+  Result<FeatureMap> f = ComputeAllFeatures(SeasonalSeries(1000, 3), 24);
+  ASSERT_TRUE(f.ok());
+  EXPECT_GT(f->at("seas_strength"), 0.8);
+  EXPECT_GT(f->at("seas_acf1"), 0.5);
+  EXPECT_EQ(f->at("nperiods"), 1.0);
+  EXPECT_EQ(f->at("seasonal_period"), 24.0);
+}
+
+TEST(RegistryTest, NonSeasonalModeWorks) {
+  Rng rng(4);
+  std::vector<double> v(500);
+  for (auto& x : v) x = rng.Normal();
+  Result<FeatureMap> f =
+      ComputeAllFeatures(TimeSeries(0, 60, std::move(v)), 0);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->at("seas_strength"), 0.0);
+  EXPECT_EQ(f->at("nperiods"), 0.0);
+  EXPECT_EQ(f->at("seasonal_period"), 1.0);
+}
+
+TEST(RegistryTest, TooShortSeriesFails) {
+  EXPECT_FALSE(ComputeAllFeatures(SeasonalSeries(40, 5), 24).ok());
+}
+
+TEST(RegistryTest, MeanAndVarMatchDirectComputation) {
+  TimeSeries ts = SeasonalSeries(500, 6);
+  Result<FeatureMap> f = ComputeAllFeatures(ts, 24);
+  ASSERT_TRUE(f.ok());
+  Result<TimeSeries::Stats> stats = ts.ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(f->at("mean"), stats->mean, 1e-9);
+  EXPECT_NEAR(f->at("var"), stats->variance * 500.0 / 499.0, 1e-6);
+}
+
+TEST(RegistryTest, PmcCompressionRaisesKlShift) {
+  // The paper's core RQ2 finding: PMC's constant segments blow up the KL
+  // divergence between consecutive windows.
+  TimeSeries ts = SeasonalSeries(2000, 7);
+  Result<FeatureMap> raw = ComputeAllFeatures(ts, 24);
+  ASSERT_TRUE(raw.ok());
+
+  compress::PmcCompressor pmc;
+  Result<std::vector<uint8_t>> blob = pmc.Compress(ts, 0.3);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> decompressed = pmc.Decompress(*blob);
+  ASSERT_TRUE(decompressed.ok());
+  Result<FeatureMap> lossy = ComputeAllFeatures(*decompressed, 24);
+  ASSERT_TRUE(lossy.ok());
+
+  EXPECT_GT(lossy->at("max_kl_shift"), raw->at("max_kl_shift"));
+  EXPECT_GT(lossy->at("flat_spots"), raw->at("flat_spots"));
+}
+
+TEST(RegistryTest, RelativeDifferenceOnIdenticalMapsIsZero) {
+  Result<FeatureMap> f = ComputeAllFeatures(SeasonalSeries(500, 8), 24);
+  ASSERT_TRUE(f.ok());
+  FeatureMap diff = RelativeDifferencePercent(*f, *f);
+  for (const auto& [name, value] : diff) {
+    EXPECT_EQ(value, 0.0) << name;
+  }
+}
+
+TEST(RegistryTest, RelativeDifferenceDetectsChange) {
+  FeatureMap a = {{"mean", 10.0}, {"var", 4.0}};
+  FeatureMap b = {{"mean", 11.0}, {"var", 4.0}};
+  FeatureMap diff = RelativeDifferencePercent(a, b);
+  EXPECT_NEAR(diff.at("mean"), 10.0, 1e-9);
+  EXPECT_EQ(diff.at("var"), 0.0);
+}
+
+TEST(RegistryTest, WorksOnAllSixDatasets) {
+  data::DatasetOptions options;
+  options.length_fraction = 0.03;  // Keep this test fast.
+  for (const std::string& name : data::DatasetNames()) {
+    Result<data::Dataset> d = data::MakeDataset(name, options);
+    ASSERT_TRUE(d.ok()) << name;
+    Result<FeatureMap> f =
+        ComputeAllFeatures(d->series, d->season_length);
+    ASSERT_TRUE(f.ok()) << name << ": " << f.status().ToString();
+    for (const auto& [feature, value] : *f) {
+      EXPECT_TRUE(std::isfinite(value)) << name << "/" << feature;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lossyts::features

@@ -1,0 +1,90 @@
+#include "features/rolling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace lossyts::features {
+namespace {
+
+TEST(RollingTest, RollingMeansBasic) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> means = RollingMeans(x, 3);
+  ASSERT_EQ(means.size(), 3u);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 3.0);
+  EXPECT_DOUBLE_EQ(means[2], 4.0);
+}
+
+TEST(RollingTest, RollingVariancesBasic) {
+  std::vector<double> x = {1.0, 1.0, 1.0, 5.0, 5.0, 5.0};
+  std::vector<double> vars = RollingVariances(x, 3);
+  ASSERT_EQ(vars.size(), 4u);
+  EXPECT_NEAR(vars[0], 0.0, 1e-12);
+  EXPECT_NEAR(vars[3], 0.0, 1e-12);
+  EXPECT_GT(vars[1], 1.0);
+}
+
+TEST(RollingTest, TooShortReturnsEmpty) {
+  std::vector<double> x = {1.0, 2.0};
+  EXPECT_TRUE(RollingMeans(x, 3).empty());
+  EXPECT_TRUE(RollingVariances(x, 5).empty());
+}
+
+TEST(RollingTest, LevelShiftDetectsStep) {
+  std::vector<double> x(100, 0.0);
+  for (size_t i = 50; i < 100; ++i) x[i] = 10.0;
+  ShiftResult r = MaxLevelShift(x, 10);
+  EXPECT_NEAR(r.max_shift, 10.0, 1e-9);
+  // The boundary between the fully-before and fully-after windows.
+  EXPECT_NEAR(static_cast<double>(r.index), 50.0, 10.0);
+}
+
+TEST(RollingTest, VarShiftDetectsVolatilityChange) {
+  Rng rng(1);
+  std::vector<double> x(200);
+  for (size_t i = 0; i < 100; ++i) x[i] = rng.Normal(0.0, 0.1);
+  for (size_t i = 100; i < 200; ++i) x[i] = rng.Normal(0.0, 5.0);
+  ShiftResult r = MaxVarShift(x, 20);
+  EXPECT_GT(r.max_shift, 5.0);
+  EXPECT_NEAR(static_cast<double>(r.index), 100.0, 25.0);
+}
+
+TEST(RollingTest, KlShiftDetectsDistributionChange) {
+  Rng rng(2);
+  std::vector<double> x(200);
+  for (size_t i = 0; i < 100; ++i) x[i] = rng.Normal(0.0, 1.0);
+  for (size_t i = 100; i < 200; ++i) x[i] = rng.Normal(20.0, 1.0);
+  ShiftResult r = MaxKlShift(x, 20);
+  EXPECT_GT(r.max_shift, 10.0);
+}
+
+TEST(RollingTest, KlShiftOnStationaryNoiseIsSmall) {
+  Rng rng(3);
+  std::vector<double> x(1000);
+  for (auto& v : x) v = rng.Normal();
+  ShiftResult r = MaxKlShift(x, 50);
+  EXPECT_LT(r.max_shift, 2.0);
+}
+
+TEST(RollingTest, KlShiftIsCappedOnFlattenedWindows) {
+  // A constant window has ~zero variance; the KL against a noisy window
+  // explodes and must be clamped, not infinite (the PMC case from §4.3.3).
+  Rng rng(4);
+  std::vector<double> x(200);
+  for (size_t i = 0; i < 100; ++i) x[i] = 5.0;  // PMC-style constant segment.
+  for (size_t i = 100; i < 200; ++i) x[i] = rng.Normal(5.0, 1.0);
+  ShiftResult r = MaxKlShift(x, 25, 50.0);
+  EXPECT_LE(r.max_shift, 50.0);
+  EXPECT_GT(r.max_shift, 10.0);
+}
+
+TEST(RollingTest, ShiftsOnConstantSeriesAreZero) {
+  std::vector<double> x(100, 2.5);
+  EXPECT_EQ(MaxLevelShift(x, 10).max_shift, 0.0);
+  EXPECT_EQ(MaxVarShift(x, 10).max_shift, 0.0);
+  EXPECT_EQ(MaxKlShift(x, 10).max_shift, 0.0);
+}
+
+}  // namespace
+}  // namespace lossyts::features

@@ -1,0 +1,79 @@
+#include "features/unitroot.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace lossyts::features {
+namespace {
+
+std::vector<double> WhiteNoise(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.Normal();
+  return x;
+}
+
+std::vector<double> RandomWalk(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  double s = 0.0;
+  for (auto& v : x) {
+    s += rng.Normal();
+    v = s;
+  }
+  return x;
+}
+
+TEST(KpssTest, StationarySeriesHasSmallStatistic) {
+  // 5% critical value for the level-stationary KPSS test is 0.463.
+  EXPECT_LT(UnitrootKpss(WhiteNoise(2000, 1)), 0.463);
+}
+
+TEST(KpssTest, RandomWalkHasLargeStatistic) {
+  EXPECT_GT(UnitrootKpss(RandomWalk(2000, 2)), 0.463);
+}
+
+TEST(KpssTest, TrendingSeriesIsNonStationary) {
+  std::vector<double> x(2000);
+  Rng rng(3);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.01 * static_cast<double>(i) + rng.Normal();
+  }
+  EXPECT_GT(UnitrootKpss(x), 0.463);
+}
+
+TEST(KpssTest, ShortSeriesReturnsZero) {
+  EXPECT_EQ(UnitrootKpss({1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(PhillipsPerronTest, StationarySeriesStronglyRejectsUnitRoot) {
+  // 5% critical value of the PP tau statistic is about -2.86; white noise
+  // should be far below it.
+  EXPECT_LT(UnitrootPp(WhiteNoise(2000, 4)), -10.0);
+}
+
+TEST(PhillipsPerronTest, RandomWalkDoesNotReject) {
+  EXPECT_GT(UnitrootPp(RandomWalk(2000, 5)), -2.86);
+}
+
+TEST(PhillipsPerronTest, Ar1NearUnitRootIsIntermediate) {
+  Rng rng(6);
+  std::vector<double> x(2000);
+  double v = 0.0;
+  for (auto& val : x) {
+    v = 0.99 * v + rng.Normal();
+    val = v;
+  }
+  const double pp = UnitrootPp(x);
+  EXPECT_LT(pp, UnitrootPp(RandomWalk(2000, 7)));
+  EXPECT_GT(pp, UnitrootPp(WhiteNoise(2000, 8)));
+}
+
+TEST(PhillipsPerronTest, ConstantSeriesReturnsZero) {
+  std::vector<double> x(100, 5.0);
+  EXPECT_EQ(UnitrootPp(x), 0.0);
+}
+
+}  // namespace
+}  // namespace lossyts::features

@@ -1,0 +1,124 @@
+#include "forecast/ensemble.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/split.h"
+#include "forecast/registry.h"
+
+namespace lossyts::forecast {
+namespace {
+
+TimeSeries SineSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = 10.0 +
+           3.0 * std::sin(2.0 * 3.14159265 * static_cast<double>(i) / 24.0) +
+           0.2 * rng.Normal();
+  }
+  return TimeSeries(0, 3600, std::move(v));
+}
+
+ForecastConfig SmallConfig() {
+  ForecastConfig config;
+  config.input_length = 48;
+  config.horizon = 12;
+  config.season_length = 24;
+  config.max_epochs = 4;
+  config.max_train_windows = 64;
+  return config;
+}
+
+EnsembleForecaster MakeArimaGBoostEnsemble(std::vector<double> weights = {}) {
+  std::vector<std::unique_ptr<Forecaster>> members;
+  members.push_back(std::move(*MakeForecaster("Arima", SmallConfig())));
+  members.push_back(std::move(*MakeForecaster("GBoost", SmallConfig())));
+  return EnsembleForecaster(std::move(members), std::move(weights));
+}
+
+TEST(EnsembleTest, NameListsMembers) {
+  EnsembleForecaster ensemble = MakeArimaGBoostEnsemble();
+  EXPECT_EQ(ensemble.name(), "Ensemble(Arima+GBoost)");
+  EXPECT_EQ(ensemble.size(), 2u);
+}
+
+TEST(EnsembleTest, PredictionIsWeightedAverageOfMembers) {
+  TimeSeries series = SineSeries(700, 1);
+  Result<TrainValTest> split = SplitSeries(series);
+  ASSERT_TRUE(split.ok());
+
+  // Train the same two members standalone for reference.
+  auto arima = std::move(*MakeForecaster("Arima", SmallConfig()));
+  auto gboost = std::move(*MakeForecaster("GBoost", SmallConfig()));
+  ASSERT_TRUE(arima->Fit(split->train, split->val).ok());
+  ASSERT_TRUE(gboost->Fit(split->train, split->val).ok());
+
+  EnsembleForecaster ensemble = MakeArimaGBoostEnsemble({1.0, 3.0});
+  ASSERT_TRUE(ensemble.Fit(split->train, split->val).ok());
+
+  std::vector<double> window(split->test.values().begin(),
+                             split->test.values().begin() + 48);
+  Result<std::vector<double>> a = arima->Predict(window);
+  Result<std::vector<double>> g = gboost->Predict(window);
+  Result<std::vector<double>> e = ensemble.Predict(window);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(e.ok());
+  for (size_t i = 0; i < e->size(); ++i) {
+    EXPECT_NEAR((*e)[i], 0.25 * (*a)[i] + 0.75 * (*g)[i], 1e-9);
+  }
+}
+
+TEST(EnsembleTest, ForecastIsReasonable) {
+  TimeSeries series = SineSeries(800, 2);
+  Result<TrainValTest> split = SplitSeries(series);
+  ASSERT_TRUE(split.ok());
+  EnsembleForecaster ensemble = MakeArimaGBoostEnsemble();
+  ASSERT_TRUE(ensemble.Fit(split->train, split->val).ok());
+
+  double se = 0.0;
+  size_t count = 0;
+  const std::vector<double>& test = split->test.values();
+  for (size_t start = 0; start + 60 <= test.size(); start += 12) {
+    std::vector<double> window(test.begin() + start,
+                               test.begin() + start + 48);
+    Result<std::vector<double>> pred = ensemble.Predict(window);
+    ASSERT_TRUE(pred.ok());
+    for (size_t s = 0; s < pred->size(); ++s) {
+      const double err = (*pred)[s] - test[start + 48 + s];
+      se += err * err;
+      ++count;
+    }
+  }
+  // RMSE clearly below the signal's amplitude.
+  EXPECT_LT(std::sqrt(se / static_cast<double>(count)), 2.0);
+}
+
+TEST(EnsembleTest, PredictBeforeFitFails) {
+  EnsembleForecaster ensemble = MakeArimaGBoostEnsemble();
+  EXPECT_FALSE(ensemble.Predict(std::vector<double>(48, 1.0)).ok());
+}
+
+TEST(EnsembleTest, BadWeightsFail) {
+  TimeSeries series = SineSeries(700, 3);
+  Result<TrainValTest> split = SplitSeries(series);
+  ASSERT_TRUE(split.ok());
+  EnsembleForecaster mismatched = MakeArimaGBoostEnsemble({1.0});
+  EXPECT_FALSE(mismatched.Fit(split->train, split->val).ok());
+  EnsembleForecaster negative = MakeArimaGBoostEnsemble({1.0, -1.0});
+  EXPECT_FALSE(negative.Fit(split->train, split->val).ok());
+}
+
+TEST(EnsembleTest, EmptyEnsembleFails) {
+  EnsembleForecaster ensemble({});
+  TimeSeries series = SineSeries(700, 4);
+  Result<TrainValTest> split = SplitSeries(series);
+  ASSERT_TRUE(split.ok());
+  EXPECT_FALSE(ensemble.Fit(split->train, split->val).ok());
+}
+
+}  // namespace
+}  // namespace lossyts::forecast

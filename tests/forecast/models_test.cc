@@ -1,0 +1,216 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/rng.h"
+#include "core/split.h"
+#include "forecast/arima.h"
+#include "forecast/gboost.h"
+#include "forecast/registry.h"
+
+namespace lossyts::forecast {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// A clean daily-like sine with mild noise; every sane model should beat the
+// historical-mean forecast on it.
+TimeSeries SineSeries(size_t n, size_t period, double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = 10.0 +
+           3.0 * std::sin(2.0 * kPi * static_cast<double>(i) /
+                          static_cast<double>(period)) +
+           noise * rng.Normal();
+  }
+  return TimeSeries(0, 3600, std::move(v));
+}
+
+// Small shared config that keeps each model's training around a second.
+ForecastConfig SmallConfig() {
+  ForecastConfig config;
+  config.input_length = 48;
+  config.horizon = 12;
+  config.season_length = 24;
+  config.max_epochs = 6;
+  config.max_train_windows = 96;
+  config.batch_size = 16;
+  return config;
+}
+
+// RMSE of the model on held-out windows vs. the RMSE of predicting the
+// window mean. Returns the ratio (< 1 means the model adds value).
+double SkillRatio(Forecaster& model, const TimeSeries& series,
+                  const ForecastConfig& config) {
+  Result<TrainValTest> split = SplitSeries(series);
+  EXPECT_TRUE(split.ok());
+  EXPECT_TRUE(model.Fit(split->train, split->val).ok());
+
+  const std::vector<double>& test = split->test.values();
+  double model_se = 0.0;
+  double naive_se = 0.0;
+  size_t count = 0;
+  for (size_t start = 0;
+       start + config.input_length + config.horizon <= test.size();
+       start += config.horizon) {
+    std::vector<double> window(test.begin() + start,
+                               test.begin() + start + config.input_length);
+    Result<std::vector<double>> pred = model.Predict(window);
+    EXPECT_TRUE(pred.ok()) << pred.status().ToString();
+    if (!pred.ok()) return 1e9;
+    double mean = 0.0;
+    for (double v : window) mean += v;
+    mean /= static_cast<double>(window.size());
+    for (size_t s = 0; s < config.horizon; ++s) {
+      const double actual = test[start + config.input_length + s];
+      model_se += ((*pred)[s] - actual) * ((*pred)[s] - actual);
+      naive_se += (mean - actual) * (mean - actual);
+    }
+    count += config.horizon;
+  }
+  EXPECT_GT(count, 0u);
+  return std::sqrt(model_se / count) / std::sqrt(naive_se / count);
+}
+
+class ModelSmokeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelSmokeTest, OutputShapeAndDeterminism) {
+  ForecastConfig config = SmallConfig();
+  Result<std::unique_ptr<Forecaster>> model =
+      MakeForecaster(GetParam(), config);
+  ASSERT_TRUE(model.ok());
+  TimeSeries series = SineSeries(600, 24, 0.2, 1);
+  Result<TrainValTest> split = SplitSeries(series);
+  ASSERT_TRUE(split.ok());
+  ASSERT_TRUE((*model)->Fit(split->train, split->val).ok());
+
+  std::vector<double> window(split->test.values().begin(),
+                             split->test.values().begin() + 48);
+  Result<std::vector<double>> a = (*model)->Predict(window);
+  Result<std::vector<double>> b = (*model)->Predict(window);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), 12u);
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i], (*b)[i]) << "prediction must be deterministic";
+    EXPECT_TRUE(std::isfinite((*a)[i]));
+  }
+}
+
+TEST_P(ModelSmokeTest, RejectsWrongWindowLength) {
+  ForecastConfig config = SmallConfig();
+  Result<std::unique_ptr<Forecaster>> model =
+      MakeForecaster(GetParam(), config);
+  ASSERT_TRUE(model.ok());
+  TimeSeries series = SineSeries(600, 24, 0.2, 2);
+  Result<TrainValTest> split = SplitSeries(series);
+  ASSERT_TRUE(split.ok());
+  ASSERT_TRUE((*model)->Fit(split->train, split->val).ok());
+  std::vector<double> short_window(10, 1.0);
+  EXPECT_FALSE((*model)->Predict(short_window).ok());
+}
+
+TEST_P(ModelSmokeTest, PredictBeforeFitFails) {
+  Result<std::unique_ptr<Forecaster>> model =
+      MakeForecaster(GetParam(), SmallConfig());
+  ASSERT_TRUE(model.ok());
+  std::vector<double> window(48, 1.0);
+  EXPECT_FALSE((*model)->Predict(window).ok());
+}
+
+TEST_P(ModelSmokeTest, BeatsNaiveMeanOnCleanSine) {
+  ForecastConfig config = SmallConfig();
+  Result<std::unique_ptr<Forecaster>> model =
+      MakeForecaster(GetParam(), config);
+  ASSERT_TRUE(model.ok());
+  TimeSeries series = SineSeries(800, 24, 0.15, 3);
+  const double ratio = SkillRatio(**model, series, config);
+  EXPECT_LT(ratio, 0.95) << GetParam() << " skill ratio " << ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelSmokeTest,
+                         ::testing::ValuesIn(ModelNames()));
+
+TEST(RegistryTest, SevenModelsInTableTwoOrder) {
+  const std::vector<std::string>& names = ModelNames();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.front(), "Arima");
+  EXPECT_EQ(names.back(), "Transformer");
+}
+
+TEST(RegistryTest, UnknownModelFails) {
+  EXPECT_FALSE(MakeForecaster("Prophet", ForecastConfig()).ok());
+}
+
+TEST(RegistryTest, DeepModelClassification) {
+  EXPECT_FALSE(IsDeepModel("Arima"));
+  EXPECT_FALSE(IsDeepModel("GBoost"));
+  EXPECT_TRUE(IsDeepModel("GRU"));
+  EXPECT_TRUE(IsDeepModel("Transformer"));
+  EXPECT_TRUE(IsDeepModel("DLinear"));
+}
+
+TEST(ArimaTest, SelectsArStructureOnArData) {
+  Rng rng(5);
+  std::vector<double> v(1500);
+  double x = 0.0;
+  for (auto& val : v) {
+    x = 0.8 * x + rng.Normal();
+    val = x + 20.0;
+  }
+  ForecastConfig config = SmallConfig();
+  config.season_length = 0;  // Pure ARMA.
+  ArimaForecaster arima(config);
+  TimeSeries series(0, 60, std::move(v));
+  Result<TrainValTest> split = SplitSeries(series);
+  ASSERT_TRUE(split.ok());
+  ASSERT_TRUE(arima.Fit(split->train, split->val).ok());
+  // AR(1) data: the selected model should use autoregression (possibly after
+  // differencing).
+  EXPECT_GE(arima.p() + arima.d() + arima.q(), 1);
+}
+
+TEST(ArimaTest, ForecastConvergesTowardsMeanOnArData) {
+  Rng rng(6);
+  std::vector<double> v(1200);
+  double x = 0.0;
+  for (auto& val : v) {
+    x = 0.7 * x + rng.Normal(0.0, 0.5);
+    val = x + 50.0;
+  }
+  ForecastConfig config;
+  config.input_length = 48;
+  config.horizon = 24;
+  config.season_length = 0;
+  ArimaForecaster arima(config);
+  TimeSeries series(0, 60, std::move(v));
+  Result<TrainValTest> split = SplitSeries(series);
+  ASSERT_TRUE(split.ok());
+  ASSERT_TRUE(arima.Fit(split->train, split->val).ok());
+  std::vector<double> window(split->test.values().begin(),
+                             split->test.values().begin() + 48);
+  Result<std::vector<double>> pred = arima.Predict(window);
+  ASSERT_TRUE(pred.ok());
+  // Long-horizon AR forecasts decay toward the process mean (~50).
+  EXPECT_NEAR(pred->back(), 50.0, 3.0);
+}
+
+TEST(GBoostTest, LagsIncludeSeasonalLag) {
+  ForecastConfig config = SmallConfig();
+  GBoostForecaster gboost(config);
+  TimeSeries series = SineSeries(600, 24, 0.2, 7);
+  Result<TrainValTest> split = SplitSeries(series);
+  ASSERT_TRUE(split.ok());
+  ASSERT_TRUE(gboost.Fit(split->train, split->val).ok());
+  bool has_seasonal = false;
+  for (size_t lag : gboost.lags()) {
+    if (lag == 24) has_seasonal = true;
+    EXPECT_LE(lag, config.input_length);
+  }
+  EXPECT_TRUE(has_seasonal);
+}
+
+}  // namespace
+}  // namespace lossyts::forecast

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "forecast/scaler.h"
+#include "forecast/window.h"
+
+namespace lossyts::forecast {
+namespace {
+
+TEST(ScalerTest, TransformsToZeroMeanUnitStd) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit({2.0, 4.0, 6.0, 8.0}).ok());
+  EXPECT_DOUBLE_EQ(scaler.mean(), 5.0);
+  EXPECT_NEAR(scaler.Transform(5.0), 0.0, 1e-12);
+  EXPECT_NEAR(scaler.Inverse(scaler.Transform(7.3)), 7.3, 1e-12);
+}
+
+TEST(ScalerTest, VectorRoundTrip) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit({1.0, 2.0, 3.0}).ok());
+  std::vector<double> original = {0.5, 1.5, 9.0};
+  std::vector<double> back = scaler.Inverse(scaler.Transform(original));
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(back[i], original[i], 1e-12);
+  }
+}
+
+TEST(ScalerTest, ConstantSeriesUsesUnitScale) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit({5.0, 5.0, 5.0}).ok());
+  EXPECT_DOUBLE_EQ(scaler.stddev(), 1.0);
+  EXPECT_DOUBLE_EQ(scaler.Transform(6.0), 1.0);
+}
+
+TEST(ScalerTest, EmptyFails) {
+  StandardScaler scaler;
+  EXPECT_FALSE(scaler.Fit({}).ok());
+  EXPECT_FALSE(scaler.fitted());
+}
+
+TEST(WindowTest, BasicExtraction) {
+  std::vector<double> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Result<std::vector<WindowExample>> windows = MakeWindows(v, 3, 2, 1);
+  ASSERT_TRUE(windows.ok());
+  ASSERT_EQ(windows->size(), 6u);
+  EXPECT_EQ((*windows)[0].input, (std::vector<double>{0, 1, 2}));
+  EXPECT_EQ((*windows)[0].target, (std::vector<double>{3, 4}));
+  EXPECT_EQ((*windows)[5].input, (std::vector<double>{5, 6, 7}));
+  EXPECT_EQ((*windows)[5].target, (std::vector<double>{8, 9}));
+}
+
+TEST(WindowTest, StrideSkipsWindows) {
+  std::vector<double> v(20, 0.0);
+  Result<std::vector<WindowExample>> windows = MakeWindows(v, 4, 2, 3);
+  ASSERT_TRUE(windows.ok());
+  EXPECT_EQ(windows->size(), 5u);  // Starts 0,3,6,9,12 (14 is last valid).
+}
+
+TEST(WindowTest, MaxWindowsWidensStride) {
+  std::vector<double> v(1000, 0.0);
+  Result<std::vector<WindowExample>> windows = MakeWindows(v, 10, 5, 1, 10);
+  ASSERT_TRUE(windows.ok());
+  EXPECT_LE(windows->size(), 10u);
+  EXPECT_GE(windows->size(), 8u);
+}
+
+TEST(WindowTest, TooShortSeriesFails) {
+  std::vector<double> v(5, 0.0);
+  EXPECT_FALSE(MakeWindows(v, 4, 2).ok());
+}
+
+TEST(WindowTest, InvalidParametersFail) {
+  std::vector<double> v(100, 0.0);
+  EXPECT_FALSE(MakeWindows(v, 0, 2).ok());
+  EXPECT_FALSE(MakeWindows(v, 4, 0).ok());
+  EXPECT_FALSE(MakeWindows(v, 4, 2, 0).ok());
+}
+
+TEST(WindowTest, ExactFitProducesOneWindow) {
+  std::vector<double> v(6, 1.0);
+  Result<std::vector<WindowExample>> windows = MakeWindows(v, 4, 2);
+  ASSERT_TRUE(windows.ok());
+  EXPECT_EQ(windows->size(), 1u);
+}
+
+}  // namespace
+}  // namespace lossyts::forecast

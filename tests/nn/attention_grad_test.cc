@@ -1,0 +1,115 @@
+// Finite-difference gradient checks through the composite attention layers —
+// the pieces whose backward passes chain a dozen primitive ops.
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+
+namespace lossyts::nn {
+namespace {
+
+// Numeric/analytic gradient comparison of d(mean(f(x)))/dx.
+void CheckInputGradient(size_t rows, size_t cols,
+                        const std::function<Var(const Var&)>& f,
+                        double tolerance = 2e-5) {
+  Rng rng(17);
+  Tensor init(rows, cols);
+  for (double& v : init.storage()) v = rng.Uniform(-0.5, 0.5);
+
+  Var leaf = MakeVar(init, true);
+  Var loss = Mean(f(leaf));
+  Backward(loss);
+  const Tensor analytic = leaf->grad;
+
+  const double h = 1e-5;
+  // Spot-check a deterministic subset of entries (full sweeps are slow).
+  for (size_t i = 0; i < init.size(); i += 7) {
+    Tensor plus = init;
+    plus.storage()[i] += h;
+    Tensor minus = init;
+    minus.storage()[i] -= h;
+    const double fp = Mean(f(MakeVar(plus, true)))->value(0, 0);
+    const double fm = Mean(f(MakeVar(minus, true)))->value(0, 0);
+    EXPECT_NEAR(analytic.storage()[i], (fp - fm) / (2.0 * h), tolerance)
+        << "entry " << i;
+  }
+}
+
+TEST(AttentionGradTest, SelfAttentionInputGradient) {
+  Rng rng(1);
+  MultiHeadAttention mha(8, 2, rng);
+  CheckInputGradient(6, 8, [&](const Var& x) {
+    return mha.Forward(x, x, x);
+  });
+}
+
+TEST(AttentionGradTest, CausalSelfAttentionInputGradient) {
+  Rng rng(2);
+  MultiHeadAttention mha(8, 2, rng);
+  CheckInputGradient(6, 8, [&](const Var& x) {
+    return mha.Forward(x, x, x, /*causal=*/true);
+  });
+}
+
+TEST(AttentionGradTest, CrossAttentionQueryGradient) {
+  Rng rng(3);
+  MultiHeadAttention mha(8, 2, rng);
+  Rng data_rng(4);
+  Tensor memory(9, 8);
+  for (double& v : memory.storage()) v = data_rng.Uniform(-0.5, 0.5);
+  const Var mem = MakeVar(memory);
+  CheckInputGradient(5, 8, [&](const Var& q) {
+    return mha.Forward(q, mem, mem);
+  });
+}
+
+TEST(AttentionGradTest, EncoderLayerInputGradient) {
+  Rng rng(5);
+  TransformerEncoderLayer layer(8, 2, 16, 0.0, rng);
+  Rng fwd_rng(6);
+  CheckInputGradient(6, 8, [&](const Var& x) {
+    return layer.Forward(x, /*train=*/false, fwd_rng);
+  });
+}
+
+TEST(AttentionGradTest, DecoderLayerInputGradient) {
+  Rng rng(7);
+  TransformerDecoderLayer layer(8, 2, 16, 0.0, rng);
+  Rng data_rng(8);
+  Tensor memory(7, 8);
+  for (double& v : memory.storage()) v = data_rng.Uniform(-0.5, 0.5);
+  const Var mem = MakeVar(memory);
+  Rng fwd_rng(9);
+  CheckInputGradient(5, 8, [&](const Var& x) {
+    return layer.Forward(x, mem, /*train=*/false, fwd_rng);
+  });
+}
+
+TEST(AttentionGradTest, ParameterGradientsFlowThroughEncoder) {
+  Rng rng(10);
+  TransformerEncoderLayer layer(8, 2, 16, 0.0, rng);
+  Tensor input(6, 8);
+  Rng data_rng(12);
+  for (double& v : input.storage()) v = data_rng.Uniform(-1.0, 1.0);
+  Var x = MakeVar(std::move(input));
+  Rng fwd_rng(11);
+  Backward(Mean(layer.Forward(x, false, fwd_rng)));
+  size_t nonzero_params = 0;
+  for (const Var& p : layer.Parameters()) {
+    if (p->grad.size() != p->value.size()) continue;
+    for (double g : p->grad.storage()) {
+      if (g != 0.0) {
+        ++nonzero_params;
+        break;
+      }
+    }
+  }
+  // Every weight matrix should receive gradient signal.
+  EXPECT_GT(nonzero_params, layer.Parameters().size() / 2);
+}
+
+}  // namespace
+}  // namespace lossyts::nn

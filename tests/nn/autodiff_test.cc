@@ -1,0 +1,234 @@
+#include "nn/autodiff.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+namespace lossyts::nn {
+namespace {
+
+// Numerical gradient check: builds a scalar loss from `forward` applied to a
+// leaf of the given shape, then compares Backward()'s gradient against
+// central finite differences.
+void CheckGradients(size_t rows, size_t cols,
+                    const std::function<Var(const Var&)>& forward,
+                    uint64_t seed = 1, double tolerance = 1e-6) {
+  Rng rng(seed);
+  Tensor init(rows, cols);
+  for (double& v : init.storage()) v = rng.Uniform(-1.0, 1.0);
+
+  Var leaf = MakeVar(init, /*requires_grad=*/true);
+  Var loss = forward(leaf);
+  ASSERT_EQ(loss->value.rows(), 1u);
+  ASSERT_EQ(loss->value.cols(), 1u);
+  Backward(loss);
+  const Tensor analytic = leaf->grad;
+
+  const double h = 1e-6;
+  for (size_t i = 0; i < init.size(); ++i) {
+    Tensor plus = init;
+    plus.storage()[i] += h;
+    Tensor minus = init;
+    minus.storage()[i] -= h;
+    const double f_plus =
+        forward(MakeVar(plus, true))->value(0, 0);
+    const double f_minus =
+        forward(MakeVar(minus, true))->value(0, 0);
+    const double numeric = (f_plus - f_minus) / (2.0 * h);
+    EXPECT_NEAR(analytic.storage()[i], numeric, tolerance)
+        << "entry " << i;
+  }
+}
+
+Tensor RandomTensor(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(rows, cols);
+  for (double& v : t.storage()) v = rng.Uniform(-1.0, 1.0);
+  return t;
+}
+
+TEST(AutodiffTest, MeanGradient) {
+  CheckGradients(3, 4, [](const Var& x) { return Mean(x); });
+}
+
+TEST(AutodiffTest, MatMulGradientLeft) {
+  const Tensor b = RandomTensor(4, 2, 42);
+  CheckGradients(3, 4, [&](const Var& x) {
+    return Mean(MatMul(x, MakeVar(b)));
+  });
+}
+
+TEST(AutodiffTest, MatMulGradientRight) {
+  const Tensor a = RandomTensor(3, 4, 43);
+  CheckGradients(4, 2, [&](const Var& x) {
+    return Mean(MatMul(MakeVar(a), x));
+  });
+}
+
+TEST(AutodiffTest, AddSubMulGradients) {
+  const Tensor other = RandomTensor(3, 3, 44);
+  CheckGradients(3, 3, [&](const Var& x) {
+    return Mean(Mul(Add(x, MakeVar(other)), Sub(x, MakeVar(other))));
+  });
+}
+
+TEST(AutodiffTest, AddRowBroadcastGradientOfBias) {
+  const Tensor a = RandomTensor(5, 3, 45);
+  CheckGradients(1, 3, [&](const Var& bias) {
+    return Mean(AddRowBroadcast(MakeVar(a), bias));
+  });
+}
+
+TEST(AutodiffTest, ScaleGradient) {
+  CheckGradients(2, 3, [](const Var& x) { return Mean(Scale(x, -2.5)); });
+}
+
+TEST(AutodiffTest, SigmoidGradient) {
+  CheckGradients(2, 5, [](const Var& x) { return Mean(Sigmoid(x)); });
+}
+
+TEST(AutodiffTest, TanhGradient) {
+  CheckGradients(2, 5, [](const Var& x) { return Mean(Tanh(x)); });
+}
+
+TEST(AutodiffTest, ReluGradient) {
+  // Shift away from the kink at zero for a clean finite-difference check.
+  CheckGradients(2, 5, [](const Var& x) {
+    return Mean(Relu(Add(x, MakeVar(Tensor(2, 5, 0.1)))));
+  });
+}
+
+TEST(AutodiffTest, GeluGradient) {
+  CheckGradients(2, 5, [](const Var& x) { return Mean(Gelu(x)); }, 7, 1e-5);
+}
+
+TEST(AutodiffTest, SoftmaxGradient) {
+  const Tensor w = RandomTensor(3, 4, 46);
+  CheckGradients(3, 4, [&](const Var& x) {
+    return Mean(Mul(Softmax(x), MakeVar(w)));
+  });
+}
+
+TEST(AutodiffTest, SoftmaxRowsSumToOne) {
+  Var x = MakeVar(RandomTensor(4, 6, 47));
+  Var y = Softmax(x);
+  for (size_t r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 6; ++c) sum += y->value(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(AutodiffTest, SoftmaxMaskBlocksPositions) {
+  Var x = MakeVar(Tensor(1, 3, 0.0));
+  Tensor mask(1, 3, 0.0);
+  mask(0, 2) = -1e9;
+  Var y = Softmax(x, &mask);
+  EXPECT_NEAR(y->value(0, 0), 0.5, 1e-9);
+  EXPECT_NEAR(y->value(0, 1), 0.5, 1e-9);
+  EXPECT_NEAR(y->value(0, 2), 0.0, 1e-12);
+}
+
+TEST(AutodiffTest, LayerNormGradient) {
+  const Tensor gain = RandomTensor(1, 4, 48);
+  const Tensor bias = RandomTensor(1, 4, 49);
+  CheckGradients(3, 4, [&](const Var& x) {
+    return Mean(LayerNorm(x, MakeVar(gain, true), MakeVar(bias, true)));
+  }, 2, 1e-5);
+}
+
+TEST(AutodiffTest, LayerNormGainBiasGradients) {
+  const Tensor a = RandomTensor(3, 4, 50);
+  const Tensor bias = RandomTensor(1, 4, 51);
+  CheckGradients(1, 4, [&](const Var& gain) {
+    const Tensor w = RandomTensor(3, 4, 52);
+    return Mean(Mul(LayerNorm(MakeVar(a, true), gain, MakeVar(bias, true)),
+                    MakeVar(w)));
+  });
+}
+
+TEST(AutodiffTest, TransposeGradient) {
+  const Tensor w = RandomTensor(4, 3, 53);
+  CheckGradients(3, 4, [&](const Var& x) {
+    return Mean(Mul(Transpose(x), MakeVar(w)));
+  });
+}
+
+TEST(AutodiffTest, SliceGradients) {
+  const Tensor w = RandomTensor(2, 2, 54);
+  CheckGradients(4, 4, [&](const Var& x) {
+    return Mean(Mul(SliceRows(SliceCols(x, 1, 3), 0, 2), MakeVar(w)));
+  });
+}
+
+TEST(AutodiffTest, ConcatGradients) {
+  const Tensor b = RandomTensor(2, 3, 55);
+  CheckGradients(2, 3, [&](const Var& x) {
+    const Var rows = ConcatRows(x, MakeVar(b, true));
+    const Var cols = ConcatCols(x, MakeVar(b, true));
+    return Add(Mean(rows), Mean(cols));
+  });
+}
+
+TEST(AutodiffTest, MseLossGradient) {
+  const Tensor target = RandomTensor(3, 2, 56);
+  CheckGradients(3, 2, [&](const Var& x) {
+    return MseLoss(x, MakeVar(target));
+  });
+}
+
+TEST(AutodiffTest, StridedRowPoolGradient) {
+  const Tensor w = RandomTensor(3, 2, 57);
+  CheckGradients(5, 2, [&](const Var& x) {
+    return Mean(Mul(StridedRowPool(x, 2), MakeVar(w)));
+  });
+}
+
+TEST(AutodiffTest, StridedRowPoolShape) {
+  Var x = MakeVar(RandomTensor(96, 8, 58));
+  EXPECT_EQ(StridedRowPool(x, 2)->value.rows(), 48u);
+  EXPECT_EQ(StridedRowPool(x, 3)->value.rows(), 32u);
+}
+
+TEST(AutodiffTest, DropoutTrainingScalesExpectation) {
+  Rng rng(59);
+  Var x = MakeVar(Tensor(100, 100, 1.0));
+  Var y = Dropout(x, 0.5, /*train=*/true, rng);
+  double mean = 0.0;
+  for (double v : y->value.storage()) mean += v;
+  mean /= static_cast<double>(y->value.size());
+  EXPECT_NEAR(mean, 1.0, 0.05);
+}
+
+TEST(AutodiffTest, DropoutEvalIsIdentity) {
+  Rng rng(60);
+  Var x = MakeVar(RandomTensor(5, 5, 61));
+  Var y = Dropout(x, 0.5, /*train=*/false, rng);
+  for (size_t i = 0; i < x->value.size(); ++i) {
+    EXPECT_EQ(y->value.storage()[i], x->value.storage()[i]);
+  }
+}
+
+TEST(AutodiffTest, ChainedGraphGradient) {
+  // A small multi-layer expression exercising reuse of one node twice.
+  const Tensor w1 = RandomTensor(4, 4, 62);
+  CheckGradients(2, 4, [&](const Var& x) {
+    const Var h = Tanh(MatMul(x, MakeVar(w1)));
+    return Mean(Mul(h, h));  // h used twice: gradient accumulation.
+  }, 3, 1e-5);
+}
+
+TEST(AutodiffTest, BackwardTwiceIsIndependent) {
+  Var x = MakeVar(RandomTensor(2, 2, 63), true);
+  Var loss = Mean(Mul(x, x));
+  Backward(loss);
+  const Tensor first = x->grad;
+  Backward(loss);
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_NEAR(x->grad.storage()[i], first.storage()[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace lossyts::nn

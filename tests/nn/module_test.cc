@@ -1,0 +1,253 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "nn/optimizer.h"
+
+namespace lossyts::nn {
+namespace {
+
+TEST(LinearTest, ShapeAndParameterCount) {
+  Rng rng(1);
+  Linear linear(8, 4, rng);
+  EXPECT_EQ(linear.NumParameters(), 8u * 4u + 4u);
+  Var x = MakeVar(Tensor(3, 8, 1.0));
+  Var y = linear.Forward(x);
+  EXPECT_EQ(y->value.rows(), 3u);
+  EXPECT_EQ(y->value.cols(), 4u);
+}
+
+TEST(LinearTest, LearnsLinearMap) {
+  Rng rng(2);
+  Linear linear(2, 1, rng);
+  Adam::Options opt;
+  opt.learning_rate = 0.05;
+  opt.weight_decay = 0.0;
+  Adam adam(linear.Parameters(), opt);
+
+  // Target: y = 3*x0 - 2*x1 + 1.
+  for (int step = 0; step < 500; ++step) {
+    Tensor batch(16, 2);
+    Tensor target(16, 1);
+    for (size_t i = 0; i < 16; ++i) {
+      batch(i, 0) = rng.Uniform(-1.0, 1.0);
+      batch(i, 1) = rng.Uniform(-1.0, 1.0);
+      target(i, 0) = 3.0 * batch(i, 0) - 2.0 * batch(i, 1) + 1.0;
+    }
+    Var loss = MseLoss(linear.Forward(MakeVar(batch)), MakeVar(target));
+    Backward(loss);
+    adam.Step();
+  }
+  Tensor probe(1, 2);
+  probe(0, 0) = 0.5;
+  probe(0, 1) = -0.5;
+  Var y = linear.Forward(MakeVar(probe));
+  EXPECT_NEAR(y->value(0, 0), 3.0 * 0.5 - 2.0 * -0.5 + 1.0, 0.05);
+}
+
+TEST(LayerNormModuleTest, NormalizesRows) {
+  LayerNormModule norm(6);
+  Rng rng(3);
+  Tensor x(4, 6);
+  for (double& v : x.storage()) v = rng.Uniform(0.0, 100.0);
+  Var y = norm.Forward(MakeVar(x));
+  for (size_t r = 0; r < 4; ++r) {
+    double mean = 0.0;
+    for (size_t c = 0; c < 6; ++c) mean += y->value(r, c);
+    mean /= 6.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+  }
+}
+
+TEST(GruCellTest, OutputShapeAndRange) {
+  Rng rng(4);
+  GruCell cell(3, 8, rng);
+  Var x = MakeVar(Tensor(1, 3, 0.5));
+  Var h = MakeVar(Tensor(1, 8, 0.0));
+  Var h_next = cell.Forward(x, h);
+  EXPECT_EQ(h_next->value.rows(), 1u);
+  EXPECT_EQ(h_next->value.cols(), 8u);
+  for (double v : h_next->value.storage()) {
+    EXPECT_GT(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(GruCellTest, ParameterCount) {
+  Rng rng(5);
+  GruCell cell(3, 8, rng);
+  // 3 gates x (3*8 input + 8*8 hidden + 8 bias).
+  EXPECT_EQ(cell.NumParameters(), 3u * (3 * 8 + 8 * 8 + 8));
+}
+
+TEST(GruCellTest, LearnsToRememberInput) {
+  // Task: output after 5 steps should equal the first input value.
+  Rng rng(6);
+  GruCell cell(1, 8, rng);
+  Linear head(8, 1, rng);
+  std::vector<Var> params = cell.Parameters();
+  for (const Var& p : head.Parameters()) params.push_back(p);
+  Adam::Options opt;
+  opt.learning_rate = 0.01;
+  opt.weight_decay = 0.0;
+  Adam adam(params, opt);
+
+  double final_loss = 1e9;
+  for (int step = 0; step < 400; ++step) {
+    const double value = rng.Uniform(-1.0, 1.0);
+    Var h = MakeVar(Tensor(1, 8, 0.0));
+    for (int t = 0; t < 5; ++t) {
+      Tensor input(1, 1, t == 0 ? value : 0.0);
+      h = cell.Forward(MakeVar(input), h);
+    }
+    Var pred = head.Forward(h);
+    Var loss = MseLoss(pred, MakeVar(Tensor(1, 1, value)));
+    final_loss = loss->value(0, 0);
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(final_loss, 0.1);
+}
+
+TEST(AttentionTest, OutputShape) {
+  Rng rng(7);
+  MultiHeadAttention mha(16, 4, rng);
+  Var x = MakeVar(Tensor(10, 16, 0.1));
+  Var y = mha.Forward(x, x, x);
+  EXPECT_EQ(y->value.rows(), 10u);
+  EXPECT_EQ(y->value.cols(), 16u);
+}
+
+TEST(AttentionTest, CrossAttentionShapes) {
+  Rng rng(8);
+  MultiHeadAttention mha(8, 2, rng);
+  Var q = MakeVar(Tensor(5, 8, 0.1));
+  Var kv = MakeVar(Tensor(12, 8, 0.2));
+  Var y = mha.Forward(q, kv, kv);
+  EXPECT_EQ(y->value.rows(), 5u);
+  EXPECT_EQ(y->value.cols(), 8u);
+}
+
+TEST(AttentionTest, CausalMaskPreventsFutureLeakage) {
+  Rng rng(9);
+  MultiHeadAttention mha(8, 2, rng);
+  // Two inputs identical in the first 3 rows, different afterwards: with a
+  // causal mask, outputs at rows 0-2 must agree.
+  Tensor a(6, 8);
+  Tensor b(6, 8);
+  Rng data_rng(10);
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < 8; ++c) {
+      a(r, c) = data_rng.Uniform(-1.0, 1.0);
+      b(r, c) = r < 3 ? a(r, c) : data_rng.Uniform(-1.0, 1.0);
+    }
+  }
+  Var ya = mha.Forward(MakeVar(a), MakeVar(a), MakeVar(a), /*causal=*/true);
+  Var yb = mha.Forward(MakeVar(b), MakeVar(b), MakeVar(b), /*causal=*/true);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 8; ++c) {
+      EXPECT_NEAR(ya->value(r, c), yb->value(r, c), 1e-9);
+    }
+  }
+}
+
+TEST(AttentionTest, ProbSparseShapeMatchesFull) {
+  Rng rng(11);
+  MultiHeadAttention mha(16, 4, rng);
+  Var x = MakeVar(Tensor(24, 16, 0.3));
+  Var sparse = mha.ForwardProbSparse(x);
+  EXPECT_EQ(sparse->value.rows(), 24u);
+  EXPECT_EQ(sparse->value.cols(), 16u);
+}
+
+TEST(AttentionTest, ProbSparseGradientsFlow) {
+  Rng rng(12);
+  MultiHeadAttention mha(8, 2, rng);
+  Var x = MakeVar(Tensor(12, 8, 0.2), /*requires_grad=*/true);
+  Var loss = Mean(mha.ForwardProbSparse(x));
+  Backward(loss);
+  double grad_norm = 0.0;
+  for (double g : x->grad.storage()) grad_norm += g * g;
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+TEST(EncoderLayerTest, ForwardShapeAndGradients) {
+  Rng rng(13);
+  TransformerEncoderLayer layer(16, 4, 32, 0.0, rng);
+  Var x = MakeVar(Tensor(10, 16, 0.1), true);
+  Var y = layer.Forward(x, /*train=*/false, rng);
+  EXPECT_EQ(y->value.rows(), 10u);
+  EXPECT_EQ(y->value.cols(), 16u);
+  Backward(Mean(y));
+  EXPECT_GT(layer.NumParameters(), 0u);
+}
+
+TEST(DecoderLayerTest, ForwardShape) {
+  Rng rng(14);
+  TransformerDecoderLayer layer(16, 4, 32, 0.0, rng);
+  Var x = MakeVar(Tensor(6, 16, 0.1));
+  Var memory = MakeVar(Tensor(10, 16, 0.2));
+  Var y = layer.Forward(x, memory, /*train=*/false, rng);
+  EXPECT_EQ(y->value.rows(), 6u);
+  EXPECT_EQ(y->value.cols(), 16u);
+}
+
+TEST(PositionalEncodingTest, ValuesInRangeAndVaryByPosition) {
+  Tensor pe = PositionalEncoding(50, 16);
+  EXPECT_EQ(pe.rows(), 50u);
+  EXPECT_EQ(pe.cols(), 16u);
+  for (double v : pe.storage()) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Row 0 differs from row 10.
+  bool differs = false;
+  for (size_t c = 0; c < 16; ++c) {
+    if (std::abs(pe(0, c) - pe(10, c)) > 1e-6) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // Minimize ||x - target||^2 directly over a parameter tensor.
+  Var x = MakeVar(Tensor(1, 4, 0.0), true);
+  Tensor target(1, 4);
+  target(0, 0) = 1.0;
+  target(0, 1) = -2.0;
+  target(0, 2) = 3.0;
+  target(0, 3) = 0.5;
+  Adam::Options opt;
+  opt.learning_rate = 0.05;
+  opt.weight_decay = 0.0;
+  Adam adam({x}, opt);
+  for (int i = 0; i < 500; ++i) {
+    Var loss = MseLoss(x, MakeVar(target));
+    Backward(loss);
+    adam.Step();
+  }
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(x->value(0, c), target(0, c), 0.01);
+  }
+}
+
+TEST(AdamTest, WeightDecayShrinksUnusedParameters) {
+  Var used = MakeVar(Tensor(1, 1, 1.0), true);
+  Var x = MakeVar(Tensor(1, 1, 5.0), true);
+  Adam::Options opt;
+  opt.weight_decay = 0.1;
+  opt.learning_rate = 0.01;
+  Adam adam({x, used}, opt);
+  for (int i = 0; i < 100; ++i) {
+    Var loss = MseLoss(used, MakeVar(Tensor(1, 1, 1.0)));
+    Backward(loss);
+    // x has a zeroed gradient (from ZeroGrad) and decays toward zero.
+    adam.Step();
+  }
+  EXPECT_LT(std::abs(x->value(0, 0)), 5.0);
+}
+
+}  // namespace
+}  // namespace lossyts::nn

@@ -1,0 +1,90 @@
+#include "zip/bitstream.h"
+
+#include <gtest/gtest.h>
+
+namespace lossyts::zip {
+namespace {
+
+TEST(BitstreamTest, WriteReadRoundTrip) {
+  BitWriter writer;
+  writer.WriteBits(0b101, 3);
+  writer.WriteBits(0b11110000, 8);
+  writer.WriteBits(1, 1);
+  std::vector<uint8_t> bytes = writer.Finish();
+
+  BitReader reader(bytes);
+  EXPECT_EQ(*reader.ReadBits(3), 0b101u);
+  EXPECT_EQ(*reader.ReadBits(8), 0b11110000u);
+  EXPECT_EQ(*reader.ReadBits(1), 1u);
+}
+
+TEST(BitstreamTest, LsbFirstPacking) {
+  BitWriter writer;
+  writer.WriteBits(1, 1);  // Bit 0 of first byte.
+  writer.WriteBits(0, 1);
+  writer.WriteBits(1, 1);  // Bit 2.
+  std::vector<uint8_t> bytes = writer.Finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b00000101);
+}
+
+TEST(BitstreamTest, HuffmanCodeIsBitReversed) {
+  // Code 0b10 of length 2 must be emitted MSB-first: 1 then 0.
+  BitWriter writer;
+  writer.WriteHuffmanCode(0b10, 2);
+  std::vector<uint8_t> bytes = writer.Finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0] & 0b11, 0b01);  // LSB-first stream: first bit = 1.
+}
+
+TEST(BitstreamTest, AlignToBytePads) {
+  BitWriter writer;
+  writer.WriteBits(1, 1);
+  writer.AlignToByte();
+  writer.WriteByte(0xAB);
+  std::vector<uint8_t> bytes = writer.Finish();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[1], 0xAB);
+
+  BitReader reader(bytes);
+  EXPECT_EQ(*reader.ReadBit(), 1u);
+  reader.AlignToByte();
+  EXPECT_EQ(*reader.ReadByte(), 0xAB);
+}
+
+TEST(BitstreamTest, ReadPastEndFails) {
+  BitWriter writer;
+  writer.WriteBits(0x3, 2);
+  std::vector<uint8_t> bytes = writer.Finish();
+  BitReader reader(bytes);
+  EXPECT_TRUE(reader.ReadBits(8).ok());
+  EXPECT_FALSE(reader.ReadBits(8).ok());
+}
+
+TEST(BitstreamTest, EmptyReaderFailsImmediately) {
+  BitReader reader(nullptr, 0);
+  EXPECT_FALSE(reader.ReadBit().ok());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BitstreamTest, MultiByteValues) {
+  BitWriter writer;
+  writer.WriteBits(0xDEAD, 16);
+  writer.WriteBits(0xBEEF, 16);
+  std::vector<uint8_t> bytes = writer.Finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(*reader.ReadBits(16), 0xDEADu);
+  EXPECT_EQ(*reader.ReadBits(16), 0xBEEFu);
+}
+
+TEST(BitstreamTest, BitCountTracksWrites) {
+  BitWriter writer;
+  writer.WriteBits(0, 5);
+  EXPECT_EQ(writer.bit_count(), 5u);
+  writer.AlignToByte();
+  EXPECT_EQ(writer.bit_count(), 8u);
+}
+
+}  // namespace
+}  // namespace lossyts::zip

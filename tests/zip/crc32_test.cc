@@ -1,0 +1,43 @@
+#include "zip/crc32.h"
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lossyts::zip {
+namespace {
+
+uint32_t CrcOfString(const std::string& s) {
+  return ComputeCrc32(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+TEST(Crc32Test, KnownCheckValue) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(CrcOfString("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(CrcOfString(""), 0u); }
+
+TEST(Crc32Test, SingleByte) {
+  // crc32(b"a") as produced by zlib.
+  EXPECT_EQ(CrcOfString("a"), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string s = "hello world, this is an incremental test";
+  Crc32 inc;
+  inc.Update(reinterpret_cast<const uint8_t*>(s.data()), 5);
+  inc.Update(reinterpret_cast<const uint8_t*>(s.data()) + 5, s.size() - 5);
+  EXPECT_EQ(inc.value(), CrcOfString(s));
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlip) {
+  std::string a = "payload";
+  std::string b = a;
+  b[3] = static_cast<char>(b[3] ^ 1);
+  EXPECT_NE(CrcOfString(a), CrcOfString(b));
+}
+
+}  // namespace
+}  // namespace lossyts::zip

@@ -1,0 +1,111 @@
+// Decoder coverage for stream shapes our encoder never produces but the
+// format allows: multiple blocks, fixed-Huffman blocks, and mixed block
+// types. The streams are hand-assembled with the BitWriter.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "zip/bitstream.h"
+#include "zip/deflate.h"
+#include "zip/huffman.h"
+
+namespace lossyts::zip {
+namespace {
+
+// Writes one stored (uncompressed) block.
+void WriteStored(BitWriter& writer, const std::string& data, bool final) {
+  writer.WriteBits(final ? 1 : 0, 1);
+  writer.WriteBits(0, 2);
+  writer.AlignToByte();
+  const uint16_t len = static_cast<uint16_t>(data.size());
+  writer.WriteByte(static_cast<uint8_t>(len & 0xFF));
+  writer.WriteByte(static_cast<uint8_t>(len >> 8));
+  writer.WriteByte(static_cast<uint8_t>(~len & 0xFF));
+  writer.WriteByte(static_cast<uint8_t>((~len >> 8) & 0xFF));
+  for (char c : data) writer.WriteByte(static_cast<uint8_t>(c));
+}
+
+// Fixed-Huffman literal codes per RFC 1951 §3.2.6.
+std::vector<int> FixedLengths() {
+  std::vector<int> lengths(288);
+  for (int s = 0; s <= 143; ++s) lengths[s] = 8;
+  for (int s = 144; s <= 255; ++s) lengths[s] = 9;
+  for (int s = 256; s <= 279; ++s) lengths[s] = 7;
+  for (int s = 280; s <= 287; ++s) lengths[s] = 8;
+  return lengths;
+}
+
+// Writes a fixed-Huffman block containing only literals.
+void WriteFixedLiterals(BitWriter& writer, const std::string& data,
+                        bool final) {
+  const std::vector<int> lengths = FixedLengths();
+  const std::vector<uint32_t> codes = CanonicalCodes(lengths);
+  writer.WriteBits(final ? 1 : 0, 1);
+  writer.WriteBits(1, 2);  // BTYPE = fixed.
+  for (char c : data) {
+    const auto sym = static_cast<unsigned char>(c);
+    writer.WriteHuffmanCode(codes[sym], lengths[sym]);
+  }
+  writer.WriteHuffmanCode(codes[256], lengths[256]);  // End of block.
+}
+
+TEST(DeflateMultiblockTest, TwoStoredBlocks) {
+  BitWriter writer;
+  WriteStored(writer, "hello ", false);
+  WriteStored(writer, "world", true);
+  Result<std::vector<uint8_t>> out = DeflateDecompress(writer.Finish());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(std::string(out->begin(), out->end()), "hello world");
+}
+
+TEST(DeflateMultiblockTest, FixedHuffmanBlock) {
+  BitWriter writer;
+  WriteFixedLiterals(writer, "fixed huffman literals", true);
+  Result<std::vector<uint8_t>> out = DeflateDecompress(writer.Finish());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(std::string(out->begin(), out->end()), "fixed huffman literals");
+}
+
+TEST(DeflateMultiblockTest, MixedStoredAndFixedBlocks) {
+  BitWriter writer;
+  WriteStored(writer, "stored|", false);
+  WriteFixedLiterals(writer, "fixed|", false);
+  WriteStored(writer, "stored again", true);
+  Result<std::vector<uint8_t>> out = DeflateDecompress(writer.Finish());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(std::string(out->begin(), out->end()),
+            "stored|fixed|stored again");
+}
+
+TEST(DeflateMultiblockTest, BackReferenceAcrossBlockBoundary) {
+  // A match in a later block may reference data emitted by an earlier block.
+  BitWriter writer;
+  WriteStored(writer, "abcdef", false);
+  // Fixed block with one match: length 6, distance 6 (copies "abcdef").
+  const std::vector<int> lengths = FixedLengths();
+  const std::vector<uint32_t> codes = CanonicalCodes(lengths);
+  writer.WriteBits(1, 1);  // BFINAL.
+  writer.WriteBits(1, 2);  // Fixed.
+  // Length 6 -> code 260 (base 6, no extra bits).
+  writer.WriteHuffmanCode(codes[260], lengths[260]);
+  // Distance 6 -> dist code 4 (base 5, 1 extra bit = 1), 5-bit fixed codes.
+  const std::vector<int> dist_lengths(32, 5);
+  const std::vector<uint32_t> dist_codes = CanonicalCodes(dist_lengths);
+  writer.WriteHuffmanCode(dist_codes[4], 5);
+  writer.WriteBits(1, 1);  // Extra bit: 5 + 1 = 6.
+  writer.WriteHuffmanCode(codes[256], lengths[256]);
+
+  Result<std::vector<uint8_t>> out = DeflateDecompress(writer.Finish());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(std::string(out->begin(), out->end()), "abcdefabcdef");
+}
+
+TEST(DeflateMultiblockTest, MissingFinalBlockErrors) {
+  BitWriter writer;
+  WriteStored(writer, "only a non-final block", false);
+  EXPECT_FALSE(DeflateDecompress(writer.Finish()).ok());
+}
+
+}  // namespace
+}  // namespace lossyts::zip

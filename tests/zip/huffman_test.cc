@@ -1,0 +1,175 @@
+#include "zip/huffman.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace lossyts::zip {
+namespace {
+
+// Kraft sum in units of 2^-max; a complete prefix code sums to exactly 1.
+double KraftSum(const std::vector<int>& lengths) {
+  double sum = 0.0;
+  for (int l : lengths) {
+    if (l > 0) sum += std::pow(2.0, -l);
+  }
+  return sum;
+}
+
+TEST(HuffmanTest, TwoSymbolsGetOneBitEach) {
+  Result<std::vector<int>> lengths = BuildCodeLengths({5, 3}, 15);
+  ASSERT_TRUE(lengths.ok());
+  EXPECT_EQ((*lengths)[0], 1);
+  EXPECT_EQ((*lengths)[1], 1);
+}
+
+TEST(HuffmanTest, SingleSymbolGetsLengthOne) {
+  Result<std::vector<int>> lengths = BuildCodeLengths({0, 9, 0}, 15);
+  ASSERT_TRUE(lengths.ok());
+  EXPECT_EQ((*lengths)[0], 0);
+  EXPECT_EQ((*lengths)[1], 1);
+  EXPECT_EQ((*lengths)[2], 0);
+}
+
+TEST(HuffmanTest, AllZeroFrequenciesGiveAllZeroLengths) {
+  Result<std::vector<int>> lengths = BuildCodeLengths({0, 0, 0}, 15);
+  ASSERT_TRUE(lengths.ok());
+  for (int l : *lengths) EXPECT_EQ(l, 0);
+}
+
+TEST(HuffmanTest, SkewedFrequenciesGiveShorterCodesToFrequentSymbols) {
+  Result<std::vector<int>> lengths = BuildCodeLengths({100, 10, 10, 1}, 15);
+  ASSERT_TRUE(lengths.ok());
+  EXPECT_LE((*lengths)[0], (*lengths)[1]);
+  EXPECT_LE((*lengths)[1], (*lengths)[3]);
+  EXPECT_NEAR(KraftSum(*lengths), 1.0, 1e-12);
+}
+
+TEST(HuffmanTest, LengthLimitIsEnforced) {
+  // Fibonacci-like frequencies force deep trees in unlimited Huffman.
+  std::vector<uint64_t> freqs;
+  uint64_t a = 1;
+  uint64_t b = 1;
+  for (int i = 0; i < 30; ++i) {
+    freqs.push_back(a);
+    const uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  Result<std::vector<int>> lengths = BuildCodeLengths(freqs, 15);
+  ASSERT_TRUE(lengths.ok());
+  int max_len = 0;
+  for (int l : *lengths) max_len = std::max(max_len, l);
+  EXPECT_LE(max_len, 15);
+  EXPECT_NEAR(KraftSum(*lengths), 1.0, 1e-12);
+}
+
+TEST(HuffmanTest, LengthLimitSeven) {
+  std::vector<uint64_t> freqs(19);
+  for (size_t i = 0; i < freqs.size(); ++i) freqs[i] = 1ull << i;
+  Result<std::vector<int>> lengths = BuildCodeLengths(freqs, 7);
+  ASSERT_TRUE(lengths.ok());
+  int max_len = 0;
+  for (int l : *lengths) max_len = std::max(max_len, l);
+  EXPECT_LE(max_len, 7);
+  EXPECT_NEAR(KraftSum(*lengths), 1.0, 1e-12);
+}
+
+TEST(HuffmanTest, TooManySymbolsForLimitFails) {
+  std::vector<uint64_t> freqs(9, 1);  // 9 symbols cannot fit in 3-bit codes.
+  EXPECT_FALSE(BuildCodeLengths(freqs, 3).ok());
+}
+
+TEST(HuffmanTest, CanonicalCodesAreIncreasingWithinLength) {
+  std::vector<int> lengths = {2, 1, 3, 3};
+  std::vector<uint32_t> codes = CanonicalCodes(lengths);
+  // RFC 1951 example-style: length-1 symbol gets 0, length-2 gets 10,
+  // length-3 symbols get 110, 111.
+  EXPECT_EQ(codes[1], 0b0u);
+  EXPECT_EQ(codes[0], 0b10u);
+  EXPECT_EQ(codes[2], 0b110u);
+  EXPECT_EQ(codes[3], 0b111u);
+}
+
+TEST(HuffmanTest, EncodeDecodeRoundTrip) {
+  std::vector<uint64_t> freqs = {50, 20, 20, 5, 4, 1};
+  Result<std::vector<int>> lengths = BuildCodeLengths(freqs, 15);
+  ASSERT_TRUE(lengths.ok());
+  std::vector<uint32_t> codes = CanonicalCodes(*lengths);
+
+  std::vector<int> message = {0, 1, 2, 3, 4, 5, 0, 0, 2, 1, 5, 4, 3};
+  BitWriter writer;
+  for (int s : message) writer.WriteHuffmanCode(codes[s], (*lengths)[s]);
+  std::vector<uint8_t> bytes = writer.Finish();
+
+  HuffmanDecoder decoder;
+  ASSERT_TRUE(decoder.Init(*lengths).ok());
+  BitReader reader(bytes);
+  for (int expected : message) {
+    Result<int> sym = decoder.Decode(reader);
+    ASSERT_TRUE(sym.ok());
+    EXPECT_EQ(*sym, expected);
+  }
+}
+
+TEST(HuffmanTest, DecoderRejectsOversubscribedCode) {
+  // Three symbols of length 1 oversubscribe a binary prefix code.
+  HuffmanDecoder decoder;
+  EXPECT_FALSE(decoder.Init({1, 1, 1}).ok());
+}
+
+TEST(HuffmanTest, DecoderRejectsIncompleteCode) {
+  // Two symbols of length 2 leave half the code space unused.
+  HuffmanDecoder decoder;
+  EXPECT_FALSE(decoder.Init({2, 2}).ok());
+}
+
+TEST(HuffmanTest, DecoderAcceptsDegenerateSingleSymbol) {
+  HuffmanDecoder decoder;
+  ASSERT_TRUE(decoder.Init({0, 1, 0}).ok());
+  BitWriter writer;
+  writer.WriteHuffmanCode(0, 1);
+  std::vector<uint8_t> bytes = writer.Finish();
+  BitReader reader(bytes);
+  Result<int> sym = decoder.Decode(reader);
+  ASSERT_TRUE(sym.ok());
+  EXPECT_EQ(*sym, 1);
+}
+
+TEST(HuffmanTest, RandomAlphabetRoundTrips) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.UniformInt(280);
+    std::vector<uint64_t> freqs(n);
+    for (auto& f : freqs) f = rng.UniformInt(1000);
+    // Ensure at least two used symbols.
+    freqs[0] += 1;
+    freqs[n - 1] += 1;
+    Result<std::vector<int>> lengths = BuildCodeLengths(freqs, 15);
+    ASSERT_TRUE(lengths.ok());
+    std::vector<uint32_t> codes = CanonicalCodes(*lengths);
+    HuffmanDecoder decoder;
+    ASSERT_TRUE(decoder.Init(*lengths).ok());
+
+    std::vector<int> message;
+    for (int i = 0; i < 200; ++i) {
+      int s = static_cast<int>(rng.UniformInt(n));
+      while ((*lengths)[s] == 0) s = static_cast<int>(rng.UniformInt(n));
+      message.push_back(s);
+    }
+    BitWriter writer;
+    for (int s : message) writer.WriteHuffmanCode(codes[s], (*lengths)[s]);
+    std::vector<uint8_t> bytes = writer.Finish();
+    BitReader reader(bytes);
+    for (int expected : message) {
+      Result<int> sym = decoder.Decode(reader);
+      ASSERT_TRUE(sym.ok());
+      ASSERT_EQ(*sym, expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lossyts::zip

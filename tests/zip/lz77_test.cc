@@ -1,0 +1,102 @@
+#include "zip/lz77.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace lossyts::zip {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+// Reconstructs the input from tokens; the fundamental LZ77 invariant.
+std::vector<uint8_t> Reconstruct(const std::vector<Lz77Token>& tokens) {
+  std::vector<uint8_t> out;
+  for (const Lz77Token& t : tokens) {
+    if (t.is_match) {
+      const size_t start = out.size() - t.distance;
+      for (int k = 0; k < t.length; ++k) out.push_back(out[start + k]);
+    } else {
+      out.push_back(t.literal);
+    }
+  }
+  return out;
+}
+
+TEST(Lz77Test, EmptyInputGivesNoTokens) {
+  EXPECT_TRUE(Lz77Tokenize(nullptr, 0).empty());
+}
+
+TEST(Lz77Test, ShortInputIsAllLiterals) {
+  std::vector<uint8_t> data = Bytes("ab");
+  std::vector<Lz77Token> tokens = Lz77Tokenize(data.data(), data.size());
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_FALSE(tokens[0].is_match);
+  EXPECT_FALSE(tokens[1].is_match);
+}
+
+TEST(Lz77Test, RepetitionProducesMatches) {
+  std::vector<uint8_t> data = Bytes("abcabcabcabcabcabc");
+  std::vector<Lz77Token> tokens = Lz77Tokenize(data.data(), data.size());
+  bool has_match = false;
+  for (const Lz77Token& t : tokens) has_match |= t.is_match;
+  EXPECT_TRUE(has_match);
+  EXPECT_LT(tokens.size(), data.size());
+  EXPECT_EQ(Reconstruct(tokens), data);
+}
+
+TEST(Lz77Test, OverlappingMatchReconstructs) {
+  // "aaaa..." forces distance-1 overlapping copies.
+  std::vector<uint8_t> data(100, 'a');
+  std::vector<Lz77Token> tokens = Lz77Tokenize(data.data(), data.size());
+  EXPECT_EQ(Reconstruct(tokens), data);
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[1].is_match);
+  EXPECT_EQ(tokens[1].distance, 1);
+}
+
+TEST(Lz77Test, MatchFieldsWithinDeflateLimits) {
+  Rng rng(3);
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 50000; ++i) {
+    data.push_back(static_cast<uint8_t>(rng.UniformInt(4)));
+  }
+  std::vector<Lz77Token> tokens = Lz77Tokenize(data.data(), data.size());
+  for (const Lz77Token& t : tokens) {
+    if (t.is_match) {
+      EXPECT_GE(t.length, 3);
+      EXPECT_LE(t.length, 258);
+      EXPECT_GE(t.distance, 1);
+      EXPECT_LE(t.distance, 32768);
+    }
+  }
+  EXPECT_EQ(Reconstruct(tokens), data);
+}
+
+TEST(Lz77Test, RandomBytesReconstruct) {
+  Rng rng(11);
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 10000; ++i) {
+    data.push_back(static_cast<uint8_t>(rng.UniformInt(256)));
+  }
+  std::vector<Lz77Token> tokens = Lz77Tokenize(data.data(), data.size());
+  EXPECT_EQ(Reconstruct(tokens), data);
+}
+
+TEST(Lz77Test, TextCompressesWell) {
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "the quick brown fox jumps over the lazy dog. ";
+  }
+  std::vector<uint8_t> data = Bytes(text);
+  std::vector<Lz77Token> tokens = Lz77Tokenize(data.data(), data.size());
+  EXPECT_LT(tokens.size(), data.size() / 5);
+  EXPECT_EQ(Reconstruct(tokens), data);
+}
+
+}  // namespace
+}  // namespace lossyts::zip

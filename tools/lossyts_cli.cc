@@ -1,0 +1,188 @@
+// lossyts — command-line front end for the compression library.
+//
+//   lossyts compress <PMC|SWING|SZ|PPA|GORILLA|CHIMP> <eb> <in.csv> <out.lts>
+//   lossyts decompress <in.lts> <out.csv>
+//   lossyts stats <in.csv | dataset-name>
+//   lossyts sweep <in.csv | dataset-name>
+//
+// Compressed files are the library's self-describing blobs wrapped in gzip
+// (the paper's measurement format), so `decompress` needs no codec argument.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "compress/pipeline.h"
+#include "data/csv.h"
+#include "data/datasets.h"
+#include "eval/report.h"
+#include "features/registry.h"
+#include "zip/gzip.h"
+
+using namespace lossyts;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  lossyts compress <PMC|SWING|SZ|PPA|GORILLA|CHIMP> <eb> <in.csv> "
+      "<out.lts>\n"
+      "  lossyts decompress <in.lts> <out.csv>\n"
+      "  lossyts stats <in.csv | dataset-name>\n"
+      "  lossyts sweep <in.csv | dataset-name>\n"
+      "dataset names: ETTm1 ETTm2 Solar Weather ElecDem Wind\n");
+  return 2;
+}
+
+Result<TimeSeries> LoadSeries(const std::string& arg) {
+  for (const std::string& name : data::DatasetNames()) {
+    if (name == arg) {
+      data::DatasetOptions options;
+      options.length_fraction = 0.125;
+      Result<data::Dataset> dataset = data::MakeDataset(name, options);
+      if (!dataset.ok()) return dataset.status();
+      return dataset->series;
+    }
+  }
+  return data::LoadCsv(arg);
+}
+
+Result<std::vector<uint8_t>> ReadBinary(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return Status::IoError("cannot open " + path);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(file)),
+                              std::istreambuf_iterator<char>());
+}
+
+Status WriteBinary(const std::string& path, const std::vector<uint8_t>& data) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  file.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  if (!file.good()) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+int Compress(const std::string& codec_name, const std::string& eb_text,
+             const std::string& in_path, const std::string& out_path) {
+  Result<TimeSeries> series = LoadSeries(in_path);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<compress::Compressor>> codec =
+      compress::MakeCompressor(codec_name);
+  if (!codec.ok()) {
+    std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
+    return 1;
+  }
+  const double eb = std::strtod(eb_text.c_str(), nullptr);
+  Result<std::vector<uint8_t>> blob = (*codec)->Compress(*series, eb);
+  if (!blob.ok()) {
+    std::fprintf(stderr, "%s\n", blob.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<uint8_t> gz = zip::GzipCompress(*blob);
+  if (Status s = WriteBinary(out_path, gz); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const size_t raw_gz = compress::RawGzipSize(*series);
+  std::printf("%s: %zu points -> %zu bytes (CR %.1fx vs gzip'd CSV)\n",
+              codec_name.c_str(), series->size(), gz.size(),
+              static_cast<double>(raw_gz) / static_cast<double>(gz.size()));
+  return 0;
+}
+
+int Decompress(const std::string& in_path, const std::string& out_path) {
+  Result<std::vector<uint8_t>> gz = ReadBinary(in_path);
+  if (!gz.ok()) {
+    std::fprintf(stderr, "%s\n", gz.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<uint8_t>> blob = zip::GzipDecompress(*gz);
+  if (!blob.ok()) {
+    std::fprintf(stderr, "%s\n", blob.status().ToString().c_str());
+    return 1;
+  }
+  Result<TimeSeries> series = compress::DecompressAny(*blob);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = data::SaveCsv(*series, out_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu points to %s\n", series->size(), out_path.c_str());
+  return 0;
+}
+
+int Stats(const std::string& arg) {
+  Result<TimeSeries> series = LoadSeries(arg);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  Result<TimeSeries::Stats> stats = series->ComputeStats();
+  if (!stats.ok()) return 1;
+  std::printf("points:   %zu\n", stats->length);
+  std::printf("interval: %d s\n", series->interval_seconds());
+  std::printf("mean:     %.4f\n", stats->mean);
+  std::printf("min/max:  %.4f / %.4f\n", stats->min, stats->max);
+  std::printf("Q1/Q3:    %.4f / %.4f\n", stats->q1, stats->q3);
+  std::printf("rIQD:     %.1f%%\n", stats->riqd_percent);
+  Result<features::FeatureMap> features =
+      features::ComputeAllFeatures(*series, 0);
+  if (features.ok()) {
+    std::printf("entropy:  %.3f   hurst: %.3f   max_kl_shift: %.3f\n",
+                features->at("entropy"), features->at("hurst"),
+                features->at("max_kl_shift"));
+  }
+  return 0;
+}
+
+int Sweep(const std::string& arg) {
+  Result<TimeSeries> series = LoadSeries(arg);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  eval::TableWriter table({"codec", "eb", "CR", "TE(NRMSE)"});
+  for (const std::string& name : {"PMC", "SWING", "SZ", "PPA"}) {
+    Result<std::unique_ptr<compress::Compressor>> codec =
+        compress::MakeCompressor(name);
+    if (!codec.ok()) return 1;
+    for (double eb : {0.01, 0.05, 0.2}) {
+      Result<compress::PipelineResult> run =
+          compress::RunPipeline(**codec, *series, eb);
+      if (!run.ok()) return 1;
+      table.AddRow({name, eval::FormatDouble(eb, 2),
+                    eval::FormatDouble(run->compression_ratio, 1),
+                    eval::FormatDouble(run->te_nrmse, 4)});
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "compress" && argc == 6) {
+    return Compress(argv[2], argv[3], argv[4], argv[5]);
+  }
+  if (command == "decompress" && argc == 4) {
+    return Decompress(argv[2], argv[3]);
+  }
+  if (command == "stats" && argc == 3) return Stats(argv[2]);
+  if (command == "sweep" && argc == 3) return Sweep(argv[2]);
+  return Usage();
+}
