@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_compression_output.dir/figure1_compression_output.cc.o"
+  "CMakeFiles/figure1_compression_output.dir/figure1_compression_output.cc.o.d"
+  "figure1_compression_output"
+  "figure1_compression_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_compression_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_te_cr.dir/figure2_te_cr.cc.o"
+  "CMakeFiles/figure2_te_cr.dir/figure2_te_cr.cc.o.d"
+  "figure2_te_cr"
+  "figure2_te_cr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_te_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_segments.dir/figure3_segments.cc.o"
+  "CMakeFiles/figure3_segments.dir/figure3_segments.cc.o.d"
+  "figure3_segments"
+  "figure3_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_te_tfe.dir/figure4_te_tfe.cc.o"
+  "CMakeFiles/figure4_te_tfe.dir/figure4_te_tfe.cc.o.d"
+  "figure4_te_tfe"
+  "figure4_te_tfe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_te_tfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

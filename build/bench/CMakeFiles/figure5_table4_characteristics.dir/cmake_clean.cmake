@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_table4_characteristics.dir/figure5_table4_characteristics.cc.o"
+  "CMakeFiles/figure5_table4_characteristics.dir/figure5_table4_characteristics.cc.o.d"
+  "figure5_table4_characteristics"
+  "figure5_table4_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_table4_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6_table7_models.dir/figure6_table7_models.cc.o"
+  "CMakeFiles/figure6_table7_models.dir/figure6_table7_models.cc.o.d"
+  "figure6_table7_models"
+  "figure6_table7_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_table7_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

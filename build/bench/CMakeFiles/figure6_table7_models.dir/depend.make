@@ -1,0 +1,2 @@
+# Empty dependencies file for figure6_table7_models.
+# This may be replaced when dependencies are built.

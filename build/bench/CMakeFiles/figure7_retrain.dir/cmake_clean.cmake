@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_retrain.dir/figure7_retrain.cc.o"
+  "CMakeFiles/figure7_retrain.dir/figure7_retrain.cc.o.d"
+  "figure7_retrain"
+  "figure7_retrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_retrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futurework_change_detection.dir/futurework_change_detection.cc.o"
+  "CMakeFiles/futurework_change_detection.dir/futurework_change_detection.cc.o.d"
+  "futurework_change_detection"
+  "futurework_change_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futurework_change_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futurework_extensions.dir/futurework_extensions.cc.o"
+  "CMakeFiles/futurework_extensions.dir/futurework_extensions.cc.o.d"
+  "futurework_extensions"
+  "futurework_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futurework_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

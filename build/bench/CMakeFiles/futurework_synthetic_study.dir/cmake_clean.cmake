@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futurework_synthetic_study.dir/futurework_synthetic_study.cc.o"
+  "CMakeFiles/futurework_synthetic_study.dir/futurework_synthetic_study.cc.o.d"
+  "futurework_synthetic_study"
+  "futurework_synthetic_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futurework_synthetic_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

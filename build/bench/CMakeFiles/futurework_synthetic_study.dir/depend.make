@@ -1,0 +1,2 @@
+# Empty dependencies file for futurework_synthetic_study.
+# This may be replaced when dependencies are built.

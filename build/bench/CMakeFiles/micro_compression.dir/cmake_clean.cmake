@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_compression.dir/micro_compression.cc.o"
+  "CMakeFiles/micro_compression.dir/micro_compression.cc.o.d"
+  "micro_compression"
+  "micro_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

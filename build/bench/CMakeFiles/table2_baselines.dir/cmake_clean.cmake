@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_baselines.dir/table2_baselines.cc.o"
+  "CMakeFiles/table2_baselines.dir/table2_baselines.cc.o.d"
+  "table2_baselines"
+  "table2_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cr_te_regression.dir/table3_cr_te_regression.cc.o"
+  "CMakeFiles/table3_cr_te_regression.dir/table3_cr_te_regression.cc.o.d"
+  "table3_cr_te_regression"
+  "table3_cr_te_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cr_te_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_elbows.dir/table5_elbows.cc.o"
+  "CMakeFiles/table5_elbows.dir/table5_elbows.cc.o.d"
+  "table5_elbows"
+  "table5_elbows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_elbows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_resilience.dir/model_resilience.cpp.o"
+  "CMakeFiles/model_resilience.dir/model_resilience.cpp.o.d"
+  "model_resilience"
+  "model_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/change_detection.cc" "src/analysis/CMakeFiles/lossyts_analysis.dir/change_detection.cc.o" "gcc" "src/analysis/CMakeFiles/lossyts_analysis.dir/change_detection.cc.o.d"
+  "/root/repo/src/analysis/correlation.cc" "src/analysis/CMakeFiles/lossyts_analysis.dir/correlation.cc.o" "gcc" "src/analysis/CMakeFiles/lossyts_analysis.dir/correlation.cc.o.d"
+  "/root/repo/src/analysis/gbm.cc" "src/analysis/CMakeFiles/lossyts_analysis.dir/gbm.cc.o" "gcc" "src/analysis/CMakeFiles/lossyts_analysis.dir/gbm.cc.o.d"
+  "/root/repo/src/analysis/kneedle.cc" "src/analysis/CMakeFiles/lossyts_analysis.dir/kneedle.cc.o" "gcc" "src/analysis/CMakeFiles/lossyts_analysis.dir/kneedle.cc.o.d"
+  "/root/repo/src/analysis/linreg.cc" "src/analysis/CMakeFiles/lossyts_analysis.dir/linreg.cc.o" "gcc" "src/analysis/CMakeFiles/lossyts_analysis.dir/linreg.cc.o.d"
+  "/root/repo/src/analysis/tree.cc" "src/analysis/CMakeFiles/lossyts_analysis.dir/tree.cc.o" "gcc" "src/analysis/CMakeFiles/lossyts_analysis.dir/tree.cc.o.d"
+  "/root/repo/src/analysis/treeshap.cc" "src/analysis/CMakeFiles/lossyts_analysis.dir/treeshap.cc.o" "gcc" "src/analysis/CMakeFiles/lossyts_analysis.dir/treeshap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lossyts_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

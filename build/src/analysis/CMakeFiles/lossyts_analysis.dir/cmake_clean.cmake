@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyts_analysis.dir/change_detection.cc.o"
+  "CMakeFiles/lossyts_analysis.dir/change_detection.cc.o.d"
+  "CMakeFiles/lossyts_analysis.dir/correlation.cc.o"
+  "CMakeFiles/lossyts_analysis.dir/correlation.cc.o.d"
+  "CMakeFiles/lossyts_analysis.dir/gbm.cc.o"
+  "CMakeFiles/lossyts_analysis.dir/gbm.cc.o.d"
+  "CMakeFiles/lossyts_analysis.dir/kneedle.cc.o"
+  "CMakeFiles/lossyts_analysis.dir/kneedle.cc.o.d"
+  "CMakeFiles/lossyts_analysis.dir/linreg.cc.o"
+  "CMakeFiles/lossyts_analysis.dir/linreg.cc.o.d"
+  "CMakeFiles/lossyts_analysis.dir/tree.cc.o"
+  "CMakeFiles/lossyts_analysis.dir/tree.cc.o.d"
+  "CMakeFiles/lossyts_analysis.dir/treeshap.cc.o"
+  "CMakeFiles/lossyts_analysis.dir/treeshap.cc.o.d"
+  "liblossyts_analysis.a"
+  "liblossyts_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyts_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

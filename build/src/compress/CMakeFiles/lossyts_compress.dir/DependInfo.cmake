@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/chimp.cc" "src/compress/CMakeFiles/lossyts_compress.dir/chimp.cc.o" "gcc" "src/compress/CMakeFiles/lossyts_compress.dir/chimp.cc.o.d"
+  "/root/repo/src/compress/gorilla.cc" "src/compress/CMakeFiles/lossyts_compress.dir/gorilla.cc.o" "gcc" "src/compress/CMakeFiles/lossyts_compress.dir/gorilla.cc.o.d"
+  "/root/repo/src/compress/pipeline.cc" "src/compress/CMakeFiles/lossyts_compress.dir/pipeline.cc.o" "gcc" "src/compress/CMakeFiles/lossyts_compress.dir/pipeline.cc.o.d"
+  "/root/repo/src/compress/pmc.cc" "src/compress/CMakeFiles/lossyts_compress.dir/pmc.cc.o" "gcc" "src/compress/CMakeFiles/lossyts_compress.dir/pmc.cc.o.d"
+  "/root/repo/src/compress/ppa.cc" "src/compress/CMakeFiles/lossyts_compress.dir/ppa.cc.o" "gcc" "src/compress/CMakeFiles/lossyts_compress.dir/ppa.cc.o.d"
+  "/root/repo/src/compress/swing.cc" "src/compress/CMakeFiles/lossyts_compress.dir/swing.cc.o" "gcc" "src/compress/CMakeFiles/lossyts_compress.dir/swing.cc.o.d"
+  "/root/repo/src/compress/sz.cc" "src/compress/CMakeFiles/lossyts_compress.dir/sz.cc.o" "gcc" "src/compress/CMakeFiles/lossyts_compress.dir/sz.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lossyts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zip/CMakeFiles/lossyts_zip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyts_compress.dir/chimp.cc.o"
+  "CMakeFiles/lossyts_compress.dir/chimp.cc.o.d"
+  "CMakeFiles/lossyts_compress.dir/gorilla.cc.o"
+  "CMakeFiles/lossyts_compress.dir/gorilla.cc.o.d"
+  "CMakeFiles/lossyts_compress.dir/pipeline.cc.o"
+  "CMakeFiles/lossyts_compress.dir/pipeline.cc.o.d"
+  "CMakeFiles/lossyts_compress.dir/pmc.cc.o"
+  "CMakeFiles/lossyts_compress.dir/pmc.cc.o.d"
+  "CMakeFiles/lossyts_compress.dir/ppa.cc.o"
+  "CMakeFiles/lossyts_compress.dir/ppa.cc.o.d"
+  "CMakeFiles/lossyts_compress.dir/swing.cc.o"
+  "CMakeFiles/lossyts_compress.dir/swing.cc.o.d"
+  "CMakeFiles/lossyts_compress.dir/sz.cc.o"
+  "CMakeFiles/lossyts_compress.dir/sz.cc.o.d"
+  "liblossyts_compress.a"
+  "liblossyts_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyts_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

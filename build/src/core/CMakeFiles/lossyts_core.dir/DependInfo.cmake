@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/lossyts_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/lossyts_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/split.cc" "src/core/CMakeFiles/lossyts_core.dir/split.cc.o" "gcc" "src/core/CMakeFiles/lossyts_core.dir/split.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/lossyts_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/lossyts_core.dir/status.cc.o.d"
+  "/root/repo/src/core/time_series.cc" "src/core/CMakeFiles/lossyts_core.dir/time_series.cc.o" "gcc" "src/core/CMakeFiles/lossyts_core.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

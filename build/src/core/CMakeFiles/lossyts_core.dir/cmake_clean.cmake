@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyts_core.dir/metrics.cc.o"
+  "CMakeFiles/lossyts_core.dir/metrics.cc.o.d"
+  "CMakeFiles/lossyts_core.dir/split.cc.o"
+  "CMakeFiles/lossyts_core.dir/split.cc.o.d"
+  "CMakeFiles/lossyts_core.dir/status.cc.o"
+  "CMakeFiles/lossyts_core.dir/status.cc.o.d"
+  "CMakeFiles/lossyts_core.dir/time_series.cc.o"
+  "CMakeFiles/lossyts_core.dir/time_series.cc.o.d"
+  "liblossyts_core.a"
+  "liblossyts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyts_data.dir/csv.cc.o"
+  "CMakeFiles/lossyts_data.dir/csv.cc.o.d"
+  "CMakeFiles/lossyts_data.dir/datasets.cc.o"
+  "CMakeFiles/lossyts_data.dir/datasets.cc.o.d"
+  "CMakeFiles/lossyts_data.dir/generator.cc.o"
+  "CMakeFiles/lossyts_data.dir/generator.cc.o.d"
+  "liblossyts_data.a"
+  "liblossyts_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyts_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

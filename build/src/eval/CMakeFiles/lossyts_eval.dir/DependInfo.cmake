@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/compression_sweep.cc" "src/eval/CMakeFiles/lossyts_eval.dir/compression_sweep.cc.o" "gcc" "src/eval/CMakeFiles/lossyts_eval.dir/compression_sweep.cc.o.d"
+  "/root/repo/src/eval/grid.cc" "src/eval/CMakeFiles/lossyts_eval.dir/grid.cc.o" "gcc" "src/eval/CMakeFiles/lossyts_eval.dir/grid.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/eval/CMakeFiles/lossyts_eval.dir/report.cc.o" "gcc" "src/eval/CMakeFiles/lossyts_eval.dir/report.cc.o.d"
+  "/root/repo/src/eval/scenario.cc" "src/eval/CMakeFiles/lossyts_eval.dir/scenario.cc.o" "gcc" "src/eval/CMakeFiles/lossyts_eval.dir/scenario.cc.o.d"
+  "/root/repo/src/eval/tfe_predictor.cc" "src/eval/CMakeFiles/lossyts_eval.dir/tfe_predictor.cc.o" "gcc" "src/eval/CMakeFiles/lossyts_eval.dir/tfe_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lossyts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/lossyts_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lossyts_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/lossyts_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/lossyts_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lossyts_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/zip/CMakeFiles/lossyts_zip.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lossyts_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

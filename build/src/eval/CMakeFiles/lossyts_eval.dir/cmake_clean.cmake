@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyts_eval.dir/compression_sweep.cc.o"
+  "CMakeFiles/lossyts_eval.dir/compression_sweep.cc.o.d"
+  "CMakeFiles/lossyts_eval.dir/grid.cc.o"
+  "CMakeFiles/lossyts_eval.dir/grid.cc.o.d"
+  "CMakeFiles/lossyts_eval.dir/report.cc.o"
+  "CMakeFiles/lossyts_eval.dir/report.cc.o.d"
+  "CMakeFiles/lossyts_eval.dir/scenario.cc.o"
+  "CMakeFiles/lossyts_eval.dir/scenario.cc.o.d"
+  "CMakeFiles/lossyts_eval.dir/tfe_predictor.cc.o"
+  "CMakeFiles/lossyts_eval.dir/tfe_predictor.cc.o.d"
+  "liblossyts_eval.a"
+  "liblossyts_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyts_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

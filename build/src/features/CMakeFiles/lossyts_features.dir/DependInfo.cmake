@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/acf.cc" "src/features/CMakeFiles/lossyts_features.dir/acf.cc.o" "gcc" "src/features/CMakeFiles/lossyts_features.dir/acf.cc.o.d"
+  "/root/repo/src/features/decompose.cc" "src/features/CMakeFiles/lossyts_features.dir/decompose.cc.o" "gcc" "src/features/CMakeFiles/lossyts_features.dir/decompose.cc.o.d"
+  "/root/repo/src/features/misc.cc" "src/features/CMakeFiles/lossyts_features.dir/misc.cc.o" "gcc" "src/features/CMakeFiles/lossyts_features.dir/misc.cc.o.d"
+  "/root/repo/src/features/registry.cc" "src/features/CMakeFiles/lossyts_features.dir/registry.cc.o" "gcc" "src/features/CMakeFiles/lossyts_features.dir/registry.cc.o.d"
+  "/root/repo/src/features/rolling.cc" "src/features/CMakeFiles/lossyts_features.dir/rolling.cc.o" "gcc" "src/features/CMakeFiles/lossyts_features.dir/rolling.cc.o.d"
+  "/root/repo/src/features/spectral.cc" "src/features/CMakeFiles/lossyts_features.dir/spectral.cc.o" "gcc" "src/features/CMakeFiles/lossyts_features.dir/spectral.cc.o.d"
+  "/root/repo/src/features/unitroot.cc" "src/features/CMakeFiles/lossyts_features.dir/unitroot.cc.o" "gcc" "src/features/CMakeFiles/lossyts_features.dir/unitroot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lossyts_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

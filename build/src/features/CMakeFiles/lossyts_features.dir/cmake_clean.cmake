@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyts_features.dir/acf.cc.o"
+  "CMakeFiles/lossyts_features.dir/acf.cc.o.d"
+  "CMakeFiles/lossyts_features.dir/decompose.cc.o"
+  "CMakeFiles/lossyts_features.dir/decompose.cc.o.d"
+  "CMakeFiles/lossyts_features.dir/misc.cc.o"
+  "CMakeFiles/lossyts_features.dir/misc.cc.o.d"
+  "CMakeFiles/lossyts_features.dir/registry.cc.o"
+  "CMakeFiles/lossyts_features.dir/registry.cc.o.d"
+  "CMakeFiles/lossyts_features.dir/rolling.cc.o"
+  "CMakeFiles/lossyts_features.dir/rolling.cc.o.d"
+  "CMakeFiles/lossyts_features.dir/spectral.cc.o"
+  "CMakeFiles/lossyts_features.dir/spectral.cc.o.d"
+  "CMakeFiles/lossyts_features.dir/unitroot.cc.o"
+  "CMakeFiles/lossyts_features.dir/unitroot.cc.o.d"
+  "liblossyts_features.a"
+  "liblossyts_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyts_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/arima.cc" "src/forecast/CMakeFiles/lossyts_forecast.dir/arima.cc.o" "gcc" "src/forecast/CMakeFiles/lossyts_forecast.dir/arima.cc.o.d"
+  "/root/repo/src/forecast/dlinear.cc" "src/forecast/CMakeFiles/lossyts_forecast.dir/dlinear.cc.o" "gcc" "src/forecast/CMakeFiles/lossyts_forecast.dir/dlinear.cc.o.d"
+  "/root/repo/src/forecast/ensemble.cc" "src/forecast/CMakeFiles/lossyts_forecast.dir/ensemble.cc.o" "gcc" "src/forecast/CMakeFiles/lossyts_forecast.dir/ensemble.cc.o.d"
+  "/root/repo/src/forecast/gboost.cc" "src/forecast/CMakeFiles/lossyts_forecast.dir/gboost.cc.o" "gcc" "src/forecast/CMakeFiles/lossyts_forecast.dir/gboost.cc.o.d"
+  "/root/repo/src/forecast/gru.cc" "src/forecast/CMakeFiles/lossyts_forecast.dir/gru.cc.o" "gcc" "src/forecast/CMakeFiles/lossyts_forecast.dir/gru.cc.o.d"
+  "/root/repo/src/forecast/nbeats.cc" "src/forecast/CMakeFiles/lossyts_forecast.dir/nbeats.cc.o" "gcc" "src/forecast/CMakeFiles/lossyts_forecast.dir/nbeats.cc.o.d"
+  "/root/repo/src/forecast/nn_forecaster.cc" "src/forecast/CMakeFiles/lossyts_forecast.dir/nn_forecaster.cc.o" "gcc" "src/forecast/CMakeFiles/lossyts_forecast.dir/nn_forecaster.cc.o.d"
+  "/root/repo/src/forecast/registry.cc" "src/forecast/CMakeFiles/lossyts_forecast.dir/registry.cc.o" "gcc" "src/forecast/CMakeFiles/lossyts_forecast.dir/registry.cc.o.d"
+  "/root/repo/src/forecast/scaler.cc" "src/forecast/CMakeFiles/lossyts_forecast.dir/scaler.cc.o" "gcc" "src/forecast/CMakeFiles/lossyts_forecast.dir/scaler.cc.o.d"
+  "/root/repo/src/forecast/transformer.cc" "src/forecast/CMakeFiles/lossyts_forecast.dir/transformer.cc.o" "gcc" "src/forecast/CMakeFiles/lossyts_forecast.dir/transformer.cc.o.d"
+  "/root/repo/src/forecast/window.cc" "src/forecast/CMakeFiles/lossyts_forecast.dir/window.cc.o" "gcc" "src/forecast/CMakeFiles/lossyts_forecast.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lossyts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lossyts_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lossyts_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/lossyts_features.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

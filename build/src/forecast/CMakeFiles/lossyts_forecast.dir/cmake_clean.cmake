@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyts_forecast.dir/arima.cc.o"
+  "CMakeFiles/lossyts_forecast.dir/arima.cc.o.d"
+  "CMakeFiles/lossyts_forecast.dir/dlinear.cc.o"
+  "CMakeFiles/lossyts_forecast.dir/dlinear.cc.o.d"
+  "CMakeFiles/lossyts_forecast.dir/ensemble.cc.o"
+  "CMakeFiles/lossyts_forecast.dir/ensemble.cc.o.d"
+  "CMakeFiles/lossyts_forecast.dir/gboost.cc.o"
+  "CMakeFiles/lossyts_forecast.dir/gboost.cc.o.d"
+  "CMakeFiles/lossyts_forecast.dir/gru.cc.o"
+  "CMakeFiles/lossyts_forecast.dir/gru.cc.o.d"
+  "CMakeFiles/lossyts_forecast.dir/nbeats.cc.o"
+  "CMakeFiles/lossyts_forecast.dir/nbeats.cc.o.d"
+  "CMakeFiles/lossyts_forecast.dir/nn_forecaster.cc.o"
+  "CMakeFiles/lossyts_forecast.dir/nn_forecaster.cc.o.d"
+  "CMakeFiles/lossyts_forecast.dir/registry.cc.o"
+  "CMakeFiles/lossyts_forecast.dir/registry.cc.o.d"
+  "CMakeFiles/lossyts_forecast.dir/scaler.cc.o"
+  "CMakeFiles/lossyts_forecast.dir/scaler.cc.o.d"
+  "CMakeFiles/lossyts_forecast.dir/transformer.cc.o"
+  "CMakeFiles/lossyts_forecast.dir/transformer.cc.o.d"
+  "CMakeFiles/lossyts_forecast.dir/window.cc.o"
+  "CMakeFiles/lossyts_forecast.dir/window.cc.o.d"
+  "liblossyts_forecast.a"
+  "liblossyts_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyts_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

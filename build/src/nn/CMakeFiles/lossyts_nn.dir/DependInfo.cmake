@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/lossyts_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/lossyts_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/autodiff.cc" "src/nn/CMakeFiles/lossyts_nn.dir/autodiff.cc.o" "gcc" "src/nn/CMakeFiles/lossyts_nn.dir/autodiff.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/lossyts_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/lossyts_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/lossyts_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/lossyts_nn.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lossyts_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

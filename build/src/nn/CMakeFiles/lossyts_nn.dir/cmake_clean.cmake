@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyts_nn.dir/attention.cc.o"
+  "CMakeFiles/lossyts_nn.dir/attention.cc.o.d"
+  "CMakeFiles/lossyts_nn.dir/autodiff.cc.o"
+  "CMakeFiles/lossyts_nn.dir/autodiff.cc.o.d"
+  "CMakeFiles/lossyts_nn.dir/module.cc.o"
+  "CMakeFiles/lossyts_nn.dir/module.cc.o.d"
+  "CMakeFiles/lossyts_nn.dir/optimizer.cc.o"
+  "CMakeFiles/lossyts_nn.dir/optimizer.cc.o.d"
+  "liblossyts_nn.a"
+  "liblossyts_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyts_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

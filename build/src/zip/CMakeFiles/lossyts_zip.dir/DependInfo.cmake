@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zip/bitstream.cc" "src/zip/CMakeFiles/lossyts_zip.dir/bitstream.cc.o" "gcc" "src/zip/CMakeFiles/lossyts_zip.dir/bitstream.cc.o.d"
+  "/root/repo/src/zip/crc32.cc" "src/zip/CMakeFiles/lossyts_zip.dir/crc32.cc.o" "gcc" "src/zip/CMakeFiles/lossyts_zip.dir/crc32.cc.o.d"
+  "/root/repo/src/zip/deflate.cc" "src/zip/CMakeFiles/lossyts_zip.dir/deflate.cc.o" "gcc" "src/zip/CMakeFiles/lossyts_zip.dir/deflate.cc.o.d"
+  "/root/repo/src/zip/gzip.cc" "src/zip/CMakeFiles/lossyts_zip.dir/gzip.cc.o" "gcc" "src/zip/CMakeFiles/lossyts_zip.dir/gzip.cc.o.d"
+  "/root/repo/src/zip/huffman.cc" "src/zip/CMakeFiles/lossyts_zip.dir/huffman.cc.o" "gcc" "src/zip/CMakeFiles/lossyts_zip.dir/huffman.cc.o.d"
+  "/root/repo/src/zip/lz77.cc" "src/zip/CMakeFiles/lossyts_zip.dir/lz77.cc.o" "gcc" "src/zip/CMakeFiles/lossyts_zip.dir/lz77.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lossyts_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

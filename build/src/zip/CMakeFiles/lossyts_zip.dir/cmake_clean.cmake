@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyts_zip.dir/bitstream.cc.o"
+  "CMakeFiles/lossyts_zip.dir/bitstream.cc.o.d"
+  "CMakeFiles/lossyts_zip.dir/crc32.cc.o"
+  "CMakeFiles/lossyts_zip.dir/crc32.cc.o.d"
+  "CMakeFiles/lossyts_zip.dir/deflate.cc.o"
+  "CMakeFiles/lossyts_zip.dir/deflate.cc.o.d"
+  "CMakeFiles/lossyts_zip.dir/gzip.cc.o"
+  "CMakeFiles/lossyts_zip.dir/gzip.cc.o.d"
+  "CMakeFiles/lossyts_zip.dir/huffman.cc.o"
+  "CMakeFiles/lossyts_zip.dir/huffman.cc.o.d"
+  "CMakeFiles/lossyts_zip.dir/lz77.cc.o"
+  "CMakeFiles/lossyts_zip.dir/lz77.cc.o.d"
+  "liblossyts_zip.a"
+  "liblossyts_zip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyts_zip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

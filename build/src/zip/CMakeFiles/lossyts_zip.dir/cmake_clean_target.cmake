@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblossyts_zip.a"
+)

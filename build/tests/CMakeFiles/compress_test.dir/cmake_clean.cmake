@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_test.dir/compress/chimp_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/chimp_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/gorilla_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/gorilla_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/pipeline_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/pipeline_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/pmc_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/pmc_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/ppa_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/ppa_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/robustness_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/robustness_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/swing_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/swing_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/sz_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/sz_test.cc.o.d"
+  "compress_test"
+  "compress_test.pdb"
+  "compress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

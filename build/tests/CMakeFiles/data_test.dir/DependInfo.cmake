@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/csv_test.cc" "tests/CMakeFiles/data_test.dir/data/csv_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/csv_test.cc.o.d"
+  "/root/repo/tests/data/datasets_test.cc" "tests/CMakeFiles/data_test.dir/data/datasets_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/datasets_test.cc.o.d"
+  "/root/repo/tests/data/generator_test.cc" "tests/CMakeFiles/data_test.dir/data/generator_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/generator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/lossyts_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/lossyts_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/zip/CMakeFiles/lossyts_zip.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lossyts_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/lossyts_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/lossyts_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lossyts_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lossyts_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lossyts_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_test.dir/features/acf_test.cc.o"
+  "CMakeFiles/features_test.dir/features/acf_test.cc.o.d"
+  "CMakeFiles/features_test.dir/features/decompose_test.cc.o"
+  "CMakeFiles/features_test.dir/features/decompose_test.cc.o.d"
+  "CMakeFiles/features_test.dir/features/misc_test.cc.o"
+  "CMakeFiles/features_test.dir/features/misc_test.cc.o.d"
+  "CMakeFiles/features_test.dir/features/registry_test.cc.o"
+  "CMakeFiles/features_test.dir/features/registry_test.cc.o.d"
+  "CMakeFiles/features_test.dir/features/rolling_test.cc.o"
+  "CMakeFiles/features_test.dir/features/rolling_test.cc.o.d"
+  "CMakeFiles/features_test.dir/features/unitroot_test.cc.o"
+  "CMakeFiles/features_test.dir/features/unitroot_test.cc.o.d"
+  "features_test"
+  "features_test.pdb"
+  "features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

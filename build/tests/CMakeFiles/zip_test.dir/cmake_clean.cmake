@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zip_test.dir/zip/bitstream_test.cc.o"
+  "CMakeFiles/zip_test.dir/zip/bitstream_test.cc.o.d"
+  "CMakeFiles/zip_test.dir/zip/crc32_test.cc.o"
+  "CMakeFiles/zip_test.dir/zip/crc32_test.cc.o.d"
+  "CMakeFiles/zip_test.dir/zip/deflate_multiblock_test.cc.o"
+  "CMakeFiles/zip_test.dir/zip/deflate_multiblock_test.cc.o.d"
+  "CMakeFiles/zip_test.dir/zip/deflate_test.cc.o"
+  "CMakeFiles/zip_test.dir/zip/deflate_test.cc.o.d"
+  "CMakeFiles/zip_test.dir/zip/gzip_interop_test.cc.o"
+  "CMakeFiles/zip_test.dir/zip/gzip_interop_test.cc.o.d"
+  "CMakeFiles/zip_test.dir/zip/gzip_test.cc.o"
+  "CMakeFiles/zip_test.dir/zip/gzip_test.cc.o.d"
+  "CMakeFiles/zip_test.dir/zip/huffman_test.cc.o"
+  "CMakeFiles/zip_test.dir/zip/huffman_test.cc.o.d"
+  "CMakeFiles/zip_test.dir/zip/lz77_test.cc.o"
+  "CMakeFiles/zip_test.dir/zip/lz77_test.cc.o.d"
+  "zip_test"
+  "zip_test.pdb"
+  "zip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

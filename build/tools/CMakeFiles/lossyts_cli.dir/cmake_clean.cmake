@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossyts_cli.dir/lossyts_cli.cc.o"
+  "CMakeFiles/lossyts_cli.dir/lossyts_cli.cc.o.d"
+  "lossyts"
+  "lossyts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossyts_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
