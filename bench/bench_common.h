@@ -6,6 +6,8 @@
 // so the expensive model-training sweep runs once no matter which bench is
 // executed first; likewise for the compression-only sweep.
 
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -33,6 +35,63 @@ inline eval::SweepOptions DefaultSweepOptions() {
   options.data.length_fraction = 0.125;
   options.verbose = true;
   return options;
+}
+
+/// Cache flags shared by every forecasting bench:
+///   --resume        salvage and resume a partial grid checkpoint (default)
+///   --fresh         delete the checkpoint and recompute from scratch
+///   --cache <path>  checkpoint location (default DefaultGridCachePath())
+struct BenchFlags {
+  bool fresh = false;
+  std::string cache_path = eval::DefaultGridCachePath();
+};
+
+inline BenchFlags ParseBenchFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fresh") == 0) {
+      flags.fresh = true;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      flags.fresh = false;
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      flags.cache_path = argv[++i];
+    }
+  }
+  return flags;
+}
+
+/// Prints a one-line-per-cell failure report to stderr; quiet when clean.
+inline void ReportGridFailures(const std::vector<eval::GridRecord>& records) {
+  const std::vector<const eval::GridRecord*> failed =
+      eval::FailedRecords(records);
+  if (failed.empty()) return;
+  std::fprintf(stderr, "[grid] %zu of %zu cells failed:\n", failed.size(),
+               records.size());
+  for (const eval::GridRecord* r : failed) {
+    std::fprintf(stderr, "[grid]   %s/%s/%s eb=%g seed=%llu (attempts %d): %s\n",
+                 r->dataset.c_str(), r->model.c_str(), r->compressor.c_str(),
+                 r->error_bound, static_cast<unsigned long long>(r->seed),
+                 r->attempts, r->error.c_str());
+  }
+}
+
+/// Loads the canonical grid for a bench binary, honoring --resume / --fresh /
+/// --cache. Failed cells are reported to stderr and filtered out, so the
+/// per-table aggregations below only ever see completed measurements.
+inline Result<std::vector<eval::GridRecord>> LoadBenchGrid(int argc,
+                                                           char** argv) {
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  if (flags.fresh) std::remove(flags.cache_path.c_str());
+  Result<std::vector<eval::GridRecord>> grid =
+      eval::LoadOrRunGrid(DefaultGridOptions(), flags.cache_path);
+  if (!grid.ok()) return grid.status();
+  ReportGridFailures(*grid);
+  std::vector<eval::GridRecord> ok_records;
+  ok_records.reserve(grid->size());
+  for (eval::GridRecord& r : *grid) {
+    if (!r.failed()) ok_records.push_back(std::move(r));
+  }
+  return ok_records;
 }
 
 /// Mean TFE per (dataset, compressor, error bound) across models and seeds.

@@ -9,9 +9,8 @@
 
 using namespace lossyts;
 
-int main() {
-  Result<std::vector<eval::GridRecord>> grid = eval::LoadOrRunGrid(
-      bench::DefaultGridOptions(), eval::DefaultGridCachePath());
+int main(int argc, char** argv) {
+  Result<std::vector<eval::GridRecord>> grid = bench::LoadBenchGrid(argc, argv);
   if (!grid.ok()) {
     std::fprintf(stderr, "grid: %s\n", grid.status().ToString().c_str());
     return 1;

@@ -106,9 +106,8 @@ ElbowPoint FindModelElbow(const std::vector<eval::GridRecord>& grid,
 
 }  // namespace
 
-int main() {
-  Result<std::vector<eval::GridRecord>> grid = eval::LoadOrRunGrid(
-      bench::DefaultGridOptions(), eval::DefaultGridCachePath());
+int main(int argc, char** argv) {
+  Result<std::vector<eval::GridRecord>> grid = bench::LoadBenchGrid(argc, argv);
   if (!grid.ok()) {
     std::fprintf(stderr, "grid: %s\n", grid.status().ToString().c_str());
     return 1;

@@ -34,9 +34,8 @@ Moments ComputeMoments(const std::vector<double>& values) {
 
 }  // namespace
 
-int main() {
-  Result<std::vector<eval::GridRecord>> grid = eval::LoadOrRunGrid(
-      bench::DefaultGridOptions(), eval::DefaultGridCachePath());
+int main(int argc, char** argv) {
+  Result<std::vector<eval::GridRecord>> grid = bench::LoadBenchGrid(argc, argv);
   if (!grid.ok()) {
     std::fprintf(stderr, "grid: %s\n", grid.status().ToString().c_str());
     return 1;

@@ -11,6 +11,7 @@
 #include "compress/serde.h"
 #include "compress/swing.h"
 #include "compress/sz.h"
+#include "core/failpoint.h"
 #include "core/metrics.h"
 #include "zip/gzip.h"
 
@@ -60,6 +61,7 @@ Result<PipelineResult> RunPipeline(const Compressor& compressor,
   result.raw_bytes = raw_csv.size();
   result.raw_gz_bytes = zip::GzipCompress(raw_csv).size();
 
+  LOSSYTS_FAILPOINT("compress");
   Result<std::vector<uint8_t>> blob = compressor.Compress(series, error_bound);
   if (!blob.ok()) return blob.status();
   result.compressed_bytes = blob->size();
@@ -67,6 +69,7 @@ Result<PipelineResult> RunPipeline(const Compressor& compressor,
   result.compression_ratio = static_cast<double>(result.raw_gz_bytes) /
                              static_cast<double>(result.gz_bytes);
 
+  LOSSYTS_FAILPOINT("decompress");
   Result<TimeSeries> decompressed = compressor.Decompress(*blob);
   if (!decompressed.ok()) return decompressed.status();
   if (decompressed->size() != series.size()) {
@@ -78,7 +81,8 @@ Result<PipelineResult> RunPipeline(const Compressor& compressor,
   if (compressor.name() == "PMC" || compressor.name() == "SWING" ||
       compressor.name() == "PPA") {
     ByteReader reader(*blob);
-    reader.Skip(1 + 4 + 2 + 4);  // Header: id, timestamp, interval, count.
+    // Header: id, timestamp, interval, count.
+    if (Status s = reader.Skip(1 + 4 + 2 + 4); !s.ok()) return s;
     Result<uint32_t> segments = reader.GetU32();
     if (!segments.ok()) return segments.status();
     result.segment_count = *segments;

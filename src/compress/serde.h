@@ -93,7 +93,17 @@ class ByteReader {
   size_t remaining() const { return size_ - pos_; }
   size_t position() const { return pos_; }
   const uint8_t* current() const { return data_ + pos_; }
-  void Skip(size_t n) { pos_ += n; }
+  /// Advances past `n` bytes. Corruption (with the cursor clamped to the end,
+  /// so remaining() never underflows) when fewer than `n` bytes remain — a
+  /// corrupted length field must not teleport the cursor out of the buffer.
+  Status Skip(size_t n) {
+    if (n > remaining()) {
+      pos_ = size_;
+      return Eof();
+    }
+    pos_ += n;
+    return Status::OK();
+  }
 
  private:
   static Status Eof() {

@@ -236,6 +236,15 @@ Result<TimeSeries> SzCompressor::Decompress(
 
   Result<uint32_t> n_nonzero = reader.GetU32();
   if (!n_nonzero.ok()) return n_nonzero.status();
+  // Every count below sizes an allocation, so each is checked against what
+  // the remaining payload could possibly hold before the vector is built —
+  // a corrupted length field must fail as Corruption, not bad_alloc.
+  if (*n_nonzero > header->num_points) {
+    return Status::Corruption("SZ nonzero count exceeds point count");
+  }
+  if (header->num_points > reader.remaining()) {
+    return Status::Corruption("SZ class stream truncated");
+  }
 
   std::vector<uint8_t> classes(header->num_points);
   for (uint32_t i = 0; i < header->num_points; ++i) {
@@ -247,6 +256,9 @@ Result<TimeSeries> SzCompressor::Decompress(
 
   Result<uint32_t> n_blocks = reader.GetU32();
   if (!n_blocks.ok()) return n_blocks.status();
+  if (*n_blocks > reader.remaining()) {  // Each block model is >= 5 bytes.
+    return Status::Corruption("SZ block count exceeds payload");
+  }
   std::vector<BlockModel> models(*n_blocks);
   for (BlockModel& m : models) {
     Result<uint8_t> p = reader.GetU8();
@@ -301,7 +313,7 @@ Result<TimeSeries> SzCompressor::Decompress(
       return Status::Corruption("SZ Huffman payload truncated");
     }
     zip::BitReader bits(reader.current(), *payload_size);
-    reader.Skip(*payload_size);
+    if (Status s = reader.Skip(*payload_size); !s.ok()) return s;
     for (uint32_t i = 0; i < *n_nonzero; ++i) {
       Result<int> sym = decoder.Decode(bits);
       if (!sym.ok()) return sym.status();
@@ -322,6 +334,9 @@ Result<TimeSeries> SzCompressor::Decompress(
 
   Result<uint32_t> n_unpredictable = reader.GetU32();
   if (!n_unpredictable.ok()) return n_unpredictable.status();
+  if (*n_unpredictable > reader.remaining() / sizeof(double)) {
+    return Status::Corruption("SZ unpredictable count exceeds payload");
+  }
   std::vector<double> unpredictable(*n_unpredictable);
   for (double& x : unpredictable) {
     Result<double> val = reader.GetDouble();

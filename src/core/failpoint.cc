@@ -1,0 +1,112 @@
+#include "core/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace lossyts {
+
+namespace {
+
+struct Arming {
+  uint64_t fire_on = 0;
+  uint64_t times = 0;
+  uint64_t hits = 0;
+};
+
+std::mutex& Mutex() {
+  static std::mutex& mu = *new std::mutex;
+  return mu;
+}
+
+std::map<std::string, Arming>& Sites() {
+  static std::map<std::string, Arming>& sites = *new std::map<std::string, Arming>;
+  return sites;
+}
+
+// Fast-path flag so unarmed sites cost one relaxed load, not a lock.
+std::atomic<bool>& AnyArmed() {
+  static std::atomic<bool>& flag = *new std::atomic<bool>(false);
+  return flag;
+}
+
+// Arms from LOSSYTS_FAILPOINTS once, before main touches any site.
+const bool g_env_armed = [] {
+  if (const char* spec = std::getenv("LOSSYTS_FAILPOINTS")) {
+    FailPoints::ArmFromSpec(spec);
+  }
+  return true;
+}();
+
+}  // namespace
+
+void FailPoints::Arm(const std::string& site, uint64_t fire_on,
+                     uint64_t times) {
+  if (site.empty() || fire_on == 0 || times == 0) return;
+  std::lock_guard<std::mutex> lock(Mutex());
+  Sites()[site] = Arming{fire_on, times, 0};
+  AnyArmed().store(true, std::memory_order_relaxed);
+}
+
+void FailPoints::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Sites().erase(site);
+  AnyArmed().store(!Sites().empty(), std::memory_order_relaxed);
+}
+
+void FailPoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Sites().clear();
+  AnyArmed().store(false, std::memory_order_relaxed);
+}
+
+Status FailPoints::Hit(const char* site) {
+  if (!AnyArmed().load(std::memory_order_relaxed)) return Status::OK();
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Sites().find(site);
+  if (it == Sites().end()) return Status::OK();
+  Arming& arming = it->second;
+  ++arming.hits;
+  if (arming.hits >= arming.fire_on &&
+      arming.hits < arming.fire_on + arming.times) {
+    return Status::Internal("failpoint " + std::string(site) + " fired (hit " +
+                            std::to_string(arming.hits) + ")");
+  }
+  return Status::OK();
+}
+
+uint64_t FailPoints::HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Sites().find(site);
+  return it == Sites().end() ? 0 : it->second.hits;
+}
+
+void FailPoints::ArmFromSpec(const std::string& spec) {
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find_first_of(",;", begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    const size_t at = entry.find('@');
+    if (at == std::string::npos || at == 0) continue;
+    const std::string site = entry.substr(0, at);
+    const std::string counts = entry.substr(at + 1);
+    char* rest = nullptr;
+    const unsigned long long fire_on =
+        std::strtoull(counts.c_str(), &rest, 10);
+    if (rest == counts.c_str() || fire_on == 0) continue;
+    unsigned long long times = 1;
+    if (*rest == 'x') {
+      char* times_end = nullptr;
+      times = std::strtoull(rest + 1, &times_end, 10);
+      if (times_end == rest + 1 || times == 0) continue;
+    } else if (*rest != '\0') {
+      continue;
+    }
+    Arm(site, fire_on, times);
+  }
+}
+
+}  // namespace lossyts

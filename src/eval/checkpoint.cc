@@ -1,0 +1,184 @@
+#include "eval/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "compress/pipeline.h"
+#include "core/failpoint.h"
+#include "data/datasets.h"
+#include "forecast/registry.h"
+#include "zip/crc32.h"
+
+namespace lossyts::eval {
+
+namespace {
+
+constexpr char kManifestPrefix[] = "#lossyts-grid-checkpoint v1 options=";
+constexpr char kCompleteFooter[] = "#complete";
+
+std::string RowCrcHex(const std::string& row) {
+  char hex[9];
+  std::snprintf(hex, sizeof(hex), "%08x",
+                zip::ComputeCrc32(
+                    reinterpret_cast<const uint8_t*>(row.data()), row.size()));
+  return hex;
+}
+
+std::string HeaderLine() {
+  return "dataset,model,compressor,error_bound,seed,r,rse,rmse,nrmse,tfe,"
+         "te_nrmse,te_rmse,compression_ratio,segment_count,error_code,"
+         "attempts,error";
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out += buffer;
+  out += '|';
+}
+
+// Parses one "crc,row" line into checkpoint.records. Returns false when the
+// scan must stop: the complete footer, a torn or malformed line, or a CRC
+// mismatch — everything salvaged so far stays valid.
+bool ParseLine(const std::string& line, GridCheckpoint& checkpoint) {
+  if (line == kCompleteFooter) {
+    checkpoint.complete = true;
+    return false;
+  }
+  if (line.size() < 10 || line[8] != ',') return false;
+  const std::string hex = line.substr(0, 8);
+  char* end = nullptr;
+  const unsigned long crc = std::strtoul(hex.c_str(), &end, 16);
+  if (end != hex.c_str() + 8) return false;
+  const std::string row = line.substr(9);
+  if (zip::ComputeCrc32(reinterpret_cast<const uint8_t*>(row.data()),
+                        row.size()) != static_cast<uint32_t>(crc)) {
+    return false;
+  }
+  Result<GridRecord> record = ParseGridRow(row);
+  if (!record.ok()) return false;
+  checkpoint.records.push_back(std::move(*record));
+  return true;
+}
+
+}  // namespace
+
+uint32_t GridOptionsHash(const GridOptions& options) {
+  // Serialize the resolved sweep definition; resolving the empty-list
+  // defaults first means "all datasets" and an explicit full list hash
+  // identically.
+  std::string repr = "v1|";
+  const std::vector<std::string>& datasets =
+      options.datasets.empty() ? data::DatasetNames() : options.datasets;
+  const std::vector<std::string>& models =
+      options.models.empty() ? forecast::ModelNames() : options.models;
+  const std::vector<std::string>& compressors =
+      options.compressors.empty() ? compress::LossyCompressorNames()
+                                  : options.compressors;
+  const std::vector<double>& error_bounds =
+      options.error_bounds.empty() ? compress::PaperErrorBounds()
+                                   : options.error_bounds;
+  for (const std::string& d : datasets) repr += d + '|';
+  for (const std::string& m : models) repr += m + '|';
+  for (const std::string& c : compressors) repr += c + '|';
+  for (double eb : error_bounds) AppendDouble(repr, eb);
+  for (uint64_t seed : options.seeds) repr += std::to_string(seed) + '|';
+  AppendDouble(repr, options.data.length_fraction);
+  repr += std::to_string(options.data.seed) + '|';
+  const forecast::ForecastConfig& f = options.forecast;
+  repr += std::to_string(f.input_length) + '|' + std::to_string(f.horizon) +
+          '|' + std::to_string(f.season_length) + '|' +
+          std::to_string(f.seed) + '|' + std::to_string(f.max_epochs) + '|' +
+          std::to_string(f.early_stop_patience) + '|' +
+          std::to_string(f.max_train_windows) + '|' +
+          std::to_string(f.batch_size) + '|';
+  AppendDouble(repr, f.dropout);
+  repr += std::to_string(options.scenario.eval_stride) + '|' +
+          std::to_string(options.scenario.max_eval_windows);
+  return zip::ComputeCrc32(reinterpret_cast<const uint8_t*>(repr.data()),
+                           repr.size());
+}
+
+Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path,
+                                          uint32_t options_hash) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("no grid checkpoint at " + path);
+  }
+  std::string line;
+  if (!std::getline(file, line)) {
+    return Status::Corruption(path + " is empty");
+  }
+
+  GridCheckpoint checkpoint;
+  if (line.rfind(kManifestPrefix, 0) != 0) {
+    // Pre-checkpoint cache: a plain CSV written by SaveGridCsv. Treat a
+    // clean parse as a complete sweep so existing caches keep working.
+    file.close();
+    Result<std::vector<GridRecord>> legacy = LoadGridCsv(path);
+    if (!legacy.ok()) return legacy.status();
+    checkpoint.records = std::move(*legacy);
+    checkpoint.complete = true;
+    checkpoint.legacy = true;
+    return checkpoint;
+  }
+
+  char* end = nullptr;
+  const std::string hex = line.substr(std::strlen(kManifestPrefix));
+  const unsigned long stored = std::strtoul(hex.c_str(), &end, 16);
+  if (end == hex.c_str() || static_cast<uint32_t>(stored) != options_hash) {
+    checkpoint.compatible = false;
+    return checkpoint;
+  }
+
+  while (std::getline(file, line)) {
+    if (line.rfind("dataset,", 0) == 0) continue;  // Human-readable header.
+    if (!ParseLine(line, checkpoint)) break;
+  }
+  return checkpoint;
+}
+
+Status GridCheckpointWriter::Open(const std::string& path,
+                                  uint32_t options_hash,
+                                  const std::vector<GridRecord>& salvaged) {
+  path_ = path;
+  file_.open(path, std::ios::trunc);
+  if (!file_.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  char manifest[64];
+  std::snprintf(manifest, sizeof(manifest), "%s%08x", kManifestPrefix,
+                options_hash);
+  file_ << manifest << '\n' << HeaderLine() << '\n';
+  for (const GridRecord& record : salvaged) {
+    const std::string row = FormatGridRow(record);
+    file_ << RowCrcHex(row) << ',' << row << '\n';
+  }
+  file_.flush();
+  if (!file_.good()) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Status GridCheckpointWriter::Append(const GridRecord& record) {
+  LOSSYTS_FAILPOINT("cache_write");
+  if (!file_.is_open()) {
+    return Status::FailedPrecondition("checkpoint writer is not open");
+  }
+  const std::string row = FormatGridRow(record);
+  file_ << RowCrcHex(row) << ',' << row << '\n';
+  file_.flush();
+  if (!file_.good()) return Status::IoError("write to " + path_ + " failed");
+  return Status::OK();
+}
+
+Status GridCheckpointWriter::MarkComplete() {
+  if (!file_.is_open()) {
+    return Status::FailedPrecondition("checkpoint writer is not open");
+  }
+  file_ << kCompleteFooter << '\n';
+  file_.flush();
+  if (!file_.good()) return Status::IoError("write to " + path_ + " failed");
+  return Status::OK();
+}
+
+}  // namespace lossyts::eval

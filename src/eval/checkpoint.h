@@ -1,0 +1,70 @@
+#ifndef LOSSYTS_EVAL_CHECKPOINT_H_
+#define LOSSYTS_EVAL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "eval/grid.h"
+
+namespace lossyts::eval {
+
+// Incremental, crash-tolerant persistence for grid sweeps.
+//
+// File layout (text, one record per line):
+//
+//   #lossyts-grid-checkpoint v1 options=<8-hex GridOptionsHash>
+//   dataset,model,compressor,...          <- human-readable column header
+//   <8-hex CRC32 of the row text>,<row>   <- one line per GridRecord
+//   ...
+//   #complete                             <- footer, written last
+//
+// Each row is framed with its own CRC32 (the gzip polynomial from
+// src/zip/crc32.h), so a torn final row — the normal result of killing a
+// sweep mid-write — is detected and dropped while every earlier row is
+// salvaged. The manifest hash ties the file to the exact GridOptions that
+// produced it; resuming under different options would silently mix
+// incompatible sweeps.
+
+/// Hash over every GridOptions field that affects the produced records
+/// (resolved dataset/model/compressor/error-bound/seed lists plus the data,
+/// forecast and scenario configs). Retry and verbosity knobs are excluded:
+/// they change how failures are handled, not what a completed cell contains.
+uint32_t GridOptionsHash(const GridOptions& options);
+
+/// What LoadGridCheckpoint salvaged from disk.
+struct GridCheckpoint {
+  std::vector<GridRecord> records;  ///< Valid rows, in file order.
+  bool complete = false;            ///< The "#complete" footer was present.
+  bool compatible = true;           ///< Manifest hash matched options_hash.
+  bool legacy = false;              ///< Plain pre-checkpoint CSV cache.
+};
+
+/// Reads a checkpoint, salvaging every row whose CRC frame verifies; the
+/// first torn or corrupt row ends the scan and everything before it
+/// survives. Plain CSV caches (no manifest line) are parsed with
+/// LoadGridCsv and reported as complete legacy sweeps. NotFound when the
+/// file does not exist.
+Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path,
+                                          uint32_t options_hash);
+
+/// Append-mode checkpoint writer. Open() rewrites the file with the manifest
+/// and the salvaged rows of a resumed sweep; Append() writes one CRC-framed
+/// row and flushes, so a crash loses at most the row being written.
+class GridCheckpointWriter {
+ public:
+  Status Open(const std::string& path, uint32_t options_hash,
+              const std::vector<GridRecord>& salvaged);
+  Status Append(const GridRecord& record);
+  Status MarkComplete();
+
+ private:
+  std::ofstream file_;
+  std::string path_;
+};
+
+}  // namespace lossyts::eval
+
+#endif  // LOSSYTS_EVAL_CHECKPOINT_H_

@@ -1,30 +1,116 @@
 #include "eval/grid.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 #include "compress/pipeline.h"
+#include "core/rng.h"
 #include "core/split.h"
+#include "eval/checkpoint.h"
 #include "forecast/registry.h"
 
 namespace lossyts::eval {
 
 namespace {
 
-struct TransformedTest {
-  std::string compressor;
-  double error_bound;
+// Outcome of transforming one dataset's test split with one
+// (compressor, error bound) pair, including how it failed if it did.
+struct TransformOutcome {
   TimeSeries series;
-  double te_nrmse;
-  double te_rmse;
-  double compression_ratio;
-  double segment_count;
+  double te_nrmse = 0.0;
+  double te_rmse = 0.0;
+  double compression_ratio = 0.0;
+  double segment_count = 0.0;
+  Status status;
+  int attempts = 1;
 };
+
+std::string KeyOf(const std::string& dataset, const std::string& model,
+                  const std::string& compressor, double error_bound,
+                  uint64_t seed) {
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), "|%.17g|%llu", error_bound,
+                static_cast<unsigned long long>(seed));
+  return dataset + '|' + model + '|' + compressor + suffix;
+}
+
+bool MetricsFinite(const MetricSet& m) {
+  return std::isfinite(m.r) && std::isfinite(m.rse) && std::isfinite(m.rmse) &&
+         std::isfinite(m.nrmse);
+}
+
+GridRecord FailedCell(const std::string& dataset, const std::string& model,
+                      const std::string& compressor, double error_bound,
+                      uint64_t seed, const Status& status, int attempts) {
+  GridRecord record;
+  record.dataset = dataset;
+  record.model = model;
+  record.compressor = compressor;
+  record.error_bound = error_bound;
+  record.seed = seed;
+  record.error_code = static_cast<int32_t>(status.code());
+  record.error = status.message();
+  record.attempts = attempts;
+  return record;
+}
+
+bool ParseDoubleField(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
+bool ParseU64Field(const std::string& s, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 10);
+  return end != s.c_str() && *end == '\0';
+}
+
+bool ParseI32Field(const std::string& s, int32_t* out) {
+  char* end = nullptr;
+  *out = static_cast<int32_t>(std::strtol(s.c_str(), &end, 10));
+  return end != s.c_str() && *end == '\0';
+}
+
+void AppendG17(std::string& out, double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out += buffer;
+}
 
 }  // namespace
 
+std::string CellKey(const GridRecord& record) {
+  return KeyOf(record.dataset, record.model, record.compressor,
+               record.error_bound, record.seed);
+}
+
+uint64_t RetrySeed(uint64_t seed, int attempt) {
+  if (attempt <= 0) return seed;
+  Rng rng(seed ^ (static_cast<uint64_t>(attempt) * 0x9E3779B97F4A7C15ULL));
+  return rng.NextU64();
+}
+
+std::vector<const GridRecord*> FailedRecords(
+    const std::vector<GridRecord>& records) {
+  std::vector<const GridRecord*> failed;
+  for (const GridRecord& r : records) {
+    if (r.failed()) failed.push_back(&r);
+  }
+  return failed;
+}
+
 Result<std::vector<GridRecord>> RunGrid(const GridOptions& options) {
+  return RunGridResumable(options, {}, nullptr);
+}
+
+Result<std::vector<GridRecord>> RunGridResumable(
+    const GridOptions& options, const std::vector<GridRecord>& existing,
+    const std::function<Status(const GridRecord&)>& on_record) {
   const std::vector<std::string>& datasets =
       options.datasets.empty() ? data::DatasetNames() : options.datasets;
   const std::vector<std::string>& models =
@@ -35,96 +121,375 @@ Result<std::vector<GridRecord>> RunGrid(const GridOptions& options) {
   const std::vector<double>& error_bounds =
       options.error_bounds.empty() ? compress::PaperErrorBounds()
                                    : options.error_bounds;
+  const int max_attempts = 1 + std::max(0, options.max_cell_retries);
+
+  std::unordered_map<std::string, size_t> done;
+  done.reserve(existing.size());
+  for (size_t i = 0; i < existing.size(); ++i) {
+    done.emplace(CellKey(existing[i]), i);
+  }
 
   std::vector<GridRecord> records;
+  Status sink_error;
+  // Routes a freshly computed record through the checkpoint sink; false
+  // aborts the sweep with sink_error (an unwritable checkpoint must not
+  // silently degrade into an unresumable run).
+  auto emit_fresh = [&](GridRecord record) {
+    if (on_record) {
+      if (Status s = on_record(record); !s.ok()) {
+        sink_error = s;
+        return false;
+      }
+    }
+    records.push_back(std::move(record));
+    return true;
+  };
+
   for (const std::string& dataset_name : datasets) {
+    auto salvaged = [&](const std::string& model,
+                        const std::string& compressor, double eb,
+                        uint64_t seed) -> const GridRecord* {
+      auto it = done.find(KeyOf(dataset_name, model, compressor, eb, seed));
+      return it == done.end() ? nullptr : &existing[it->second];
+    };
+
+    // Resume fast path: when every cell of this dataset is already on file,
+    // splice the salvaged rows in canonical order and skip the dataset's
+    // generation, transforms and fits entirely.
+    bool dataset_needed = false;
+    for (const std::string& model_name : models) {
+      for (uint64_t seed : options.seeds) {
+        if (!salvaged(model_name, "NONE", 0.0, seed)) dataset_needed = true;
+        for (const std::string& compressor_name : compressors) {
+          for (double eb : error_bounds) {
+            if (!salvaged(model_name, compressor_name, eb, seed)) {
+              dataset_needed = true;
+            }
+          }
+        }
+      }
+    }
+    if (!dataset_needed) {
+      for (const std::string& model_name : models) {
+        for (uint64_t seed : options.seeds) {
+          records.push_back(*salvaged(model_name, "NONE", 0.0, seed));
+          for (const std::string& compressor_name : compressors) {
+            for (double eb : error_bounds) {
+              records.push_back(*salvaged(model_name, compressor_name, eb,
+                                          seed));
+            }
+          }
+        }
+      }
+      continue;
+    }
+
+    // Unknown dataset names and generation failures abort the sweep: they
+    // are configuration errors that would fail every cell identically.
     Result<data::Dataset> dataset =
         data::MakeDataset(dataset_name, options.data);
     if (!dataset.ok()) return dataset.status();
     Result<TrainValTest> split = SplitSeries(dataset->series);
     if (!split.ok()) return split.status();
 
-    // Transform the test split once per (compressor, error bound).
-    std::vector<TransformedTest> transformed;
-    for (const std::string& compressor_name : compressors) {
+    // Transform the test split once per (compressor, error bound) that some
+    // missing cell still needs. A failed transform is retried and then
+    // recorded per dependent cell; it never aborts sibling transforms.
+    std::vector<std::vector<TransformOutcome>> transformed(compressors.size());
+    for (size_t ci = 0; ci < compressors.size(); ++ci) {
       Result<std::unique_ptr<compress::Compressor>> compressor =
-          compress::MakeCompressor(compressor_name);
+          compress::MakeCompressor(compressors[ci]);
       if (!compressor.ok()) return compressor.status();
-      for (double eb : error_bounds) {
-        Result<compress::PipelineResult> pipeline =
-            compress::RunPipeline(**compressor, split->test, eb);
-        if (!pipeline.ok()) return pipeline.status();
-        TransformedTest t;
-        t.compressor = compressor_name;
-        t.error_bound = eb;
-        t.series = std::move(pipeline->decompressed);
-        t.te_nrmse = pipeline->te_nrmse;
-        t.te_rmse = pipeline->te_rmse;
-        t.compression_ratio = pipeline->compression_ratio;
-        t.segment_count = static_cast<double>(pipeline->segment_count);
-        transformed.push_back(std::move(t));
+      transformed[ci].resize(error_bounds.size());
+      for (size_t ei = 0; ei < error_bounds.size(); ++ei) {
+        bool needed = false;
+        for (const std::string& model_name : models) {
+          for (uint64_t seed : options.seeds) {
+            if (!salvaged(model_name, compressors[ci], error_bounds[ei],
+                          seed)) {
+              needed = true;
+            }
+          }
+        }
+        if (!needed) continue;
+        TransformOutcome& out = transformed[ci][ei];
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+          out.attempts = attempt + 1;
+          Result<compress::PipelineResult> pipeline = compress::RunPipeline(
+              **compressor, split->test, error_bounds[ei]);
+          if (!pipeline.ok()) {
+            out.status = pipeline.status();
+            continue;
+          }
+          if (!std::isfinite(pipeline->te_nrmse) ||
+              !std::isfinite(pipeline->te_rmse) ||
+              !std::isfinite(pipeline->compression_ratio)) {
+            out.status = Status::Internal("non-finite transform metrics");
+            continue;
+          }
+          out.status = Status::OK();
+          out.series = std::move(pipeline->decompressed);
+          out.te_nrmse = pipeline->te_nrmse;
+          out.te_rmse = pipeline->te_rmse;
+          out.compression_ratio = pipeline->compression_ratio;
+          out.segment_count = static_cast<double>(pipeline->segment_count);
+          break;
+        }
+        if (!out.status.ok() && options.verbose) {
+          std::fprintf(stderr, "[grid] transform %s eb=%g on %s failed: %s\n",
+                       compressors[ci].c_str(), error_bounds[ei],
+                       dataset_name.c_str(), out.status.ToString().c_str());
+        }
       }
     }
 
     for (const std::string& model_name : models) {
       for (uint64_t seed : options.seeds) {
-        forecast::ForecastConfig config = options.forecast;
-        config.season_length = dataset->season_length;
-        config.seed = seed;
-        Result<std::unique_ptr<forecast::Forecaster>> model =
-            forecast::MakeForecaster(model_name, config);
-        if (!model.ok()) return model.status();
-        if (options.verbose) {
-          std::fprintf(stderr, "[grid] fitting %s on %s (seed %llu)\n",
-                       model_name.c_str(), dataset_name.c_str(),
-                       static_cast<unsigned long long>(seed));
+        const GridRecord* base_existing =
+            salvaged(model_name, "NONE", 0.0, seed);
+        bool any_missing = base_existing == nullptr;
+        for (size_t ci = 0; ci < compressors.size() && !any_missing; ++ci) {
+          for (size_t ei = 0; ei < error_bounds.size() && !any_missing;
+               ++ei) {
+            any_missing =
+                !salvaged(model_name, compressors[ci], error_bounds[ei], seed);
+          }
         }
-        if (Status s = (*model)->Fit(split->train, split->val); !s.ok()) {
-          return s;
+        if (!any_missing) {
+          records.push_back(*base_existing);
+          for (size_t ci = 0; ci < compressors.size(); ++ci) {
+            for (size_t ei = 0; ei < error_bounds.size(); ++ei) {
+              records.push_back(*salvaged(model_name, compressors[ci],
+                                          error_bounds[ei], seed));
+            }
+          }
+          continue;
         }
 
-        Result<MetricSet> baseline = EvaluateOnTest(
-            **model, split->test, nullptr, config.input_length,
-            config.horizon, options.scenario);
-        if (!baseline.ok()) return baseline.status();
+        // Fit with retry: each retry derives a fresh deterministic seed, so
+        // a divergent initialization gets a genuinely different start while
+        // reruns of the sweep retry identically.
+        std::unique_ptr<forecast::Forecaster> model;
+        Status fit_status;
+        int fit_attempts = 0;
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+          fit_attempts = attempt + 1;
+          forecast::ForecastConfig config = options.forecast;
+          config.season_length = dataset->season_length;
+          config.seed = RetrySeed(seed, attempt);
+          Result<std::unique_ptr<forecast::Forecaster>> made =
+              forecast::MakeForecaster(model_name, config);
+          if (!made.ok()) return made.status();  // Unknown model: config error.
+          if (options.verbose) {
+            std::fprintf(stderr, "[grid] fitting %s on %s (seed %llu%s)\n",
+                         model_name.c_str(), dataset_name.c_str(),
+                         static_cast<unsigned long long>(seed),
+                         attempt > 0 ? ", retry" : "");
+          }
+          fit_status = (*made)->Fit(split->train, split->val);
+          if (fit_status.ok()) {
+            model = std::move(*made);
+            break;
+          }
+          if (options.verbose) {
+            std::fprintf(stderr, "[grid] fit %s on %s failed: %s\n",
+                         model_name.c_str(), dataset_name.c_str(),
+                         fit_status.ToString().c_str());
+          }
+        }
 
-        GridRecord base;
-        base.dataset = dataset_name;
-        base.model = model_name;
-        base.compressor = "NONE";
-        base.seed = seed;
-        base.r = baseline->r;
-        base.rse = baseline->rse;
-        base.rmse = baseline->rmse;
-        base.nrmse = baseline->nrmse;
-        records.push_back(base);
+        if (!fit_status.ok()) {
+          // No model: every still-missing cell of this (model, seed) fails
+          // with the fit status; salvaged cells are spliced through.
+          if (base_existing) {
+            records.push_back(*base_existing);
+          } else if (!emit_fresh(FailedCell(dataset_name, model_name, "NONE",
+                                            0.0, seed, fit_status,
+                                            fit_attempts))) {
+            return sink_error;
+          }
+          for (size_t ci = 0; ci < compressors.size(); ++ci) {
+            for (size_t ei = 0; ei < error_bounds.size(); ++ei) {
+              const GridRecord* cell = salvaged(model_name, compressors[ci],
+                                                error_bounds[ei], seed);
+              if (cell) {
+                records.push_back(*cell);
+              } else if (!emit_fresh(FailedCell(
+                             dataset_name, model_name, compressors[ci],
+                             error_bounds[ei], seed, fit_status,
+                             fit_attempts))) {
+                return sink_error;
+              }
+            }
+          }
+          continue;
+        }
 
-        for (const TransformedTest& t : transformed) {
-          Result<MetricSet> metrics = EvaluateOnTest(
-              **model, split->test, &t.series, config.input_length,
-              config.horizon, options.scenario);
-          if (!metrics.ok()) return metrics.status();
-          GridRecord rec;
-          rec.dataset = dataset_name;
-          rec.model = model_name;
-          rec.compressor = t.compressor;
-          rec.error_bound = t.error_bound;
-          rec.seed = seed;
-          rec.r = metrics->r;
-          rec.rse = metrics->rse;
-          rec.rmse = metrics->rmse;
-          rec.nrmse = metrics->nrmse;
-          rec.tfe = Tfe(metrics->nrmse, baseline->nrmse);
-          rec.te_nrmse = t.te_nrmse;
-          rec.te_rmse = t.te_rmse;
-          rec.compression_ratio = t.compression_ratio;
-          rec.segment_count = t.segment_count;
-          records.push_back(rec);
+        // Baseline: reuse the salvaged row's metrics when present (TFE needs
+        // its NRMSE), otherwise evaluate and record.
+        double baseline_nrmse = 0.0;
+        bool baseline_ok = false;
+        if (base_existing) {
+          records.push_back(*base_existing);
+          baseline_ok = !base_existing->failed();
+          baseline_nrmse = base_existing->nrmse;
+        } else {
+          Result<MetricSet> baseline = EvaluateOnTest(
+              *model, split->test, nullptr, options.forecast.input_length,
+              options.forecast.horizon, options.scenario);
+          Status base_status =
+              baseline.ok()
+                  ? (MetricsFinite(*baseline)
+                         ? Status::OK()
+                         : Status::Internal("non-finite baseline metrics"))
+                  : baseline.status();
+          if (!base_status.ok()) {
+            if (!emit_fresh(FailedCell(dataset_name, model_name, "NONE", 0.0,
+                                       seed, base_status, fit_attempts))) {
+              return sink_error;
+            }
+          } else {
+            GridRecord base;
+            base.dataset = dataset_name;
+            base.model = model_name;
+            base.compressor = "NONE";
+            base.seed = seed;
+            base.r = baseline->r;
+            base.rse = baseline->rse;
+            base.rmse = baseline->rmse;
+            base.nrmse = baseline->nrmse;
+            base.attempts = fit_attempts;
+            baseline_ok = true;
+            baseline_nrmse = base.nrmse;
+            if (!emit_fresh(std::move(base))) return sink_error;
+          }
+        }
+
+        for (size_t ci = 0; ci < compressors.size(); ++ci) {
+          for (size_t ei = 0; ei < error_bounds.size(); ++ei) {
+            const GridRecord* cell = salvaged(model_name, compressors[ci],
+                                              error_bounds[ei], seed);
+            if (cell) {
+              records.push_back(*cell);
+              continue;
+            }
+            const TransformOutcome& t = transformed[ci][ei];
+            Status cell_status = t.status;
+            int cell_attempts = t.attempts;
+            MetricSet metrics;
+            if (cell_status.ok() && !baseline_ok) {
+              cell_status = Status::FailedPrecondition(
+                  "baseline evaluation failed for " + model_name);
+              cell_attempts = 1;
+            }
+            if (cell_status.ok()) {
+              Result<MetricSet> evaluated = EvaluateOnTest(
+                  *model, split->test, &t.series,
+                  options.forecast.input_length, options.forecast.horizon,
+                  options.scenario);
+              if (!evaluated.ok()) {
+                cell_status = evaluated.status();
+              } else if (!MetricsFinite(*evaluated)) {
+                cell_status = Status::Internal("non-finite cell metrics");
+              } else {
+                metrics = *evaluated;
+              }
+            }
+            if (!cell_status.ok()) {
+              if (!emit_fresh(FailedCell(dataset_name, model_name,
+                                         compressors[ci], error_bounds[ei],
+                                         seed, cell_status, cell_attempts))) {
+                return sink_error;
+              }
+              continue;
+            }
+            GridRecord rec;
+            rec.dataset = dataset_name;
+            rec.model = model_name;
+            rec.compressor = compressors[ci];
+            rec.error_bound = error_bounds[ei];
+            rec.seed = seed;
+            rec.r = metrics.r;
+            rec.rse = metrics.rse;
+            rec.rmse = metrics.rmse;
+            rec.nrmse = metrics.nrmse;
+            rec.tfe = Tfe(metrics.nrmse, baseline_nrmse);
+            rec.te_nrmse = t.te_nrmse;
+            rec.te_rmse = t.te_rmse;
+            rec.compression_ratio = t.compression_ratio;
+            rec.segment_count = t.segment_count;
+            rec.attempts = cell_attempts;
+            if (!emit_fresh(std::move(rec))) return sink_error;
+          }
         }
       }
     }
   }
   return records;
+}
+
+std::string FormatGridRow(const GridRecord& r) {
+  std::string row = r.dataset + ',' + r.model + ',' + r.compressor + ',';
+  AppendG17(row, r.error_bound);
+  row += ',' + std::to_string(r.seed) + ',';
+  AppendG17(row, r.r);
+  row += ',';
+  AppendG17(row, r.rse);
+  row += ',';
+  AppendG17(row, r.rmse);
+  row += ',';
+  AppendG17(row, r.nrmse);
+  row += ',';
+  AppendG17(row, r.tfe);
+  row += ',';
+  AppendG17(row, r.te_nrmse);
+  row += ',';
+  AppendG17(row, r.te_rmse);
+  row += ',';
+  AppendG17(row, r.compression_ratio);
+  row += ',';
+  AppendG17(row, r.segment_count);
+  row += ',' + std::to_string(r.error_code) + ',' +
+         std::to_string(r.attempts) + ',';
+  // Sanitize the message so it can never break the one-record-per-row frame.
+  for (char c : r.error) row += (c == ',' || c == '\n' || c == '\r') ? ';' : c;
+  return row;
+}
+
+Result<GridRecord> ParseGridRow(const std::string& row) {
+  std::stringstream stream(row);
+  std::string field;
+  std::vector<std::string> fields;
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  // A trailing empty error field is eaten by getline; restore it.
+  if (fields.size() == 16 && !row.empty() && row.back() == ',') {
+    fields.emplace_back();
+  }
+  if (fields.size() != 14 && fields.size() != 17) {
+    return Status::Corruption("malformed grid row: " + row);
+  }
+  GridRecord r;
+  r.dataset = fields[0];
+  r.model = fields[1];
+  r.compressor = fields[2];
+  bool ok = ParseDoubleField(fields[3], &r.error_bound) &&
+            ParseU64Field(fields[4], &r.seed) &&
+            ParseDoubleField(fields[5], &r.r) &&
+            ParseDoubleField(fields[6], &r.rse) &&
+            ParseDoubleField(fields[7], &r.rmse) &&
+            ParseDoubleField(fields[8], &r.nrmse) &&
+            ParseDoubleField(fields[9], &r.tfe) &&
+            ParseDoubleField(fields[10], &r.te_nrmse) &&
+            ParseDoubleField(fields[11], &r.te_rmse) &&
+            ParseDoubleField(fields[12], &r.compression_ratio) &&
+            ParseDoubleField(fields[13], &r.segment_count);
+  if (ok && fields.size() == 17) {
+    ok = ParseI32Field(fields[14], &r.error_code) &&
+         ParseI32Field(fields[15], &r.attempts);
+    r.error = fields[16];
+  }
+  if (!ok) return Status::Corruption("malformed grid row: " + row);
+  return r;
 }
 
 Status SaveGridCsv(const std::vector<GridRecord>& records,
@@ -134,14 +499,10 @@ Status SaveGridCsv(const std::vector<GridRecord>& records,
     return Status::IoError("cannot open " + path + " for writing");
   }
   file << "dataset,model,compressor,error_bound,seed,r,rse,rmse,nrmse,tfe,"
-          "te_nrmse,te_rmse,compression_ratio,segment_count\n";
-  file.precision(12);
+          "te_nrmse,te_rmse,compression_ratio,segment_count,error_code,"
+          "attempts,error\n";
   for (const GridRecord& r : records) {
-    file << r.dataset << ',' << r.model << ',' << r.compressor << ','
-         << r.error_bound << ',' << r.seed << ',' << r.r << ',' << r.rse
-         << ',' << r.rmse << ',' << r.nrmse << ',' << r.tfe << ','
-         << r.te_nrmse << ',' << r.te_rmse << ',' << r.compression_ratio
-         << ',' << r.segment_count << '\n';
+    file << FormatGridRow(r) << '\n';
   }
   if (!file.good()) return Status::IoError("write to " + path + " failed");
   return Status::OK();
@@ -159,40 +520,37 @@ Result<std::vector<GridRecord>> LoadGridCsv(const std::string& path) {
   std::vector<GridRecord> records;
   while (std::getline(file, line)) {
     if (line.empty()) continue;
-    std::stringstream row(line);
-    std::string field;
-    std::vector<std::string> fields;
-    while (std::getline(row, field, ',')) fields.push_back(field);
-    if (fields.size() != 14) {
-      return Status::Corruption(path + ": malformed row: " + line);
-    }
-    GridRecord r;
-    r.dataset = fields[0];
-    r.model = fields[1];
-    r.compressor = fields[2];
-    r.error_bound = std::stod(fields[3]);
-    r.seed = static_cast<uint64_t>(std::stoull(fields[4]));
-    r.r = std::stod(fields[5]);
-    r.rse = std::stod(fields[6]);
-    r.rmse = std::stod(fields[7]);
-    r.nrmse = std::stod(fields[8]);
-    r.tfe = std::stod(fields[9]);
-    r.te_nrmse = std::stod(fields[10]);
-    r.te_rmse = std::stod(fields[11]);
-    r.compression_ratio = std::stod(fields[12]);
-    r.segment_count = std::stod(fields[13]);
-    records.push_back(std::move(r));
+    Result<GridRecord> record = ParseGridRow(line);
+    if (!record.ok()) return record.status();
+    records.push_back(std::move(*record));
   }
   return records;
 }
 
 Result<std::vector<GridRecord>> LoadOrRunGrid(const GridOptions& options,
                                               const std::string& path) {
-  Result<std::vector<GridRecord>> cached = LoadGridCsv(path);
-  if (cached.ok()) return cached;
-  Result<std::vector<GridRecord>> records = RunGrid(options);
+  const uint32_t options_hash = GridOptionsHash(options);
+  std::vector<GridRecord> salvaged;
+  Result<GridCheckpoint> loaded = LoadGridCheckpoint(path, options_hash);
+  if (loaded.ok() && loaded->compatible) {
+    if (loaded->complete) return std::move(loaded->records);
+    salvaged = std::move(loaded->records);
+    if (options.verbose) {
+      std::fprintf(stderr, "[grid] resuming %s: %zu rows salvaged\n",
+                   path.c_str(), salvaged.size());
+    }
+  } else if (loaded.ok() && !loaded->compatible && options.verbose) {
+    std::fprintf(stderr,
+                 "[grid] cache %s was built for different options; rerunning\n",
+                 path.c_str());
+  }
+  GridCheckpointWriter writer;
+  if (Status s = writer.Open(path, options_hash, salvaged); !s.ok()) return s;
+  Result<std::vector<GridRecord>> records = RunGridResumable(
+      options, salvaged,
+      [&writer](const GridRecord& r) { return writer.Append(r); });
   if (!records.ok()) return records.status();
-  if (Status s = SaveGridCsv(*records, path); !s.ok()) return s;
+  if (Status s = writer.MarkComplete(); !s.ok()) return s;
   return records;
 }
 

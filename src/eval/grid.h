@@ -1,6 +1,7 @@
 #ifndef LOSSYTS_EVAL_GRID_H_
 #define LOSSYTS_EVAL_GRID_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,12 @@ namespace lossyts::eval {
 /// error bound) cell with its forecasting metrics, the compression-side
 /// measurements of that cell, and the TFE against the same model+seed's raw
 /// baseline. Baseline rows carry compressor = "NONE" and error_bound = 0.
+///
+/// A cell that could not be computed (compressor error, failed fit,
+/// non-finite metrics) stays in the record stream as a *failed* row: its
+/// metrics are zero, `error_code` carries the StatusCode of the final
+/// attempt and `error` its message. Failed rows make partial sweeps explicit
+/// and give checkpoint/resume a complete cell inventory.
 struct GridRecord {
   std::string dataset;
   std::string model;
@@ -35,6 +42,13 @@ struct GridRecord {
   double te_rmse = 0.0;
   double compression_ratio = 0.0;
   double segment_count = 0.0;
+
+  // Fault-tolerance bookkeeping.
+  int32_t error_code = 0;  ///< StatusCode of the failure; 0 for ok cells.
+  int32_t attempts = 1;    ///< Fit/transform attempts consumed (1 = first try).
+  std::string error;       ///< Failure message; empty for ok cells.
+
+  bool failed() const { return error_code != 0; }
 };
 
 /// Full-sweep configuration. Defaults reproduce the paper's grid at
@@ -50,21 +64,67 @@ struct GridOptions {
   forecast::ForecastConfig forecast;
   ScenarioOptions scenario;
   bool verbose = false;  ///< Progress lines on stderr.
+  /// Extra attempts after a failed fit or compression transform. Retried
+  /// fits run with RetrySeed()-derived seeds so a divergent initialization
+  /// does not permanently kill the cell; the record keeps the original seed
+  /// as its identity. 0 disables retries.
+  int max_cell_retries = 1;
 
   GridOptions() { data.length_fraction = 0.05; }
 };
 
+/// Identity of one cell inside a sweep ("dataset|model|compressor|eb|seed");
+/// checkpoint/resume keys records by this string.
+std::string CellKey(const GridRecord& record);
+
+/// Seed used for retry `attempt` (0-based) of a cell whose identity seed is
+/// `seed`. Attempt 0 is the identity seed itself; later attempts derive a
+/// deterministic reseed so reruns of a sweep retry identically.
+uint64_t RetrySeed(uint64_t seed, int attempt);
+
 /// Runs Algorithm 1 over the whole grid: per dataset, transform the test
 /// split once per (compressor, error bound); per model and seed, train once
 /// on the raw train/val splits and predict from every transformed test.
+///
+/// Failures are isolated per cell: a failed transform, fit or evaluation is
+/// retried (per GridOptions::max_cell_retries) and then recorded as a failed
+/// GridRecord without aborting sibling cells. Only configuration errors
+/// (unknown dataset/model/compressor names, unloadable datasets) abort the
+/// sweep, since every cell they touch would fail identically.
 Result<std::vector<GridRecord>> RunGrid(const GridOptions& options);
+
+/// Resumable core of RunGrid. Cells whose CellKey appears in `existing` are
+/// not recomputed; their salvaged records are spliced into the output at
+/// their canonical grid position (failed salvaged cells are kept as failed —
+/// a checkpointed failure already consumed its retries). `on_record`, when
+/// non-null, observes every *freshly computed* record as it is produced (the
+/// checkpoint writer's append hook); a non-OK return aborts the sweep.
+Result<std::vector<GridRecord>> RunGridResumable(
+    const GridOptions& options, const std::vector<GridRecord>& existing,
+    const std::function<Status(const GridRecord&)>& on_record);
+
+/// Pointers to the failed rows of a sweep, for failure reports.
+std::vector<const GridRecord*> FailedRecords(
+    const std::vector<GridRecord>& records);
 
 /// CSV persistence so the bench binaries share one expensive sweep.
 Status SaveGridCsv(const std::vector<GridRecord>& records,
                    const std::string& path);
 Result<std::vector<GridRecord>> LoadGridCsv(const std::string& path);
 
-/// Loads `path` if present, otherwise runs the grid and saves it.
+/// One record as a CSV row (no newline) in SaveGridCsv column order, and its
+/// inverse. Shared by the CSV cache and the CRC-framed checkpoint. Parsing
+/// accepts both the 17-column format and the legacy 14-column format from
+/// caches written before fault-tolerance bookkeeping existed.
+std::string FormatGridRow(const GridRecord& record);
+Result<GridRecord> ParseGridRow(const std::string& row);
+
+/// Loads `path` if present, otherwise runs the grid and saves it. The cache
+/// is a CRC-framed checkpoint (see checkpoint.h): rows are appended as they
+/// are produced, and a partial or torn cache — e.g. after a crash — is
+/// salvaged and resumed, recomputing only the missing cells. A cache written
+/// for different GridOptions is discarded. Legacy plain-CSV caches load
+/// as complete sweeps.
 Result<std::vector<GridRecord>> LoadOrRunGrid(const GridOptions& options,
                                               const std::string& path);
 

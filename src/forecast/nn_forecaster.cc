@@ -1,7 +1,10 @@
 #include "forecast/nn_forecaster.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+
+#include "core/failpoint.h"
 
 namespace lossyts::forecast {
 
@@ -95,14 +98,23 @@ Status NnForecaster::Fit(const TimeSeries& train, const TimeSeries& val) {
       nn::Tensor inputs;
       nn::Tensor targets;
       PackBatch(*train_windows, order, begin, end, &inputs, &targets);
+      LOSSYTS_FAILPOINT("train_step");
       nn::Var pred =
           network_->Forward(nn::MakeVar(std::move(inputs)), true, rng);
       nn::Var loss = nn::MseLoss(pred, nn::MakeVar(std::move(targets)));
+      if (!std::isfinite(loss->value(0, 0))) {
+        return Status::Internal("non-finite training loss in " + name_ +
+                                " at epoch " + std::to_string(epoch));
+      }
       nn::Backward(loss);
-      optimizer.Step();
+      if (Status s = optimizer.Step(); !s.ok()) return s;
     }
 
     const double val_loss = EvaluateLoss(val_windows, rng);
+    if (!std::isfinite(val_loss)) {
+      return Status::Internal("non-finite validation loss in " + name_ +
+                              " at epoch " + std::to_string(epoch));
+    }
     if (val_loss < best_val - 1e-9) {
       best_val = val_loss;
       bad_epochs = 0;

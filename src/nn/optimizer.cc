@@ -19,7 +19,20 @@ void Adam::ZeroGrad() {
   }
 }
 
-void Adam::Step() {
+Status Adam::Step() {
+  // Divergence guard: a single non-finite gradient would propagate through
+  // the moment buffers into every parameter, so reject the step before any
+  // state is mutated. The squared norm is also what clipping needs.
+  double norm_sq = 0.0;
+  for (const Var& p : parameters_) {
+    if (p->grad.size() != p->value.size()) continue;
+    for (double g : p->grad.storage()) norm_sq += g * g;
+  }
+  if (!std::isfinite(norm_sq)) {
+    ZeroGrad();
+    return Status::Internal("non-finite gradient in Adam::Step");
+  }
+
   ++step_count_;
   const double bc1 =
       1.0 - std::pow(options_.beta1, static_cast<double>(step_count_));
@@ -29,11 +42,6 @@ void Adam::Step() {
   // Global gradient-norm clipping.
   double scale = 1.0;
   if (options_.clip_norm > 0.0) {
-    double norm_sq = 0.0;
-    for (const Var& p : parameters_) {
-      if (p->grad.size() != p->value.size()) continue;
-      for (double g : p->grad.storage()) norm_sq += g * g;
-    }
     const double norm = std::sqrt(norm_sq);
     if (norm > options_.clip_norm) scale = options_.clip_norm / norm;
   }
@@ -56,6 +64,7 @@ void Adam::Step() {
     }
   }
   ZeroGrad();
+  return Status::OK();
 }
 
 }  // namespace lossyts::nn

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/status.h"
 #include "nn/autodiff.h"
 
 namespace lossyts::nn {
@@ -26,7 +27,10 @@ class Adam {
   Adam(std::vector<Var> parameters, const Options& options);
 
   /// Applies one update using the gradients accumulated by Backward().
-  void Step();
+  /// Internal (with the parameters untouched) when the gradients are
+  /// non-finite — a diverged step must surface as a failed fit, not as NaN
+  /// weights that silently poison every later metric.
+  Status Step();
 
   /// Clears parameter gradients (Backward() re-zeroes reachable nodes, but
   /// parameters unused in a particular graph keep stale grads otherwise).

@@ -4,10 +4,13 @@
 // and bit-flipped valid blobs.
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "compress/pipeline.h"
+#include "compress/serde.h"
+#include "compress/sz.h"
 #include "core/rng.h"
 
 namespace lossyts::compress {
@@ -81,6 +84,44 @@ TEST(RobustnessTest, BitFlippedBlobsNeverCrash) {
       // unbounded allocations are the failures this test exists to catch.
       (void)out;
     }
+  }
+  SUCCEED();
+}
+
+TEST(ByteReaderTest, SkipPastEndIsCorruptionNotUnderflow) {
+  const std::vector<uint8_t> bytes = {1, 2, 3, 4};
+  ByteReader reader(bytes);
+  EXPECT_TRUE(reader.Skip(2).ok());
+  EXPECT_EQ(reader.remaining(), 2u);
+  // Regression: Skip used to advance unchecked, so a corrupted length field
+  // pushed pos_ past size_ and remaining() underflowed to a huge value.
+  EXPECT_EQ(reader.Skip(3).code(), StatusCode::kCorruption);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_FALSE(reader.GetU8().ok());
+  // Skip(0) at the end is still fine.
+  EXPECT_TRUE(reader.Skip(0).ok());
+}
+
+TEST(RobustnessTest, CorruptedSzLengthFieldsAlwaysError) {
+  // Regression for the payload_size path in sz.cc: stamp 0xFFFFFFFF over
+  // every 4-byte window of a valid SZ blob (one of them is the Huffman
+  // payload size), and 0xFF over every byte. Decoding must fail cleanly or
+  // succeed — never crash, hang or read out of bounds.
+  TimeSeries ts = SampleSeries(600);
+  SzCompressor codec;
+  Result<std::vector<uint8_t>> blob = codec.Compress(ts, 0.1);
+  ASSERT_TRUE(blob.ok());
+  const uint32_t huge = 0xFFFFFFFFu;
+  for (size_t pos = 1; pos + 4 <= blob->size(); ++pos) {
+    std::vector<uint8_t> mutated = *blob;
+    std::memcpy(mutated.data() + pos, &huge, sizeof(huge));
+    Result<TimeSeries> out = codec.Decompress(mutated);
+    if (out.ok()) EXPECT_EQ(out->size(), ts.size()) << "pos=" << pos;
+  }
+  for (size_t pos = 1; pos < blob->size(); ++pos) {
+    std::vector<uint8_t> mutated = *blob;
+    mutated[pos] = 0xFF;
+    (void)codec.Decompress(mutated);
   }
   SUCCEED();
 }

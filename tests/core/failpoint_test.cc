@@ -1,0 +1,89 @@
+#include "core/failpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace lossyts {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPoints::DisarmAll(); }
+};
+
+Status HitSite(const char* site) { LOSSYTS_FAILPOINT(site); return Status::OK(); }
+
+Result<int> HitSiteResult(const char* site) {
+  LOSSYTS_FAILPOINT(site);
+  return 42;
+}
+
+TEST_F(FailPointTest, UnarmedSiteNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(FailPoints::Hit("nowhere").ok());
+  }
+  EXPECT_EQ(FailPoints::HitCount("nowhere"), 0u);
+}
+
+TEST_F(FailPointTest, FiresOnExactlyTheKthHit) {
+  FailPoints::Arm("site", 3);
+  EXPECT_TRUE(FailPoints::Hit("site").ok());
+  EXPECT_TRUE(FailPoints::Hit("site").ok());
+  Status fired = FailPoints::Hit("site");
+  EXPECT_EQ(fired.code(), StatusCode::kInternal);
+  EXPECT_NE(fired.message().find("site"), std::string::npos);
+  // The window has passed; later hits succeed again.
+  EXPECT_TRUE(FailPoints::Hit("site").ok());
+  EXPECT_EQ(FailPoints::HitCount("site"), 4u);
+}
+
+TEST_F(FailPointTest, TimesWidensTheFiringWindow) {
+  FailPoints::Arm("site", 2, 3);
+  EXPECT_TRUE(FailPoints::Hit("site").ok());
+  EXPECT_FALSE(FailPoints::Hit("site").ok());
+  EXPECT_FALSE(FailPoints::Hit("site").ok());
+  EXPECT_FALSE(FailPoints::Hit("site").ok());
+  EXPECT_TRUE(FailPoints::Hit("site").ok());
+}
+
+TEST_F(FailPointTest, RearmingResetsTheHitCounter) {
+  FailPoints::Arm("site", 2);
+  EXPECT_TRUE(FailPoints::Hit("site").ok());
+  FailPoints::Arm("site", 2);
+  EXPECT_TRUE(FailPoints::Hit("site").ok());
+  EXPECT_FALSE(FailPoints::Hit("site").ok());
+}
+
+TEST_F(FailPointTest, DisarmStopsFiring) {
+  FailPoints::Arm("site", 1, 1000);
+  EXPECT_FALSE(FailPoints::Hit("site").ok());
+  FailPoints::Disarm("site");
+  EXPECT_TRUE(FailPoints::Hit("site").ok());
+}
+
+TEST_F(FailPointTest, MacroPropagatesFromStatusAndResultFunctions) {
+  FailPoints::Arm("macro_site", 1, 2);
+  EXPECT_EQ(HitSite("macro_site").code(), StatusCode::kInternal);
+  Result<int> r = HitSiteResult("macro_site");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  Result<int> ok = HitSiteResult("macro_site");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+}
+
+TEST_F(FailPointTest, ArmFromSpecParsesEntries) {
+  FailPoints::ArmFromSpec("compress@2,train_step@1x3;bad,also@bad,@3,x@0");
+  EXPECT_TRUE(FailPoints::Hit("compress").ok());
+  EXPECT_FALSE(FailPoints::Hit("compress").ok());
+  EXPECT_FALSE(FailPoints::Hit("train_step").ok());
+  EXPECT_FALSE(FailPoints::Hit("train_step").ok());
+  EXPECT_FALSE(FailPoints::Hit("train_step").ok());
+  EXPECT_TRUE(FailPoints::Hit("train_step").ok());
+  // Malformed entries are ignored, not armed.
+  EXPECT_TRUE(FailPoints::Hit("bad").ok());
+  EXPECT_TRUE(FailPoints::Hit("also").ok());
+  EXPECT_TRUE(FailPoints::Hit("x").ok());
+}
+
+}  // namespace
+}  // namespace lossyts

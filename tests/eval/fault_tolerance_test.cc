@@ -1,0 +1,172 @@
+// Fault-injection coverage for the grid's per-cell isolation: sweeps with
+// deterministically injected compressor and training failures must complete,
+// mark exactly the affected cells as failed, and leave every other record
+// identical to a fault-free run.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/failpoint.h"
+#include "eval/grid.h"
+#include "nn/optimizer.h"
+
+namespace lossyts::eval {
+namespace {
+
+// Same tiny grid as grid_test.cc: GBoost (no NN training loop) and DLinear
+// (full NN training loop), one compressor, two error bounds, one seed.
+GridOptions TinyGrid() {
+  GridOptions options;
+  options.datasets = {"ETTm1"};
+  options.models = {"GBoost", "DLinear"};
+  options.compressors = {"PMC"};
+  options.error_bounds = {0.05, 0.4};
+  options.data.length_fraction = 0.02;
+  options.forecast.input_length = 48;
+  options.forecast.horizon = 12;
+  options.forecast.max_epochs = 3;
+  options.forecast.max_train_windows = 48;
+  options.scenario.max_eval_windows = 16;
+  return options;
+}
+
+void ExpectSameRecord(const GridRecord& a, const GridRecord& b) {
+  EXPECT_EQ(a.dataset, b.dataset);
+  EXPECT_EQ(a.model, b.model);
+  EXPECT_EQ(a.compressor, b.compressor);
+  EXPECT_DOUBLE_EQ(a.error_bound, b.error_bound);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_DOUBLE_EQ(a.r, b.r);
+  EXPECT_DOUBLE_EQ(a.rse, b.rse);
+  EXPECT_DOUBLE_EQ(a.rmse, b.rmse);
+  EXPECT_DOUBLE_EQ(a.nrmse, b.nrmse);
+  EXPECT_DOUBLE_EQ(a.tfe, b.tfe);
+  EXPECT_DOUBLE_EQ(a.te_nrmse, b.te_nrmse);
+  EXPECT_DOUBLE_EQ(a.te_rmse, b.te_rmse);
+  EXPECT_DOUBLE_EQ(a.compression_ratio, b.compression_ratio);
+  EXPECT_DOUBLE_EQ(a.segment_count, b.segment_count);
+  EXPECT_EQ(a.error_code, b.error_code);
+}
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPoints::DisarmAll(); }
+};
+
+TEST_F(FaultToleranceTest, InjectedCompressorFailureIsolatesOneTransform) {
+  Result<std::vector<GridRecord>> clean = RunGrid(TinyGrid());
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  // The transform loop runs (PMC, 0.05) then (PMC, 0.4); with one retry the
+  // first transform consumes hits 1-2. Arm both so the cell fails for good.
+  GridOptions options = TinyGrid();
+  const uint64_t attempts = 1 + options.max_cell_retries;
+  FailPoints::Arm("compress", 1, attempts);
+  Result<std::vector<GridRecord>> faulty = RunGrid(options);
+  FailPoints::DisarmAll();
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+
+  ASSERT_EQ(faulty->size(), clean->size());
+  size_t failed_cells = 0;
+  for (size_t i = 0; i < faulty->size(); ++i) {
+    const GridRecord& f = (*faulty)[i];
+    const GridRecord& c = (*clean)[i];
+    if (f.compressor == "PMC" && f.error_bound == 0.05) {
+      // Exactly the injected transform's dependent cells fail.
+      EXPECT_TRUE(f.failed());
+      EXPECT_EQ(f.error_code, static_cast<int32_t>(StatusCode::kInternal));
+      EXPECT_NE(f.error.find("failpoint compress"), std::string::npos);
+      EXPECT_EQ(f.attempts, static_cast<int32_t>(attempts));
+      ++failed_cells;
+    } else {
+      ExpectSameRecord(f, c);
+      EXPECT_FALSE(f.failed());
+    }
+  }
+  // One failed transform, shared by both models.
+  EXPECT_EQ(failed_cells, 2u);
+}
+
+TEST_F(FaultToleranceTest, InjectedTrainingFailureIsolatesOneModel) {
+  Result<std::vector<GridRecord>> clean = RunGrid(TinyGrid());
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  // Only DLinear runs the NN training loop; firing every train_step hit
+  // fails all of its fit attempts while GBoost never touches the site.
+  FailPoints::Arm("train_step", 1, 1000000);
+  Result<std::vector<GridRecord>> faulty = RunGrid(TinyGrid());
+  FailPoints::DisarmAll();
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+
+  ASSERT_EQ(faulty->size(), clean->size());
+  size_t failed_cells = 0;
+  for (size_t i = 0; i < faulty->size(); ++i) {
+    const GridRecord& f = (*faulty)[i];
+    const GridRecord& c = (*clean)[i];
+    if (f.model == "DLinear") {
+      EXPECT_TRUE(f.failed());
+      EXPECT_NE(f.error.find("failpoint train_step"), std::string::npos);
+      EXPECT_EQ(f.attempts, 2);  // Original fit + one reseeded retry.
+      ++failed_cells;
+    } else {
+      ExpectSameRecord(f, c);
+    }
+  }
+  // DLinear's baseline and both transformed cells.
+  EXPECT_EQ(failed_cells, 3u);
+}
+
+TEST_F(FaultToleranceTest, TransientFailureIsRetriedAndSucceeds) {
+  Result<std::vector<GridRecord>> clean = RunGrid(TinyGrid());
+  ASSERT_TRUE(clean.ok());
+
+  // Fail only the first compress hit: the retry succeeds, so the sweep's
+  // metrics match the fault-free run and the record counts the attempts.
+  FailPoints::Arm("compress", 1, 1);
+  Result<std::vector<GridRecord>> retried = RunGrid(TinyGrid());
+  FailPoints::DisarmAll();
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+
+  ASSERT_EQ(retried->size(), clean->size());
+  for (size_t i = 0; i < retried->size(); ++i) {
+    const GridRecord& f = (*retried)[i];
+    ExpectSameRecord(f, (*clean)[i]);
+    EXPECT_FALSE(f.failed());
+    if (f.compressor == "PMC" && f.error_bound == 0.05) {
+      EXPECT_EQ(f.attempts, 2);
+    }
+  }
+}
+
+TEST_F(FaultToleranceTest, RetrySeedIsDeterministicAndDistinct) {
+  EXPECT_EQ(RetrySeed(7, 0), 7u);
+  EXPECT_EQ(RetrySeed(7, 1), RetrySeed(7, 1));
+  EXPECT_NE(RetrySeed(7, 1), 7u);
+  EXPECT_NE(RetrySeed(7, 1), RetrySeed(7, 2));
+  EXPECT_NE(RetrySeed(7, 1), RetrySeed(8, 1));
+}
+
+TEST_F(FaultToleranceTest, FailedRecordsFindsOnlyFailures) {
+  std::vector<GridRecord> records(3);
+  records[1].error_code = static_cast<int32_t>(StatusCode::kInternal);
+  records[1].error = "boom";
+  const std::vector<const GridRecord*> failed = FailedRecords(records);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], &records[1]);
+}
+
+TEST_F(FaultToleranceTest, NonFiniteGradientAbortsAdamStep) {
+  nn::Var param = nn::MakeVar(nn::Tensor(1, 2, 1.0), /*requires_grad=*/true);
+  nn::Adam adam({param});
+  param->grad = nn::Tensor(1, 2, std::numeric_limits<double>::quiet_NaN());
+  Status s = adam.Step();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  // Parameters must be untouched by the rejected step.
+  EXPECT_DOUBLE_EQ(param->value(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(param->value(0, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace lossyts::eval

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI entry point: builds and tests the plain configuration, then rebuilds
+# under ASan and UBSan (LOSSYTS_SANITIZE, see the top-level CMakeLists.txt)
+# so the decoder robustness and failpoint-recovery paths are memory-checked,
+# not just status-checked.
+#
+# Usage: tools/ci.sh [build-root]          (default: ci-build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_ROOT="${1:-ci-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1" sanitize="$2"
+  local dir="${BUILD_ROOT}/${name}"
+  echo "=== ${name} (LOSSYTS_SANITIZE='${sanitize}') ==="
+  cmake -B "${dir}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DLOSSYTS_SANITIZE="${sanitize}"
+  cmake --build "${dir}" -j "${JOBS}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_config plain ""
+ASAN_OPTIONS=detect_leaks=0 run_config asan address
+UBSAN_OPTIONS=halt_on_error=1 run_config ubsan undefined
+
+echo "=== ci.sh: all configurations passed ==="

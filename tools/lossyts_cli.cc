@@ -4,18 +4,22 @@
 //   lossyts decompress <in.lts> <out.csv>
 //   lossyts stats <in.csv | dataset-name>
 //   lossyts sweep <in.csv | dataset-name>
+//   lossyts grid [--resume] [--fresh] [--cache <path>] [filters...]
 //
 // Compressed files are the library's self-describing blobs wrapped in gzip
 // (the paper's measurement format), so `decompress` needs no codec argument.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "compress/pipeline.h"
 #include "data/csv.h"
 #include "data/datasets.h"
+#include "eval/grid.h"
 #include "eval/report.h"
 #include "features/registry.h"
 #include "zip/gzip.h"
@@ -33,6 +37,9 @@ int Usage() {
       "  lossyts decompress <in.lts> <out.csv>\n"
       "  lossyts stats <in.csv | dataset-name>\n"
       "  lossyts sweep <in.csv | dataset-name>\n"
+      "  lossyts grid [--resume] [--fresh] [--cache <path>] [--retries N]\n"
+      "               [--datasets a,b] [--models a,b] [--compressors a,b]\n"
+      "               [--error-bounds 0.05,0.4] [--seeds 1,2]\n"
       "dataset names: ETTm1 ETTm2 Solar Weather ElecDem Wind\n");
   return 2;
 }
@@ -171,6 +178,97 @@ int Sweep(const std::string& arg) {
   return 0;
 }
 
+std::vector<std::string> SplitList(const std::string& text) {
+  std::vector<std::string> items;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+// Runs the evaluation grid with checkpoint/resume. The checkpoint is written
+// incrementally (one CRC-framed row per completed cell), so an interrupted
+// sweep rerun with --resume salvages every finished cell and computes only
+// the missing ones. Without --resume any existing cache is discarded.
+int Grid(int argc, char** argv) {
+  eval::GridOptions options;
+  options.verbose = true;
+  bool resume = false;
+  std::string cache_path = eval::DefaultGridCachePath();
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--fresh") {
+      resume = false;
+    } else if (arg == "--cache") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      cache_path = v;
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.max_cell_retries = std::atoi(v);
+    } else if (arg == "--datasets") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.datasets = SplitList(v);
+    } else if (arg == "--models") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.models = SplitList(v);
+    } else if (arg == "--compressors") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.compressors = SplitList(v);
+    } else if (arg == "--error-bounds") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.error_bounds.clear();
+      for (const std::string& eb : SplitList(v)) {
+        options.error_bounds.push_back(std::strtod(eb.c_str(), nullptr));
+      }
+    } else if (arg == "--seeds") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.seeds.clear();
+      for (const std::string& seed : SplitList(v)) {
+        options.seeds.push_back(std::strtoull(seed.c_str(), nullptr, 10));
+      }
+    } else {
+      return Usage();
+    }
+  }
+  if (!resume) std::remove(cache_path.c_str());
+  Result<std::vector<eval::GridRecord>> records =
+      eval::LoadOrRunGrid(options, cache_path);
+  if (!records.ok()) {
+    std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<const eval::GridRecord*> failed =
+      eval::FailedRecords(*records);
+  std::printf("grid: %zu cells (%zu failed), checkpoint at %s\n",
+              records->size(), failed.size(), cache_path.c_str());
+  if (!failed.empty()) {
+    eval::TableWriter table({"dataset", "model", "codec", "eb", "seed",
+                             "attempts", "error"});
+    for (const eval::GridRecord* r : failed) {
+      table.AddRow({r->dataset, r->model, r->compressor,
+                    eval::FormatDouble(r->error_bound, 2),
+                    std::to_string(r->seed), std::to_string(r->attempts),
+                    r->error});
+    }
+    table.Print();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,5 +282,6 @@ int main(int argc, char** argv) {
   }
   if (command == "stats" && argc == 3) return Stats(argv[2]);
   if (command == "sweep" && argc == 3) return Sweep(argv[2]);
+  if (command == "grid") return Grid(argc, argv);
   return Usage();
 }
