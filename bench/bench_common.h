@@ -7,6 +7,7 @@
 // executed first; likewise for the compression-only sweep.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -37,13 +38,16 @@ inline eval::SweepOptions DefaultSweepOptions() {
   return options;
 }
 
-/// Cache flags shared by every forecasting bench:
+/// Cache flags shared by every bench:
 ///   --resume        salvage and resume a partial grid checkpoint (default)
 ///   --fresh         delete the checkpoint and recompute from scratch
 ///   --cache <path>  checkpoint location (default DefaultGridCachePath())
+///   --jobs N        worker threads for the sweep (1 = sequential, 0 = all
+///                   hardware threads); output is identical for every N
 struct BenchFlags {
   bool fresh = false;
   std::string cache_path = eval::DefaultGridCachePath();
+  int jobs = 1;
 };
 
 inline BenchFlags ParseBenchFlags(int argc, char** argv) {
@@ -55,6 +59,8 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv) {
       flags.fresh = false;
     } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       flags.cache_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      flags.jobs = std::atoi(argv[++i]);
     }
   }
   return flags;
@@ -76,14 +82,16 @@ inline void ReportGridFailures(const std::vector<eval::GridRecord>& records) {
 }
 
 /// Loads the canonical grid for a bench binary, honoring --resume / --fresh /
-/// --cache. Failed cells are reported to stderr and filtered out, so the
-/// per-table aggregations below only ever see completed measurements.
+/// --cache / --jobs. Failed cells are reported to stderr and filtered out, so
+/// the per-table aggregations below only ever see completed measurements.
 inline Result<std::vector<eval::GridRecord>> LoadBenchGrid(int argc,
                                                            char** argv) {
   const BenchFlags flags = ParseBenchFlags(argc, argv);
   if (flags.fresh) std::remove(flags.cache_path.c_str());
+  eval::GridOptions options = DefaultGridOptions();
+  options.jobs = flags.jobs;
   Result<std::vector<eval::GridRecord>> grid =
-      eval::LoadOrRunGrid(DefaultGridOptions(), flags.cache_path);
+      eval::LoadOrRunGrid(options, flags.cache_path);
   if (!grid.ok()) return grid.status();
   ReportGridFailures(*grid);
   std::vector<eval::GridRecord> ok_records;
@@ -92,6 +100,18 @@ inline Result<std::vector<eval::GridRecord>> LoadBenchGrid(int argc,
     if (!r.failed()) ok_records.push_back(std::move(r));
   }
   return ok_records;
+}
+
+/// Loads the canonical compression sweep for a bench binary, honoring
+/// --fresh / --jobs (the sweep cache lives at DefaultSweepCachePath()).
+inline Result<std::vector<eval::SweepRecord>> LoadBenchSweep(int argc,
+                                                             char** argv) {
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  const std::string cache_path = eval::DefaultSweepCachePath();
+  if (flags.fresh) std::remove(cache_path.c_str());
+  eval::SweepOptions options = DefaultSweepOptions();
+  options.jobs = flags.jobs;
+  return eval::LoadOrRunSweep(options, cache_path);
 }
 
 /// Mean TFE per (dataset, compressor, error bound) across models and seeds.

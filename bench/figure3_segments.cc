@@ -9,9 +9,9 @@
 
 using namespace lossyts;
 
-int main() {
-  Result<std::vector<eval::SweepRecord>> sweep = eval::LoadOrRunSweep(
-      bench::DefaultSweepOptions(), eval::DefaultSweepCachePath());
+int main(int argc, char** argv) {
+  Result<std::vector<eval::SweepRecord>> sweep =
+      bench::LoadBenchSweep(argc, argv);
   if (!sweep.ok()) {
     std::fprintf(stderr, "sweep: %s\n", sweep.status().ToString().c_str());
     return 1;

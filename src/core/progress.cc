@@ -1,0 +1,50 @@
+#include "core/progress.h"
+
+#include <cstdarg>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lossyts {
+
+namespace {
+
+std::mutex& Mutex() {
+  static std::mutex& mu = *new std::mutex;
+  return mu;
+}
+
+std::FILE*& Stream() {
+  static std::FILE* stream = nullptr;
+  return stream;
+}
+
+}  // namespace
+
+void Progress::Printf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list measure;
+  va_copy(measure, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, measure);
+  va_end(measure);
+  if (needed < 0) {
+    va_end(args);
+    return;
+  }
+  std::vector<char> buffer(static_cast<size_t>(needed) + 1);
+  std::vsnprintf(buffer.data(), buffer.size(), format, args);
+  va_end(args);
+
+  std::lock_guard<std::mutex> lock(Mutex());
+  std::FILE* out = Stream() != nullptr ? Stream() : stderr;
+  std::fwrite(buffer.data(), 1, static_cast<size_t>(needed), out);
+  std::fflush(out);
+}
+
+void Progress::SetStreamForTest(std::FILE* stream) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Stream() = stream;
+}
+
+}  // namespace lossyts

@@ -1,0 +1,32 @@
+#ifndef LOSSYTS_CORE_PROGRESS_H_
+#define LOSSYTS_CORE_PROGRESS_H_
+
+#include <cstdio>
+
+namespace lossyts {
+
+/// Mutex-guarded progress reporting for anything that logs from concurrent
+/// stages. Each Printf() formats into a private buffer and writes it with a
+/// single fwrite under a global lock, so parallel grid cells cannot shred
+/// each other's lines the way raw fprintf(stderr, ...) interleaving does.
+class Progress {
+ public:
+  /// printf-style; the caller includes the trailing '\n'. The formatted line
+  /// is written atomically with respect to other Printf() calls.
+  static void Printf(const char* format, ...)
+#if defined(__GNUC__) || defined(__clang__)
+      __attribute__((format(printf, 1, 2)))
+#endif
+      ;
+
+  /// Redirects output (default: stderr). Pass nullptr to restore stderr.
+  /// Tests point this at a tmpfile to assert line atomicity.
+  static void SetStreamForTest(std::FILE* stream);
+
+ private:
+  Progress() = delete;
+};
+
+}  // namespace lossyts
+
+#endif  // LOSSYTS_CORE_PROGRESS_H_

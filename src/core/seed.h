@@ -1,0 +1,46 @@
+#ifndef LOSSYTS_CORE_SEED_H_
+#define LOSSYTS_CORE_SEED_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/rng.h"
+
+namespace lossyts {
+
+// Deterministic seed-stream derivation.
+//
+// Every stochastic stage of the evaluation grid draws its seed from the
+// *identity* of the work, never from execution order, so a sweep produces
+// bit-identical records whether its cells run sequentially or on a thread
+// pool. RetrySeed() in eval/grid.h is the original instance of this scheme
+// (retry attempt -> fresh stream); MixSeed/TagSeed generalize it to any
+// integer or string identity component.
+
+/// Derives an independent stream from `base` and an integer identity
+/// component (retry attempt, worker index, shard number). MixSeed(base, 0)
+/// is *not* base: every salt, including 0, selects a scrambled stream.
+inline uint64_t MixSeed(uint64_t base, uint64_t salt) {
+  Rng rng(base ^ (salt * 0x9E3779B97F4A7C15ULL));
+  return rng.NextU64();
+}
+
+/// FNV-1a over `tag`, the string half of an identity ("dataset|model|...").
+inline uint64_t HashTag(std::string_view tag) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : tag) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Derives an independent stream from `base` and a string identity, e.g.
+/// TagSeed(cell_seed, "ETTm1|DLinear|PMC"). Deterministic across platforms.
+inline uint64_t TagSeed(uint64_t base, std::string_view tag) {
+  return MixSeed(base, HashTag(tag));
+}
+
+}  // namespace lossyts
+
+#endif  // LOSSYTS_CORE_SEED_H_

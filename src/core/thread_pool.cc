@@ -1,0 +1,133 @@
+#include "core/thread_pool.h"
+
+#include "core/seed.h"
+
+namespace lossyts {
+
+namespace {
+
+// Index of the worker running on this thread, or -1 on external threads.
+// thread_local rather than a member so nested Submit() calls from inside a
+// task can find their home queue without a map lookup.
+thread_local int t_worker_index = -1;
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
+
+int ThreadPool::DefaultJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int jobs) {
+  if (jobs == 0) jobs = DefaultJobs();
+  if (jobs <= 1) {
+    inline_mode_ = true;
+    return;
+  }
+  queues_.reserve(static_cast<size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(static_cast<size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (inline_mode_) return;
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunTask(std::function<void()>& task) {
+  task();
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  if (--pending_ == 0) pending_cv_.notify_all();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    ++pending_;
+  }
+  if (inline_mode_) {
+    // Inline mode: run now, on this thread. Children submitted by the task
+    // run nested, giving depth-first execution in dependency order.
+    RunTask(task);
+    return;
+  }
+  size_t target;
+  if (t_worker_pool == this && t_worker_index >= 0) {
+    target = static_cast<size_t>(t_worker_index);
+  } else {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOne(size_t index) {
+  std::function<void()> task;
+  // Own queue first, newest task (LIFO): DAG children land here and their
+  // inputs are still warm.
+  {
+    std::lock_guard<std::mutex> lock(queues_[index]->mu);
+    if (!queues_[index]->tasks.empty()) {
+      task = std::move(queues_[index]->tasks.back());
+      queues_[index]->tasks.pop_back();
+    }
+  }
+  if (!task) {
+    // Steal FIFO from a deterministic-per-worker but well-spread victim
+    // order; stealing the oldest task grabs the root of the largest
+    // unstarted subtree.
+    Rng rng(TagSeed(index, "thread-pool-victim"));
+    const size_t n = queues_.size();
+    const size_t start = static_cast<size_t>(rng.NextU64() % n);
+    for (size_t step = 0; step < n && !task; ++step) {
+      const size_t victim = (start + step) % n;
+      if (victim == index) continue;
+      std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+      if (!queues_[victim]->tasks.empty()) {
+        task = std::move(queues_[victim]->tasks.front());
+        queues_[victim]->tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  RunTask(task);
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  t_worker_index = static_cast<int>(index);
+  t_worker_pool = this;
+  for (;;) {
+    if (TryRunOne(index)) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    if (stop_) return;
+    // Timed wait instead of precise wakeup bookkeeping: a submit between the
+    // failed scan and this wait costs at most one timeout period.
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void ThreadPool::Wait() {
+  if (inline_mode_) return;  // Submit() already ran everything.
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  pending_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace lossyts

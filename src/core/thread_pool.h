@@ -1,0 +1,85 @@
+#ifndef LOSSYTS_CORE_THREAD_POOL_H_
+#define LOSSYTS_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lossyts {
+
+/// Work-stealing thread pool shared by the evaluation stage DAG.
+///
+/// Each worker owns a deque: it pushes and pops its own tasks LIFO (good
+/// locality for DAG nodes that spawn their children), while idle workers
+/// steal FIFO from a victim's other end, so the oldest — typically largest —
+/// subtrees migrate first. External threads submit round-robin across the
+/// worker deques.
+///
+/// `jobs <= 1` puts the pool in *inline mode*: no threads are started and
+/// Submit() runs the task on the calling thread before returning. Inline
+/// mode keeps single-job runs free of thread overhead and makes their
+/// execution order exactly the submission/dependency-resolution order, which
+/// is what the grid's sequential-equivalence tests pin down.
+///
+/// Tasks must not throw; a task may call Submit() to schedule follow-up work
+/// (DAG children), and Wait() accounts for such nested submissions.
+class ThreadPool {
+ public:
+  /// `jobs` is the worker-thread count; <= 1 selects inline mode and 0 is
+  /// remapped to DefaultJobs().
+  explicit ThreadPool(int jobs);
+
+  /// Drains remaining tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `task`. Worker threads push onto their own deque; external
+  /// threads distribute round-robin. Inline mode runs the task immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task — including tasks submitted by other
+  /// tasks — has finished. Safe to call repeatedly.
+  void Wait();
+
+  /// Resolved parallelism: 1 in inline mode, else the worker count.
+  int jobs() const { return inline_mode_ ? 1 : static_cast<int>(workers_.size()); }
+
+  /// Hardware concurrency with a floor of 1, the `--jobs 0` resolution.
+  static int DefaultJobs();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  bool TryRunOne(size_t index);
+  void RunTask(std::function<void()>& task);
+
+  bool inline_mode_ = false;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;  // Wakes sleeping workers on Submit.
+  bool stop_ = false;
+
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;  // Signals Wait() when drained.
+  uint64_t pending_ = 0;
+
+  std::mutex submit_mu_;
+  size_t next_queue_ = 0;  // Round-robin cursor for external submits.
+};
+
+}  // namespace lossyts
+
+#endif  // LOSSYTS_CORE_THREAD_POOL_H_

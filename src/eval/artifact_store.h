@@ -1,0 +1,80 @@
+#ifndef LOSSYTS_EVAL_ARTIFACT_STORE_H_
+#define LOSSYTS_EVAL_ARTIFACT_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace lossyts::eval {
+
+/// Thread-safe, compute-once memoization of stage outputs, keyed by the
+/// artifact's identity string (a CellKey prefix: "dataset",
+/// "dataset|compressor|eb", "dataset|model|seed", ...).
+///
+/// The grid's stage DAG publishes every intermediate product — decompressed
+/// series, fitted baselines, per-cell metrics — through one of these stores,
+/// which is what guarantees a (dataset, compressor, bound) transform is
+/// computed once per sweep instead of once per model x seed, no matter how
+/// the cells are scheduled.
+///
+/// GetOrCompute() runs `make` at most once per key; concurrent callers for
+/// the same key block until the first computation finishes (std::call_once
+/// on a per-key slot), then share the immutable result. Artifacts are
+/// immutable after publication — the shared_ptr<const T> is safe to read
+/// from any thread.
+template <typename T>
+class ArtifactStore {
+ public:
+  /// Returns the artifact for `key`, computing it with `make` if this is the
+  /// first request. Never returns nullptr.
+  std::shared_ptr<const T> GetOrCompute(const std::string& key,
+                                        const std::function<T()>& make) {
+    std::shared_ptr<Slot> slot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_ptr<Slot>& entry = slots_[key];
+      if (entry == nullptr) entry = std::make_shared<Slot>();
+      slot = entry;
+    }
+    std::call_once(slot->once, [&] {
+      std::shared_ptr<const T> value = std::make_shared<const T>(make());
+      // Publish under mu_ so a concurrent Lookup() on another key's path
+      // reads a consistent pointer; GetOrCompute() callers are already
+      // synchronized by call_once itself.
+      std::lock_guard<std::mutex> lock(mu_);
+      slot->value = std::move(value);
+    });
+    return slot->value;
+  }
+
+  /// The artifact for `key` if already computed, else nullptr. A key whose
+  /// computation is in flight also reads as nullptr — Lookup never blocks.
+  std::shared_ptr<const T> Lookup(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it == slots_.end()) return nullptr;
+    return it->second->value;
+  }
+
+  /// Number of keys ever requested (including in-flight computations).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_.size();
+  }
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    std::shared_ptr<const T> value;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+};
+
+}  // namespace lossyts::eval
+
+#endif  // LOSSYTS_EVAL_ARTIFACT_STORE_H_

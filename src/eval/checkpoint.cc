@@ -160,6 +160,7 @@ Status GridCheckpointWriter::Open(const std::string& path,
 }
 
 Status GridCheckpointWriter::Append(const GridRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
   LOSSYTS_FAILPOINT("cache_write");
   if (!file_.is_open()) {
     return Status::FailedPrecondition("checkpoint writer is not open");
@@ -172,6 +173,7 @@ Status GridCheckpointWriter::Append(const GridRecord& record) {
 }
 
 Status GridCheckpointWriter::MarkComplete() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!file_.is_open()) {
     return Status::FailedPrecondition("checkpoint writer is not open");
   }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,12 @@ Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path,
 /// Append-mode checkpoint writer. Open() rewrites the file with the manifest
 /// and the salvaged rows of a resumed sweep; Append() writes one CRC-framed
 /// row and flushes, so a crash loses at most the row being written.
+///
+/// Append() and MarkComplete() are mutex-guarded, so the writer doubles as
+/// the single-writer end of the grid's record channel: concurrent cells
+/// append through it one whole row at a time. Rows land in completion
+/// order under a parallel sweep; resume keys records by CellKey, so file
+/// order never matters.
 class GridCheckpointWriter {
  public:
   Status Open(const std::string& path, uint32_t options_hash,
@@ -61,6 +68,7 @@ class GridCheckpointWriter {
   Status MarkComplete();
 
  private:
+  std::mutex mu_;
   std::ofstream file_;
   std::string path_;
 };

@@ -5,8 +5,67 @@
 #include <sstream>
 
 #include "compress/pipeline.h"
+#include "core/progress.h"
+#include "core/thread_pool.h"
 
 namespace lossyts::eval {
+
+namespace {
+
+// One dataset's slice of the sweep: generation plus every (compressor,
+// bound) transform, written into a pre-sized slot range so the parallel
+// sweep emits records in the same canonical order as the sequential one.
+Status SweepOneDataset(const std::string& dataset_name,
+                       const SweepOptions& options,
+                       const std::vector<double>& error_bounds,
+                       SweepRecord* out) {
+  Result<data::Dataset> dataset = data::MakeDataset(dataset_name, options.data);
+  if (!dataset.ok()) return dataset.status();
+  if (options.verbose) {
+    Progress::Printf("[sweep] compressing %s (%zu points)\n",
+                     dataset_name.c_str(), dataset->series.size());
+  }
+
+  for (const std::string& compressor_name : compress::LossyCompressorNames()) {
+    Result<std::unique_ptr<compress::Compressor>> compressor =
+        compress::MakeCompressor(compressor_name);
+    if (!compressor.ok()) return compressor.status();
+    for (double eb : error_bounds) {
+      Result<compress::PipelineResult> result =
+          compress::RunPipeline(**compressor, dataset->series, eb);
+      if (!result.ok()) return result.status();
+      SweepRecord& rec = *out++;
+      rec.dataset = dataset_name;
+      rec.compressor = compressor_name;
+      rec.error_bound = eb;
+      rec.te_nrmse = result->te_nrmse;
+      rec.te_rmse = result->te_rmse;
+      rec.compression_ratio = result->compression_ratio;
+      rec.segment_count = static_cast<double>(result->segment_count);
+      rec.raw_gz_bytes = static_cast<double>(result->raw_gz_bytes);
+      rec.gz_bytes = static_cast<double>(result->gz_bytes);
+    }
+  }
+
+  if (options.include_gorilla) {
+    Result<std::unique_ptr<compress::Compressor>> gorilla =
+        compress::MakeCompressor("GORILLA");
+    if (!gorilla.ok()) return gorilla.status();
+    Result<compress::PipelineResult> result =
+        compress::RunPipeline(**gorilla, dataset->series, 0.0);
+    if (!result.ok()) return result.status();
+    SweepRecord& rec = *out;
+    rec.dataset = dataset_name;
+    rec.compressor = "GORILLA";
+    rec.compression_ratio = result->compression_ratio;
+    rec.segment_count = static_cast<double>(result->segment_count);
+    rec.raw_gz_bytes = static_cast<double>(result->raw_gz_bytes);
+    rec.gz_bytes = static_cast<double>(result->gz_bytes);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<std::vector<SweepRecord>> RunCompressionSweep(
     const SweepOptions& options) {
@@ -16,55 +75,25 @@ Result<std::vector<SweepRecord>> RunCompressionSweep(
       options.error_bounds.empty() ? compress::PaperErrorBounds()
                                    : options.error_bounds;
 
-  std::vector<SweepRecord> records;
-  for (const std::string& dataset_name : datasets) {
-    Result<data::Dataset> dataset =
-        data::MakeDataset(dataset_name, options.data);
-    if (!dataset.ok()) return dataset.status();
-    if (options.verbose) {
-      std::fprintf(stderr, "[sweep] compressing %s (%zu points)\n",
-                   dataset_name.c_str(), dataset->series.size());
-    }
+  const size_t per_dataset =
+      compress::LossyCompressorNames().size() * error_bounds.size() +
+      (options.include_gorilla ? 1 : 0);
+  std::vector<SweepRecord> records(datasets.size() * per_dataset);
+  std::vector<Status> status(datasets.size());
 
-    for (const std::string& compressor_name :
-         compress::LossyCompressorNames()) {
-      Result<std::unique_ptr<compress::Compressor>> compressor =
-          compress::MakeCompressor(compressor_name);
-      if (!compressor.ok()) return compressor.status();
-      for (double eb : error_bounds) {
-        Result<compress::PipelineResult> result =
-            compress::RunPipeline(**compressor, dataset->series, eb);
-        if (!result.ok()) return result.status();
-        SweepRecord rec;
-        rec.dataset = dataset_name;
-        rec.compressor = compressor_name;
-        rec.error_bound = eb;
-        rec.te_nrmse = result->te_nrmse;
-        rec.te_rmse = result->te_rmse;
-        rec.compression_ratio = result->compression_ratio;
-        rec.segment_count = static_cast<double>(result->segment_count);
-        rec.raw_gz_bytes = static_cast<double>(result->raw_gz_bytes);
-        rec.gz_bytes = static_cast<double>(result->gz_bytes);
-        records.push_back(rec);
-      }
-    }
+  ThreadPool pool(options.jobs);
+  for (size_t di = 0; di < datasets.size(); ++di) {
+    pool.Submit([&, di] {
+      status[di] = SweepOneDataset(datasets[di], options, error_bounds,
+                                   records.data() + di * per_dataset);
+    });
+  }
+  pool.Wait();
 
-    if (options.include_gorilla) {
-      Result<std::unique_ptr<compress::Compressor>> gorilla =
-          compress::MakeCompressor("GORILLA");
-      if (!gorilla.ok()) return gorilla.status();
-      Result<compress::PipelineResult> result =
-          compress::RunPipeline(**gorilla, dataset->series, 0.0);
-      if (!result.ok()) return result.status();
-      SweepRecord rec;
-      rec.dataset = dataset_name;
-      rec.compressor = "GORILLA";
-      rec.compression_ratio = result->compression_ratio;
-      rec.segment_count = static_cast<double>(result->segment_count);
-      rec.raw_gz_bytes = static_cast<double>(result->raw_gz_bytes);
-      rec.gz_bytes = static_cast<double>(result->gz_bytes);
-      records.push_back(rec);
-    }
+  // The first failing dataset in canonical order wins, matching the
+  // sequential implementation's first-encountered error.
+  for (const Status& s : status) {
+    if (!s.ok()) return s;
   }
   return records;
 }

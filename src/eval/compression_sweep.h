@@ -31,11 +31,16 @@ struct SweepOptions {
   data::DatasetOptions data;
   bool include_gorilla = true;
   bool verbose = false;
+  /// Worker threads (one task per dataset). 1 = sequential, 0 = hardware
+  /// concurrency. Records are slot-indexed, so the output is identical for
+  /// every value.
+  int jobs = 1;
 
   SweepOptions() { data.length_fraction = 0.125; }
 };
 
-/// Runs the sweep (PMC, SWING, SZ at every bound, plus GORILLA).
+/// Runs the sweep (PMC, SWING, SZ at every bound, plus GORILLA), one pool
+/// task per dataset. Record order is canonical regardless of jobs.
 Result<std::vector<SweepRecord>> RunCompressionSweep(
     const SweepOptions& options);
 

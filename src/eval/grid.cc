@@ -1,33 +1,26 @@
 #include "eval/grid.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <unordered_map>
 
 #include "compress/pipeline.h"
-#include "core/rng.h"
-#include "core/split.h"
+#include "core/progress.h"
+#include "core/seed.h"
+#include "core/thread_pool.h"
+#include "eval/artifact_store.h"
 #include "eval/checkpoint.h"
+#include "eval/grid_stages.h"
 #include "forecast/registry.h"
 
 namespace lossyts::eval {
 
 namespace {
-
-// Outcome of transforming one dataset's test split with one
-// (compressor, error bound) pair, including how it failed if it did.
-struct TransformOutcome {
-  TimeSeries series;
-  double te_nrmse = 0.0;
-  double te_rmse = 0.0;
-  double compression_ratio = 0.0;
-  double segment_count = 0.0;
-  Status status;
-  int attempts = 1;
-};
 
 std::string KeyOf(const std::string& dataset, const std::string& model,
                   const std::string& compressor, double error_bound,
@@ -36,26 +29,6 @@ std::string KeyOf(const std::string& dataset, const std::string& model,
   std::snprintf(suffix, sizeof(suffix), "|%.17g|%llu", error_bound,
                 static_cast<unsigned long long>(seed));
   return dataset + '|' + model + '|' + compressor + suffix;
-}
-
-bool MetricsFinite(const MetricSet& m) {
-  return std::isfinite(m.r) && std::isfinite(m.rse) && std::isfinite(m.rmse) &&
-         std::isfinite(m.nrmse);
-}
-
-GridRecord FailedCell(const std::string& dataset, const std::string& model,
-                      const std::string& compressor, double error_bound,
-                      uint64_t seed, const Status& status, int attempts) {
-  GridRecord record;
-  record.dataset = dataset;
-  record.model = model;
-  record.compressor = compressor;
-  record.error_bound = error_bound;
-  record.seed = seed;
-  record.error_code = static_cast<int32_t>(status.code());
-  record.error = status.message();
-  record.attempts = attempts;
-  return record;
 }
 
 bool ParseDoubleField(const std::string& s, double* out) {
@@ -82,6 +55,73 @@ void AppendG17(std::string& out, double v) {
   out += buffer;
 }
 
+// Single-writer channel in front of the checkpoint sink: concurrent cells
+// append through it, one at a time, and the first sink failure latches and
+// aborts the rest of the sweep (an unwritable checkpoint must not silently
+// degrade into an unresumable run).
+class RecordChannel {
+ public:
+  explicit RecordChannel(const std::function<Status(const GridRecord&)>& sink)
+      : sink_(sink) {}
+
+  void Emit(const GridRecord& record) {
+    if (!sink_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status_.ok()) return;
+    status_ = sink_(record);
+  }
+
+  bool failed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !status_.ok();
+  }
+
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+
+ private:
+  const std::function<Status(const GridRecord&)>& sink_;
+  mutable std::mutex mu_;
+  Status status_;
+};
+
+// The sweep compiled into an explicit artifact DAG. Cells are enumerated in
+// canonical grid order up front; each missing cell carries a dependency
+// counter (fit, plus transform for compressed cells) and is scheduled the
+// moment its last input artifact is published. Salvaged cells have no node:
+// their records are spliced straight into the canonical output slot.
+struct CellNode {
+  CellSpec spec;
+  size_t fit = 0;        // Index into GridPlan::fits.
+  size_t transform = 0;  // Index into GridPlan::transforms; unused for baseline.
+};
+
+struct TransformNode {
+  size_t dataset = 0;  // Index into GridPlan::datasets.
+  std::string key;     // dataset|compressor|eb
+  std::string compressor;
+  double error_bound = 0.0;
+  std::vector<size_t> cells;  // Dependent cell indices.
+};
+
+struct FitNode {
+  size_t dataset = 0;
+  std::string key;  // dataset|model|seed
+  std::string model;
+  uint64_t seed = 0;
+  const GridRecord* salvaged_baseline = nullptr;
+  std::vector<size_t> cells;  // Every missing cell of the group.
+};
+
+struct DatasetNode {
+  std::string name;
+  bool needed = false;
+  std::vector<size_t> transforms;
+  std::vector<size_t> fits;
+};
+
 }  // namespace
 
 std::string CellKey(const GridRecord& record) {
@@ -91,8 +131,7 @@ std::string CellKey(const GridRecord& record) {
 
 uint64_t RetrySeed(uint64_t seed, int attempt) {
   if (attempt <= 0) return seed;
-  Rng rng(seed ^ (static_cast<uint64_t>(attempt) * 0x9E3779B97F4A7C15ULL));
-  return rng.NextU64();
+  return MixSeed(seed, static_cast<uint64_t>(attempt));
 }
 
 std::vector<const GridRecord*> FailedRecords(
@@ -123,309 +162,227 @@ Result<std::vector<GridRecord>> RunGridResumable(
                                    : options.error_bounds;
   const int max_attempts = 1 + std::max(0, options.max_cell_retries);
 
+  // Unknown compressor names are configuration errors that would fail every
+  // transform identically; reject them before any work is scheduled.
+  for (const std::string& name : compressors) {
+    Result<std::unique_ptr<compress::Compressor>> compressor =
+        compress::MakeCompressor(name);
+    if (!compressor.ok()) return compressor.status();
+  }
+
   std::unordered_map<std::string, size_t> done;
   done.reserve(existing.size());
   for (size_t i = 0; i < existing.size(); ++i) {
     done.emplace(CellKey(existing[i]), i);
   }
-
-  std::vector<GridRecord> records;
-  Status sink_error;
-  // Routes a freshly computed record through the checkpoint sink; false
-  // aborts the sweep with sink_error (an unwritable checkpoint must not
-  // silently degrade into an unresumable run).
-  auto emit_fresh = [&](GridRecord record) {
-    if (on_record) {
-      if (Status s = on_record(record); !s.ok()) {
-        sink_error = s;
-        return false;
-      }
-    }
-    records.push_back(std::move(record));
-    return true;
+  auto salvaged = [&](const std::string& dataset, const std::string& model,
+                      const std::string& compressor, double eb,
+                      uint64_t seed) -> const GridRecord* {
+    auto it = done.find(KeyOf(dataset, model, compressor, eb, seed));
+    return it == done.end() ? nullptr : &existing[it->second];
   };
 
-  for (const std::string& dataset_name : datasets) {
-    auto salvaged = [&](const std::string& model,
-                        const std::string& compressor, double eb,
-                        uint64_t seed) -> const GridRecord* {
-      auto it = done.find(KeyOf(dataset_name, model, compressor, eb, seed));
-      return it == done.end() ? nullptr : &existing[it->second];
-    };
+  // ---- Compile the sweep into the artifact DAG (canonical cell order). ----
+  std::vector<CellNode> cells;
+  std::vector<TransformNode> transforms;
+  std::vector<FitNode> fits;
+  std::vector<DatasetNode> dataset_nodes(datasets.size());
+  std::vector<GridRecord> results;
+  std::vector<char> missing;  // Parallel to results: 1 = has a CellNode.
 
-    // Resume fast path: when every cell of this dataset is already on file,
-    // splice the salvaged rows in canonical order and skip the dataset's
-    // generation, transforms and fits entirely.
-    bool dataset_needed = false;
+  std::unordered_map<std::string, size_t> transform_index;
+  for (size_t di = 0; di < datasets.size(); ++di) {
+    const std::string& dataset_name = datasets[di];
+    DatasetNode& dnode = dataset_nodes[di];
+    dnode.name = dataset_name;
     for (const std::string& model_name : models) {
       for (uint64_t seed : options.seeds) {
-        if (!salvaged(model_name, "NONE", 0.0, seed)) dataset_needed = true;
+        const size_t fit_index = fits.size();
+        FitNode fnode;
+        fnode.dataset = di;
+        fnode.key = dataset_name + '|' + model_name + '|' +
+                    std::to_string(seed);
+        fnode.model = model_name;
+        fnode.seed = seed;
+        fnode.salvaged_baseline =
+            salvaged(dataset_name, model_name, "NONE", 0.0, seed);
+
+        auto add_cell = [&](const std::string& compressor, double eb,
+                            const GridRecord* existing_record) {
+          if (existing_record != nullptr) {
+            results.push_back(*existing_record);
+            missing.push_back(0);
+            return;
+          }
+          CellNode cell;
+          cell.spec = {dataset_name, model_name, compressor, eb, seed};
+          cell.fit = fit_index;
+          if (compressor != "NONE") {
+            const std::string tkey = [&] {
+              char suffix[32];
+              std::snprintf(suffix, sizeof(suffix), "|%.17g", eb);
+              return dataset_name + '|' + compressor + suffix;
+            }();
+            auto [it, inserted] =
+                transform_index.emplace(tkey, transforms.size());
+            if (inserted) {
+              TransformNode tnode;
+              tnode.dataset = di;
+              tnode.key = tkey;
+              tnode.compressor = compressor;
+              tnode.error_bound = eb;
+              transforms.push_back(std::move(tnode));
+            }
+            cell.transform = it->second;
+            transforms[it->second].cells.push_back(results.size());
+          }
+          fnode.cells.push_back(results.size());
+          results.emplace_back();
+          missing.push_back(1);
+          cells.push_back(std::move(cell));
+          dnode.needed = true;
+        };
+
+        add_cell("NONE", 0.0, fnode.salvaged_baseline);
         for (const std::string& compressor_name : compressors) {
           for (double eb : error_bounds) {
-            if (!salvaged(model_name, compressor_name, eb, seed)) {
-              dataset_needed = true;
-            }
+            add_cell(compressor_name, eb,
+                     salvaged(dataset_name, model_name, compressor_name, eb,
+                              seed));
           }
         }
-      }
-    }
-    if (!dataset_needed) {
-      for (const std::string& model_name : models) {
-        for (uint64_t seed : options.seeds) {
-          records.push_back(*salvaged(model_name, "NONE", 0.0, seed));
-          for (const std::string& compressor_name : compressors) {
-            for (double eb : error_bounds) {
-              records.push_back(*salvaged(model_name, compressor_name, eb,
-                                          seed));
-            }
-          }
-        }
-      }
-      continue;
-    }
-
-    // Unknown dataset names and generation failures abort the sweep: they
-    // are configuration errors that would fail every cell identically.
-    Result<data::Dataset> dataset =
-        data::MakeDataset(dataset_name, options.data);
-    if (!dataset.ok()) return dataset.status();
-    Result<TrainValTest> split = SplitSeries(dataset->series);
-    if (!split.ok()) return split.status();
-
-    // Transform the test split once per (compressor, error bound) that some
-    // missing cell still needs. A failed transform is retried and then
-    // recorded per dependent cell; it never aborts sibling transforms.
-    std::vector<std::vector<TransformOutcome>> transformed(compressors.size());
-    for (size_t ci = 0; ci < compressors.size(); ++ci) {
-      Result<std::unique_ptr<compress::Compressor>> compressor =
-          compress::MakeCompressor(compressors[ci]);
-      if (!compressor.ok()) return compressor.status();
-      transformed[ci].resize(error_bounds.size());
-      for (size_t ei = 0; ei < error_bounds.size(); ++ei) {
-        bool needed = false;
-        for (const std::string& model_name : models) {
-          for (uint64_t seed : options.seeds) {
-            if (!salvaged(model_name, compressors[ci], error_bounds[ei],
-                          seed)) {
-              needed = true;
-            }
-          }
-        }
-        if (!needed) continue;
-        TransformOutcome& out = transformed[ci][ei];
-        for (int attempt = 0; attempt < max_attempts; ++attempt) {
-          out.attempts = attempt + 1;
-          Result<compress::PipelineResult> pipeline = compress::RunPipeline(
-              **compressor, split->test, error_bounds[ei]);
-          if (!pipeline.ok()) {
-            out.status = pipeline.status();
-            continue;
-          }
-          if (!std::isfinite(pipeline->te_nrmse) ||
-              !std::isfinite(pipeline->te_rmse) ||
-              !std::isfinite(pipeline->compression_ratio)) {
-            out.status = Status::Internal("non-finite transform metrics");
-            continue;
-          }
-          out.status = Status::OK();
-          out.series = std::move(pipeline->decompressed);
-          out.te_nrmse = pipeline->te_nrmse;
-          out.te_rmse = pipeline->te_rmse;
-          out.compression_ratio = pipeline->compression_ratio;
-          out.segment_count = static_cast<double>(pipeline->segment_count);
-          break;
-        }
-        if (!out.status.ok() && options.verbose) {
-          std::fprintf(stderr, "[grid] transform %s eb=%g on %s failed: %s\n",
-                       compressors[ci].c_str(), error_bounds[ei],
-                       dataset_name.c_str(), out.status.ToString().c_str());
-        }
-      }
-    }
-
-    for (const std::string& model_name : models) {
-      for (uint64_t seed : options.seeds) {
-        const GridRecord* base_existing =
-            salvaged(model_name, "NONE", 0.0, seed);
-        bool any_missing = base_existing == nullptr;
-        for (size_t ci = 0; ci < compressors.size() && !any_missing; ++ci) {
-          for (size_t ei = 0; ei < error_bounds.size() && !any_missing;
-               ++ei) {
-            any_missing =
-                !salvaged(model_name, compressors[ci], error_bounds[ei], seed);
-          }
-        }
-        if (!any_missing) {
-          records.push_back(*base_existing);
-          for (size_t ci = 0; ci < compressors.size(); ++ci) {
-            for (size_t ei = 0; ei < error_bounds.size(); ++ei) {
-              records.push_back(*salvaged(model_name, compressors[ci],
-                                          error_bounds[ei], seed));
-            }
-          }
-          continue;
-        }
-
-        // Fit with retry: each retry derives a fresh deterministic seed, so
-        // a divergent initialization gets a genuinely different start while
-        // reruns of the sweep retry identically.
-        std::unique_ptr<forecast::Forecaster> model;
-        Status fit_status;
-        int fit_attempts = 0;
-        for (int attempt = 0; attempt < max_attempts; ++attempt) {
-          fit_attempts = attempt + 1;
-          forecast::ForecastConfig config = options.forecast;
-          config.season_length = dataset->season_length;
-          config.seed = RetrySeed(seed, attempt);
-          Result<std::unique_ptr<forecast::Forecaster>> made =
-              forecast::MakeForecaster(model_name, config);
-          if (!made.ok()) return made.status();  // Unknown model: config error.
-          if (options.verbose) {
-            std::fprintf(stderr, "[grid] fitting %s on %s (seed %llu%s)\n",
-                         model_name.c_str(), dataset_name.c_str(),
-                         static_cast<unsigned long long>(seed),
-                         attempt > 0 ? ", retry" : "");
-          }
-          fit_status = (*made)->Fit(split->train, split->val);
-          if (fit_status.ok()) {
-            model = std::move(*made);
-            break;
-          }
-          if (options.verbose) {
-            std::fprintf(stderr, "[grid] fit %s on %s failed: %s\n",
-                         model_name.c_str(), dataset_name.c_str(),
-                         fit_status.ToString().c_str());
-          }
-        }
-
-        if (!fit_status.ok()) {
-          // No model: every still-missing cell of this (model, seed) fails
-          // with the fit status; salvaged cells are spliced through.
-          if (base_existing) {
-            records.push_back(*base_existing);
-          } else if (!emit_fresh(FailedCell(dataset_name, model_name, "NONE",
-                                            0.0, seed, fit_status,
-                                            fit_attempts))) {
-            return sink_error;
-          }
-          for (size_t ci = 0; ci < compressors.size(); ++ci) {
-            for (size_t ei = 0; ei < error_bounds.size(); ++ei) {
-              const GridRecord* cell = salvaged(model_name, compressors[ci],
-                                                error_bounds[ei], seed);
-              if (cell) {
-                records.push_back(*cell);
-              } else if (!emit_fresh(FailedCell(
-                             dataset_name, model_name, compressors[ci],
-                             error_bounds[ei], seed, fit_status,
-                             fit_attempts))) {
-                return sink_error;
-              }
-            }
-          }
-          continue;
-        }
-
-        // Baseline: reuse the salvaged row's metrics when present (TFE needs
-        // its NRMSE), otherwise evaluate and record.
-        double baseline_nrmse = 0.0;
-        bool baseline_ok = false;
-        if (base_existing) {
-          records.push_back(*base_existing);
-          baseline_ok = !base_existing->failed();
-          baseline_nrmse = base_existing->nrmse;
-        } else {
-          Result<MetricSet> baseline = EvaluateOnTest(
-              *model, split->test, nullptr, options.forecast.input_length,
-              options.forecast.horizon, options.scenario);
-          Status base_status =
-              baseline.ok()
-                  ? (MetricsFinite(*baseline)
-                         ? Status::OK()
-                         : Status::Internal("non-finite baseline metrics"))
-                  : baseline.status();
-          if (!base_status.ok()) {
-            if (!emit_fresh(FailedCell(dataset_name, model_name, "NONE", 0.0,
-                                       seed, base_status, fit_attempts))) {
-              return sink_error;
-            }
-          } else {
-            GridRecord base;
-            base.dataset = dataset_name;
-            base.model = model_name;
-            base.compressor = "NONE";
-            base.seed = seed;
-            base.r = baseline->r;
-            base.rse = baseline->rse;
-            base.rmse = baseline->rmse;
-            base.nrmse = baseline->nrmse;
-            base.attempts = fit_attempts;
-            baseline_ok = true;
-            baseline_nrmse = base.nrmse;
-            if (!emit_fresh(std::move(base))) return sink_error;
-          }
-        }
-
-        for (size_t ci = 0; ci < compressors.size(); ++ci) {
-          for (size_t ei = 0; ei < error_bounds.size(); ++ei) {
-            const GridRecord* cell = salvaged(model_name, compressors[ci],
-                                              error_bounds[ei], seed);
-            if (cell) {
-              records.push_back(*cell);
-              continue;
-            }
-            const TransformOutcome& t = transformed[ci][ei];
-            Status cell_status = t.status;
-            int cell_attempts = t.attempts;
-            MetricSet metrics;
-            if (cell_status.ok() && !baseline_ok) {
-              cell_status = Status::FailedPrecondition(
-                  "baseline evaluation failed for " + model_name);
-              cell_attempts = 1;
-            }
-            if (cell_status.ok()) {
-              Result<MetricSet> evaluated = EvaluateOnTest(
-                  *model, split->test, &t.series,
-                  options.forecast.input_length, options.forecast.horizon,
-                  options.scenario);
-              if (!evaluated.ok()) {
-                cell_status = evaluated.status();
-              } else if (!MetricsFinite(*evaluated)) {
-                cell_status = Status::Internal("non-finite cell metrics");
-              } else {
-                metrics = *evaluated;
-              }
-            }
-            if (!cell_status.ok()) {
-              if (!emit_fresh(FailedCell(dataset_name, model_name,
-                                         compressors[ci], error_bounds[ei],
-                                         seed, cell_status, cell_attempts))) {
-                return sink_error;
-              }
-              continue;
-            }
-            GridRecord rec;
-            rec.dataset = dataset_name;
-            rec.model = model_name;
-            rec.compressor = compressors[ci];
-            rec.error_bound = error_bounds[ei];
-            rec.seed = seed;
-            rec.r = metrics.r;
-            rec.rse = metrics.rse;
-            rec.rmse = metrics.rmse;
-            rec.nrmse = metrics.nrmse;
-            rec.tfe = Tfe(metrics.nrmse, baseline_nrmse);
-            rec.te_nrmse = t.te_nrmse;
-            rec.te_rmse = t.te_rmse;
-            rec.compression_ratio = t.compression_ratio;
-            rec.segment_count = t.segment_count;
-            rec.attempts = cell_attempts;
-            if (!emit_fresh(std::move(rec))) return sink_error;
-          }
+        if (!fnode.cells.empty()) {
+          dnode.fits.push_back(fits.size());
+          fits.push_back(std::move(fnode));
         }
       }
     }
   }
-  return records;
+  // results/missing are parallel to the canonical cell positions, but
+  // `cells` holds only missing positions; map from cells -> result slots.
+  std::vector<size_t> cell_slot;
+  cell_slot.reserve(cells.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (missing[i]) cell_slot.push_back(i);
+  }
+  for (size_t ti = 0; ti < transforms.size(); ++ti) {
+    dataset_nodes[transforms[ti].dataset].transforms.push_back(ti);
+  }
+
+  // Dependency counters: fit, plus transform for compressed cells. The
+  // transform/fit nodes record *result-slot* indices; remap to cell indices.
+  std::unordered_map<size_t, size_t> slot_to_cell;
+  for (size_t ci = 0; ci < cell_slot.size(); ++ci) {
+    slot_to_cell.emplace(cell_slot[ci], ci);
+  }
+  std::vector<std::atomic<int>> deps(cells.size());
+  for (size_t ci = 0; ci < cells.size(); ++ci) {
+    deps[ci].store(cells[ci].spec.is_baseline() ? 1 : 2,
+                   std::memory_order_relaxed);
+  }
+
+  // ---- Execute on the shared pool. ----
+  ArtifactStore<DatasetArtifact> dataset_store;
+  ArtifactStore<TransformArtifact> transform_store;
+  ArtifactStore<FitArtifact> fit_store;
+  RecordChannel channel(on_record);
+  std::vector<Status> dataset_status(datasets.size());
+  std::vector<Status> fit_config_status(fits.size());
+  std::atomic<bool> config_abort{false};
+
+  ThreadPool pool(options.jobs);
+
+  auto run_cell = [&](size_t ci) {
+    if (config_abort.load(std::memory_order_relaxed) || channel.failed()) {
+      return;
+    }
+    const CellNode& cell = cells[ci];
+    std::shared_ptr<const DatasetArtifact> dataset =
+        dataset_store.Lookup(cell.spec.dataset);
+    std::shared_ptr<const FitArtifact> fit =
+        fit_store.Lookup(fits[cell.fit].key);
+    std::shared_ptr<const TransformArtifact> transform =
+        cell.spec.is_baseline()
+            ? nullptr
+            : transform_store.Lookup(transforms[cell.transform].key);
+    GridRecord record = EvaluateCellStage(cell.spec, options, *dataset, *fit,
+                                          transform.get());
+    channel.Emit(record);
+    results[cell_slot[ci]] = std::move(record);
+  };
+
+  auto resolve_dep = [&](size_t slot) {
+    const size_t ci = slot_to_cell.at(slot);
+    if (deps[ci].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      pool.Submit([&, ci] { run_cell(ci); });
+    }
+  };
+
+  for (size_t di = 0; di < datasets.size(); ++di) {
+    if (!dataset_nodes[di].needed) continue;
+    pool.Submit([&, di] {
+      const DatasetNode& dnode = dataset_nodes[di];
+      std::shared_ptr<const DatasetArtifact> artifact =
+          dataset_store.GetOrCompute(dnode.name, [&] {
+            return LoadDatasetStage(dnode.name, options.data);
+          });
+      if (!artifact->status.ok()) {
+        // Unknown dataset / generation failure: configuration error. The
+        // dataset's transforms, fits and cells are never scheduled; the
+        // sweep reports this status after the pool drains.
+        dataset_status[di] = artifact->status;
+        config_abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+      for (const size_t ti : dnode.transforms) {
+        pool.Submit([&, ti] {
+          const TransformNode& tnode = transforms[ti];
+          transform_store.GetOrCompute(tnode.key, [&] {
+            return CompressAtBoundStage(
+                dataset_nodes[tnode.dataset].name, tnode.compressor,
+                tnode.error_bound,
+                dataset_store.Lookup(dataset_nodes[tnode.dataset].name)
+                    ->split.test,
+                max_attempts, options.verbose);
+          });
+          for (const size_t slot : tnode.cells) resolve_dep(slot);
+        });
+      }
+      for (const size_t fi : dnode.fits) {
+        pool.Submit([&, fi] {
+          const FitNode& fnode = fits[fi];
+          std::shared_ptr<const FitArtifact> fit =
+              fit_store.GetOrCompute(fnode.key, [&] {
+                return FitModelStage(
+                    fnode.model,
+                    *dataset_store.Lookup(dataset_nodes[fnode.dataset].name),
+                    options, fnode.seed, fnode.salvaged_baseline);
+              });
+          if (fit->config_error) {
+            // Unknown model: configuration error; dependent cells are left
+            // unscheduled and the sweep aborts after the drain.
+            fit_config_status[fi] = fit->fit_status;
+            config_abort.store(true, std::memory_order_relaxed);
+            return;
+          }
+          for (const size_t slot : fnode.cells) resolve_dep(slot);
+        });
+      }
+    });
+  }
+  pool.Wait();
+
+  // Configuration errors abort the sweep deterministically: the first
+  // failing dataset (then model) in canonical order wins, matching the
+  // sequential implementation's first-encountered semantics.
+  for (size_t di = 0; di < datasets.size(); ++di) {
+    if (!dataset_status[di].ok()) return dataset_status[di];
+  }
+  for (size_t fi = 0; fi < fits.size(); ++fi) {
+    if (!fit_config_status[fi].ok()) return fit_config_status[fi];
+  }
+  if (channel.failed()) return channel.status();
+  return results;
 }
 
 std::string FormatGridRow(const GridRecord& r) {
@@ -536,13 +493,13 @@ Result<std::vector<GridRecord>> LoadOrRunGrid(const GridOptions& options,
     if (loaded->complete) return std::move(loaded->records);
     salvaged = std::move(loaded->records);
     if (options.verbose) {
-      std::fprintf(stderr, "[grid] resuming %s: %zu rows salvaged\n",
-                   path.c_str(), salvaged.size());
+      Progress::Printf("[grid] resuming %s: %zu rows salvaged\n", path.c_str(),
+                       salvaged.size());
     }
   } else if (loaded.ok() && !loaded->compatible && options.verbose) {
-    std::fprintf(stderr,
-                 "[grid] cache %s was built for different options; rerunning\n",
-                 path.c_str());
+    Progress::Printf(
+        "[grid] cache %s was built for different options; rerunning\n",
+        path.c_str());
   }
   GridCheckpointWriter writer;
   if (Status s = writer.Open(path, options_hash, salvaged); !s.ok()) return s;

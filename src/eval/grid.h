@@ -63,12 +63,19 @@ struct GridOptions {
   data::DatasetOptions data;
   forecast::ForecastConfig forecast;
   ScenarioOptions scenario;
-  bool verbose = false;  ///< Progress lines on stderr.
+  bool verbose = false;  ///< Progress lines on stderr (mutex-guarded).
   /// Extra attempts after a failed fit or compression transform. Retried
   /// fits run with RetrySeed()-derived seeds so a divergent initialization
   /// does not permanently kill the cell; the record keeps the original seed
   /// as its identity. 0 disables retries.
   int max_cell_retries = 1;
+  /// Worker threads for the stage DAG (see grid_stages.h). 1 (the default)
+  /// executes inline on the calling thread; 0 resolves to the hardware
+  /// concurrency. The produced records are bit-identical for every value —
+  /// each stage's randomness derives from its cell identity, never from
+  /// scheduling — and jobs is excluded from GridOptionsHash, so checkpoints
+  /// written at any parallelism resume at any other.
+  int jobs = 1;
 
   GridOptions() { data.length_fraction = 0.05; }
 };
@@ -82,15 +89,21 @@ std::string CellKey(const GridRecord& record);
 /// deterministic reseed so reruns of a sweep retry identically.
 uint64_t RetrySeed(uint64_t seed, int attempt);
 
-/// Runs Algorithm 1 over the whole grid: per dataset, transform the test
-/// split once per (compressor, error bound); per model and seed, train once
-/// on the raw train/val splits and predict from every transformed test.
+/// Runs Algorithm 1 over the whole grid as an artifact-keyed stage DAG
+/// (LoadDataset -> CompressAtBound -> FitModel -> EvaluateCell, see
+/// grid_stages.h) on a work-stealing pool of GridOptions::jobs threads: per
+/// dataset, the test split is transformed once per (compressor, error
+/// bound); per model and seed, one fit is trained on the raw train/val
+/// splits and shared — via the artifact store — by every cell that
+/// references it. Records are returned in canonical cell order regardless
+/// of completion order.
 ///
 /// Failures are isolated per cell: a failed transform, fit or evaluation is
 /// retried (per GridOptions::max_cell_retries) and then recorded as a failed
 /// GridRecord without aborting sibling cells. Only configuration errors
 /// (unknown dataset/model/compressor names, unloadable datasets) abort the
-/// sweep, since every cell they touch would fail identically.
+/// sweep, since every cell they touch would fail identically; with jobs > 1
+/// the first such error in canonical order is reported.
 Result<std::vector<GridRecord>> RunGrid(const GridOptions& options);
 
 /// Resumable core of RunGrid. Cells whose CellKey appears in `existing` are
@@ -98,7 +111,10 @@ Result<std::vector<GridRecord>> RunGrid(const GridOptions& options);
 /// their canonical grid position (failed salvaged cells are kept as failed —
 /// a checkpointed failure already consumed its retries). `on_record`, when
 /// non-null, observes every *freshly computed* record as it is produced (the
-/// checkpoint writer's append hook); a non-OK return aborts the sweep.
+/// checkpoint writer's append hook); calls are serialized through a
+/// single-writer channel, in completion order — canonical order at jobs = 1,
+/// unspecified otherwise (resume re-orders by CellKey, so checkpoints do not
+/// depend on it); a non-OK return aborts the sweep.
 Result<std::vector<GridRecord>> RunGridResumable(
     const GridOptions& options, const std::vector<GridRecord>& existing,
     const std::function<Status(const GridRecord&)>& on_record);

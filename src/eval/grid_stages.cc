@@ -1,0 +1,236 @@
+#include "eval/grid_stages.h"
+
+#include <cmath>
+#include <utility>
+
+#include "compress/pipeline.h"
+#include "core/progress.h"
+#include "core/split.h"
+#include "forecast/registry.h"
+#include "eval/scenario.h"
+
+namespace lossyts::eval {
+
+namespace {
+
+bool MetricsFinite(const MetricSet& m) {
+  return std::isfinite(m.r) && std::isfinite(m.rse) && std::isfinite(m.rmse) &&
+         std::isfinite(m.nrmse);
+}
+
+GridRecord FailedCell(const CellSpec& spec, const Status& status,
+                      int attempts) {
+  GridRecord record;
+  record.dataset = spec.dataset;
+  record.model = spec.model;
+  record.compressor = spec.compressor;
+  record.error_bound = spec.error_bound;
+  record.seed = spec.seed;
+  record.error_code = static_cast<int32_t>(status.code());
+  record.error = status.message();
+  record.attempts = attempts;
+  return record;
+}
+
+}  // namespace
+
+DatasetArtifact LoadDatasetStage(const std::string& name,
+                                 const data::DatasetOptions& options) {
+  DatasetArtifact artifact;
+  Result<data::Dataset> dataset = data::MakeDataset(name, options);
+  if (!dataset.ok()) {
+    artifact.status = dataset.status();
+    return artifact;
+  }
+  Result<TrainValTest> split = SplitSeries(dataset->series);
+  if (!split.ok()) {
+    artifact.status = split.status();
+    return artifact;
+  }
+  artifact.status = Status::OK();
+  artifact.dataset = std::move(*dataset);
+  artifact.split = std::move(*split);
+  return artifact;
+}
+
+TransformArtifact CompressAtBoundStage(const std::string& dataset_name,
+                                       const std::string& compressor_name,
+                                       double error_bound,
+                                       const TimeSeries& test,
+                                       int max_attempts, bool verbose) {
+  TransformArtifact out;
+  Result<std::unique_ptr<compress::Compressor>> compressor =
+      compress::MakeCompressor(compressor_name);
+  if (!compressor.ok()) {
+    // Unknown compressor names are pre-validated by RunGridResumable, so
+    // this is unreachable there; standalone callers see it as a failed
+    // transform.
+    out.status = compressor.status();
+    return out;
+  }
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    out.attempts = attempt + 1;
+    Result<compress::PipelineResult> pipeline =
+        compress::RunPipeline(**compressor, test, error_bound);
+    if (!pipeline.ok()) {
+      out.status = pipeline.status();
+      continue;
+    }
+    if (!std::isfinite(pipeline->te_nrmse) ||
+        !std::isfinite(pipeline->te_rmse) ||
+        !std::isfinite(pipeline->compression_ratio)) {
+      out.status = Status::Internal("non-finite transform metrics");
+      continue;
+    }
+    out.status = Status::OK();
+    out.series = std::move(pipeline->decompressed);
+    out.te_nrmse = pipeline->te_nrmse;
+    out.te_rmse = pipeline->te_rmse;
+    out.compression_ratio = pipeline->compression_ratio;
+    out.segment_count = static_cast<double>(pipeline->segment_count);
+    break;
+  }
+  if (!out.status.ok() && verbose) {
+    Progress::Printf("[grid] transform %s eb=%g on %s failed: %s\n",
+                     compressor_name.c_str(), error_bound,
+                     dataset_name.c_str(), out.status.ToString().c_str());
+  }
+  return out;
+}
+
+FitArtifact FitModelStage(const std::string& model_name,
+                          const DatasetArtifact& dataset,
+                          const GridOptions& options, uint64_t seed,
+                          const GridRecord* salvaged_baseline) {
+  FitArtifact artifact;
+  const int max_attempts = 1 + std::max(0, options.max_cell_retries);
+
+  // Fit with retry: each retry derives a fresh deterministic seed from the
+  // cell identity, so a divergent initialization gets a genuinely different
+  // start while reruns of the sweep retry identically.
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    artifact.fit_attempts = attempt + 1;
+    forecast::ForecastConfig config = options.forecast;
+    config.season_length = dataset.dataset.season_length;
+    config.seed = RetrySeed(seed, attempt);
+    Result<std::unique_ptr<forecast::Forecaster>> made =
+        forecast::MakeForecaster(model_name, config);
+    if (!made.ok()) {
+      // Unknown model: configuration error, aborts the sweep.
+      artifact.fit_status = made.status();
+      artifact.config_error = true;
+      return artifact;
+    }
+    if (options.verbose) {
+      Progress::Printf("[grid] fitting %s on %s (seed %llu%s)\n",
+                       model_name.c_str(), dataset.dataset.name.c_str(),
+                       static_cast<unsigned long long>(seed),
+                       attempt > 0 ? ", retry" : "");
+    }
+    artifact.fit_status = (*made)->Fit(dataset.split.train, dataset.split.val);
+    if (artifact.fit_status.ok()) {
+      artifact.model = std::move(*made);
+      break;
+    }
+    if (options.verbose) {
+      Progress::Printf("[grid] fit %s on %s failed: %s\n", model_name.c_str(),
+                       dataset.dataset.name.c_str(),
+                       artifact.fit_status.ToString().c_str());
+    }
+  }
+  if (!artifact.fit_status.ok()) return artifact;
+
+  // Baseline: reuse the salvaged row's metrics when present (TFE needs its
+  // NRMSE), otherwise evaluate on the raw test split.
+  if (salvaged_baseline != nullptr) {
+    artifact.baseline_salvaged = true;
+    artifact.baseline_ok = !salvaged_baseline->failed();
+    artifact.baseline_nrmse = salvaged_baseline->nrmse;
+    return artifact;
+  }
+  Result<MetricSet> baseline = EvaluateOnTest(
+      *artifact.model, dataset.split.test, nullptr,
+      options.forecast.input_length, options.forecast.horizon,
+      options.scenario);
+  artifact.baseline_status =
+      baseline.ok() ? (MetricsFinite(*baseline)
+                           ? Status::OK()
+                           : Status::Internal("non-finite baseline metrics"))
+                    : baseline.status();
+  if (artifact.baseline_status.ok()) {
+    artifact.baseline = *baseline;
+    artifact.baseline_ok = true;
+    artifact.baseline_nrmse = baseline->nrmse;
+  }
+  return artifact;
+}
+
+GridRecord EvaluateCellStage(const CellSpec& spec, const GridOptions& options,
+                             const DatasetArtifact& dataset,
+                             const FitArtifact& fit,
+                             const TransformArtifact* transform) {
+  // A failed fit poisons every cell of its (dataset, model, seed) group.
+  if (!fit.fit_status.ok()) {
+    return FailedCell(spec, fit.fit_status, fit.fit_attempts);
+  }
+
+  if (spec.is_baseline()) {
+    if (!fit.baseline_status.ok()) {
+      return FailedCell(spec, fit.baseline_status, fit.fit_attempts);
+    }
+    GridRecord record;
+    record.dataset = spec.dataset;
+    record.model = spec.model;
+    record.compressor = "NONE";
+    record.seed = spec.seed;
+    record.r = fit.baseline.r;
+    record.rse = fit.baseline.rse;
+    record.rmse = fit.baseline.rmse;
+    record.nrmse = fit.baseline.nrmse;
+    record.attempts = fit.fit_attempts;
+    return record;
+  }
+
+  Status cell_status = transform->status;
+  int cell_attempts = transform->attempts;
+  if (cell_status.ok() && !fit.baseline_ok) {
+    cell_status = Status::FailedPrecondition("baseline evaluation failed for " +
+                                             spec.model);
+    cell_attempts = 1;
+  }
+  MetricSet metrics;
+  if (cell_status.ok()) {
+    Result<MetricSet> evaluated = EvaluateOnTest(
+        *fit.model, dataset.split.test, &transform->series,
+        options.forecast.input_length, options.forecast.horizon,
+        options.scenario);
+    if (!evaluated.ok()) {
+      cell_status = evaluated.status();
+    } else if (!MetricsFinite(*evaluated)) {
+      cell_status = Status::Internal("non-finite cell metrics");
+    } else {
+      metrics = *evaluated;
+    }
+  }
+  if (!cell_status.ok()) return FailedCell(spec, cell_status, cell_attempts);
+
+  GridRecord record;
+  record.dataset = spec.dataset;
+  record.model = spec.model;
+  record.compressor = spec.compressor;
+  record.error_bound = spec.error_bound;
+  record.seed = spec.seed;
+  record.r = metrics.r;
+  record.rse = metrics.rse;
+  record.rmse = metrics.rmse;
+  record.nrmse = metrics.nrmse;
+  record.tfe = Tfe(metrics.nrmse, fit.baseline_nrmse);
+  record.te_nrmse = transform->te_nrmse;
+  record.te_rmse = transform->te_rmse;
+  record.compression_ratio = transform->compression_ratio;
+  record.segment_count = transform->segment_count;
+  record.attempts = cell_attempts;
+  return record;
+}
+
+}  // namespace lossyts::eval

@@ -1,0 +1,132 @@
+#ifndef LOSSYTS_EVAL_GRID_STAGES_H_
+#define LOSSYTS_EVAL_GRID_STAGES_H_
+
+#include <memory>
+#include <string>
+
+#include "core/metrics.h"
+#include "core/split.h"
+#include "core/status.h"
+#include "data/datasets.h"
+#include "eval/grid.h"
+#include "forecast/forecaster.h"
+
+namespace lossyts::eval {
+
+// The evaluation grid decomposed into four explicit, separately-testable
+// stages, wired together by RunGridResumable as an artifact-keyed DAG:
+//
+//   LoadDataset ──┬─> CompressAtBound ──┐
+//                 └─> FitModel ─────────┴─> EvaluateCell
+//
+// Stage outputs are immutable artifacts memoized in an ArtifactStore keyed
+// by the stage's identity (see artifact_store.h):
+//
+//   DatasetArtifact    key = dataset
+//   TransformArtifact  key = dataset|compressor|eb
+//   FitArtifact        key = dataset|model|seed   (baseline metrics ride here)
+//
+// so a transform is computed once per (dataset, compressor, bound) and a fit
+// once per (dataset, model, seed), shared by every cell that references
+// them. Each stage derives any randomness from its identity (the cell seed
+// through RetrySeed), never from execution order: running the DAG on one
+// thread or sixteen produces bit-identical records.
+//
+// Failure contract (unchanged from the monolithic RunGrid): a stage failure
+// is *data*, not control flow — it is recorded in the artifact's Status and
+// turned into failed GridRecords by EvaluateCellStage for exactly the
+// dependent cells. Only configuration errors (unknown dataset / model /
+// compressor names) abort the whole sweep.
+
+/// Output of the LoadDataset stage: the generated dataset and its
+/// chronological train/val/test split. `status` non-OK is a configuration
+/// error (unknown name, generation failure) and aborts the sweep.
+struct DatasetArtifact {
+  Status status;
+  data::Dataset dataset;
+  TrainValTest split;
+};
+
+/// Output of the CompressAtBound stage: one dataset's test split transformed
+/// by one (compressor, error bound) pair, plus the compression-side
+/// measurements. `status` non-OK means every attempt failed; dependent cells
+/// become failed records carrying it.
+struct TransformArtifact {
+  TimeSeries series;
+  double te_nrmse = 0.0;
+  double te_rmse = 0.0;
+  double compression_ratio = 0.0;
+  double segment_count = 0.0;
+  Status status;
+  int attempts = 1;
+};
+
+/// Output of the FitModel stage: a model trained on the raw train/val splits
+/// of one (dataset, model, seed), plus the baseline (uncompressed-input)
+/// evaluation that every compressed cell's TFE normalizes against. When the
+/// baseline row was salvaged from a checkpoint, its metrics are reused and
+/// `baseline_salvaged` is set instead of re-evaluating.
+struct FitArtifact {
+  /// Trained model; nullptr when every attempt failed. Immutable after fit —
+  /// Predict() is const, so concurrent EvaluateCell stages share it.
+  std::shared_ptr<const forecast::Forecaster> model;
+  Status fit_status;
+  int fit_attempts = 1;
+  /// True when MakeForecaster itself failed (unknown model name): a
+  /// configuration error that aborts the sweep rather than failing cells.
+  bool config_error = false;
+
+  // Baseline evaluation (compressor = "NONE").
+  Status baseline_status;
+  MetricSet baseline;
+  bool baseline_ok = false;
+  double baseline_nrmse = 0.0;
+  bool baseline_salvaged = false;
+};
+
+/// Identity of one grid cell; compressor "NONE" (error_bound 0) is the
+/// baseline cell of its (dataset, model, seed) group.
+struct CellSpec {
+  std::string dataset;
+  std::string model;
+  std::string compressor;
+  double error_bound = 0.0;
+  uint64_t seed = 0;
+
+  bool is_baseline() const { return compressor == "NONE"; }
+};
+
+/// Stage 1: generate `name` and split it chronologically.
+DatasetArtifact LoadDatasetStage(const std::string& name,
+                                 const data::DatasetOptions& options);
+
+/// Stage 2: run `compressor_name` at `error_bound` over the test split, with
+/// up to `max_attempts` tries. Verbose failures are reported through the
+/// core progress reporter.
+TransformArtifact CompressAtBoundStage(const std::string& dataset_name,
+                                       const std::string& compressor_name,
+                                       double error_bound,
+                                       const TimeSeries& test,
+                                       int max_attempts, bool verbose);
+
+/// Stage 3: fit `model_name` on the raw splits with per-attempt reseeding
+/// (RetrySeed), then evaluate the baseline — unless `salvaged_baseline` (a
+/// checkpointed "NONE" row for this group) already carries its metrics.
+FitArtifact FitModelStage(const std::string& model_name,
+                          const DatasetArtifact& dataset,
+                          const GridOptions& options, uint64_t seed,
+                          const GridRecord* salvaged_baseline);
+
+/// Stage 4: produce `spec`'s GridRecord from its input artifacts. Baseline
+/// cells pass transform = nullptr. Failure precedence matches the
+/// monolithic implementation: fit failure poisons the whole group, then a
+/// failed transform, then a failed baseline (FailedPrecondition), and only
+/// a clean set of inputs reaches EvaluateOnTest.
+GridRecord EvaluateCellStage(const CellSpec& spec, const GridOptions& options,
+                             const DatasetArtifact& dataset,
+                             const FitArtifact& fit,
+                             const TransformArtifact* transform);
+
+}  // namespace lossyts::eval
+
+#endif  // LOSSYTS_EVAL_GRID_STAGES_H_

@@ -2,7 +2,8 @@
 # CI entry point: builds and tests the plain configuration, then rebuilds
 # under ASan and UBSan (LOSSYTS_SANITIZE, see the top-level CMakeLists.txt)
 # so the decoder robustness and failpoint-recovery paths are memory-checked,
-# not just status-checked.
+# not just status-checked, and finally under TSan to race-check the thread
+# pool, the progress reporter and the parallel grid's determinism tests.
 #
 # Usage: tools/ci.sh [build-root]          (default: ci-build)
 set -euo pipefail
@@ -12,17 +13,27 @@ BUILD_ROOT="${1:-ci-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 run_config() {
-  local name="$1" sanitize="$2"
+  local name="$1" sanitize="$2" filter="${3:-}"
   local dir="${BUILD_ROOT}/${name}"
   echo "=== ${name} (LOSSYTS_SANITIZE='${sanitize}') ==="
   cmake -B "${dir}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DLOSSYTS_SANITIZE="${sanitize}"
   cmake --build "${dir}" -j "${JOBS}"
-  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  if [[ -n "${filter}" ]]; then
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R "${filter}"
+  else
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  fi
 }
 
 run_config plain ""
 ASAN_OPTIONS=detect_leaks=0 run_config asan address
 UBSAN_OPTIONS=halt_on_error=1 run_config ubsan undefined
+# TSan is restricted to the concurrency suite: the pool, the progress
+# reporter, the artifact store and the parallel-vs-sequential grid tests
+# exercise every cross-thread edge, and a full TSan run of the NN training
+# tests would dominate CI time without touching more shared state.
+TSAN_OPTIONS=halt_on_error=1 run_config tsan thread \
+  'ThreadPoolTest|ProgressTest|SeedTest|GridConcurrencyTest|ArtifactStoreTest'
 
 echo "=== ci.sh: all configurations passed ==="

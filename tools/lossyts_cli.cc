@@ -4,7 +4,7 @@
 //   lossyts decompress <in.lts> <out.csv>
 //   lossyts stats <in.csv | dataset-name>
 //   lossyts sweep <in.csv | dataset-name>
-//   lossyts grid [--resume] [--fresh] [--cache <path>] [filters...]
+//   lossyts grid [--resume] [--fresh] [--cache <path>] [--jobs N] [filters...]
 //
 // Compressed files are the library's self-describing blobs wrapped in gzip
 // (the paper's measurement format), so `decompress` needs no codec argument.
@@ -38,8 +38,9 @@ int Usage() {
       "  lossyts stats <in.csv | dataset-name>\n"
       "  lossyts sweep <in.csv | dataset-name>\n"
       "  lossyts grid [--resume] [--fresh] [--cache <path>] [--retries N]\n"
-      "               [--datasets a,b] [--models a,b] [--compressors a,b]\n"
-      "               [--error-bounds 0.05,0.4] [--seeds 1,2]\n"
+      "               [--jobs N] [--datasets a,b] [--models a,b]\n"
+      "               [--compressors a,b] [--error-bounds 0.05,0.4]\n"
+      "               [--seeds 1,2]\n"
       "dataset names: ETTm1 ETTm2 Solar Weather ElecDem Wind\n");
   return 2;
 }
@@ -214,6 +215,10 @@ int Grid(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       options.max_cell_retries = std::atoi(v);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.jobs = std::atoi(v);
     } else if (arg == "--datasets") {
       const char* v = next();
       if (v == nullptr) return Usage();
