@@ -76,6 +76,16 @@ Result<KneePoint> FindKnee(const std::vector<double>& x,
                        y[static_cast<size_t>(candidate)]};
     }
   }
+  // A standing candidate whose confirmation drop never arrived (the curve
+  // plateaus or rises again through the tail) is still the detected knee;
+  // discarding it here used to hand the decision to the global-max fallback,
+  // which could pick a different point or fail outright when the maximum
+  // sits on the boundary.
+  if (candidate >= 0) {
+    return KneePoint{static_cast<size_t>(candidate),
+                     x[static_cast<size_t>(candidate)],
+                     y[static_cast<size_t>(candidate)]};
+  }
   // Fall back to the global maximum of the difference curve if it is
   // decisive (common for short empirical curves like the 13-point EB sweep).
   size_t best = 0;

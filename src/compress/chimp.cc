@@ -60,6 +60,7 @@ Result<std::vector<uint8_t>> ChimpCompressor::Compress(
   if (series.empty()) {
     return Status::InvalidArgument("cannot compress an empty series");
   }
+  if (Status s = CheckHeaderRepresentable(series); !s.ok()) return s;
 
   zip::BitWriter bits;
   uint64_t prev = DoubleToBits(series[0]);
@@ -102,7 +103,10 @@ Result<std::vector<uint8_t>> ChimpCompressor::Compress(
   ByteWriter writer;
   WriteHeader(MakeHeader(AlgorithmId::kChimp, series), writer);
   std::vector<uint8_t> payload = bits.Finish();
-  writer.PutU32(static_cast<uint32_t>(payload.size()));
+  if (Status s = PutCountU32(writer, payload.size(), "Chimp payload");
+      !s.ok()) {
+    return s;
+  }
   writer.PutBytes(payload);
   return writer.Finish();
 }
@@ -123,7 +127,7 @@ Result<TimeSeries> ChimpCompressor::Decompress(
   }
 
   std::vector<double> values;
-  values.reserve(header->num_points);
+  values.reserve(SafeReserve(header->num_points));
   Result<uint64_t> first = ReadBitsMsbFirst(bits, 64);
   if (!first.ok()) return first.status();
   uint64_t prev = *first;
@@ -145,7 +149,11 @@ Result<TimeSeries> ChimpCompressor::Decompress(
         if (!significant.ok()) return significant.status();
         const int leading = kLeadingTable[*leading_code];
         const int trailing = 64 - leading - static_cast<int>(*significant);
-        if (trailing < 0) return Status::Corruption("Chimp bad bit counts");
+        // significant == 0 never leaves the encoder (a zero XOR is the '00'
+        // control) and would make the shift below exceed 63.
+        if (*significant == 0 || trailing < 0) {
+          return Status::Corruption("Chimp bad bit counts");
+        }
         Result<uint64_t> center =
             ReadBitsMsbFirst(bits, static_cast<int>(*significant));
         if (!center.ok()) return center.status();

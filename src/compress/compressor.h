@@ -1,6 +1,7 @@
 #ifndef LOSSYTS_COMPRESS_COMPRESSOR_H_
 #define LOSSYTS_COMPRESS_COMPRESSOR_H_
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -66,12 +67,30 @@ inline Allowance RelativeAllowance(double value, double error_bound) {
   return Allowance{value - slack, value + slack};
 }
 
-/// Validates the error bound argument shared by all compressors.
+/// Validates the error bound argument shared by all compressors. The
+/// negated form of the first comparison also rejects NaN, whose comparisons
+/// are all false.
 inline Status CheckErrorBound(double error_bound) {
   if (!(error_bound > 0.0) || error_bound >= 1.0) {
     return Status::InvalidArgument(
         "relative error bound must be in (0, 1), got " +
         std::to_string(error_bound));
+  }
+  return Status::OK();
+}
+
+/// Rejects non-finite input values for the lossy codecs: a NaN has no
+/// allowance interval at all and an infinity has a degenerate one, so the
+/// pointwise guarantee of Definition 4 is unsatisfiable. The lossless codecs
+/// (Gorilla, Chimp) accept any bit pattern and do not call this.
+inline Status CheckFiniteValues(const TimeSeries& series) {
+  const std::vector<double>& v = series.values();
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) {
+      return Status::InvalidArgument(
+          "lossy compression requires finite values; index " +
+          std::to_string(i) + " is " + std::to_string(v[i]));
+    }
   }
   return Status::OK();
 }

@@ -50,6 +50,7 @@ Result<std::vector<uint8_t>> GorillaCompressor::Compress(
   if (series.empty()) {
     return Status::InvalidArgument("cannot compress an empty series");
   }
+  if (Status s = CheckHeaderRepresentable(series); !s.ok()) return s;
 
   zip::BitWriter bits;
   uint64_t prev = DoubleToBits(series[0]);
@@ -91,7 +92,10 @@ Result<std::vector<uint8_t>> GorillaCompressor::Compress(
   ByteWriter writer;
   WriteHeader(MakeHeader(AlgorithmId::kGorilla, series), writer);
   std::vector<uint8_t> payload = bits.Finish();
-  writer.PutU32(static_cast<uint32_t>(payload.size()));
+  if (Status s = PutCountU32(writer, payload.size(), "Gorilla payload");
+      !s.ok()) {
+    return s;
+  }
   writer.PutBytes(payload);
   return writer.Finish();
 }
@@ -109,7 +113,7 @@ Result<TimeSeries> GorillaCompressor::Decompress(
   zip::BitReader bits(reader.current(), *payload_size);
 
   std::vector<double> values;
-  values.reserve(header->num_points);
+  values.reserve(SafeReserve(header->num_points));
   if (header->num_points == 0) {
     return Status::Corruption("Gorilla blob with zero points");
   }

@@ -1,6 +1,7 @@
 #ifndef LOSSYTS_COMPRESS_HEADER_H_
 #define LOSSYTS_COMPRESS_HEADER_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "compress/compressor.h"
@@ -56,6 +57,40 @@ inline Result<BlobHeader> ReadHeader(ByteReader& reader,
   }
   h.num_points = *n;
   return h;
+}
+
+/// Clamp for decoder pre-allocation sized from the header's point count. The
+/// count passes only a coarse payload-derived sanity bound in ReadHeader, so
+/// a corrupted count can still be orders of magnitude too large; reserving it
+/// verbatim turns a 20-byte blob edit into a multi-gigabyte bad_alloc. The
+/// vector grows normally past the clamp for genuinely long series.
+inline size_t SafeReserve(uint32_t num_points) {
+  return std::min<size_t>(num_points, size_t{1} << 16);
+}
+
+/// Validates that the series metadata fits the wire header exactly: i32
+/// first timestamp, u16 sampling interval, u32 point count. MakeHeader casts
+/// unconditionally, so every Compress implementation calls this first —
+/// otherwise e.g. an interval of 70000 s would silently round-trip as 4464 s
+/// and the header round-trip oracle (conform/oracles.h) would fire.
+inline Status CheckHeaderRepresentable(const TimeSeries& series) {
+  if (series.start_timestamp() < INT32_MIN ||
+      series.start_timestamp() > INT32_MAX) {
+    return Status::InvalidArgument(
+        "first timestamp does not fit the i32 header field: " +
+        std::to_string(series.start_timestamp()));
+  }
+  if (series.interval_seconds() < 0 || series.interval_seconds() > 65535) {
+    return Status::InvalidArgument(
+        "sampling interval does not fit the u16 header field: " +
+        std::to_string(series.interval_seconds()));
+  }
+  if (series.size() > 0xFFFFFFFFull) {
+    return Status::InvalidArgument(
+        "point count does not fit the u32 header field: " +
+        std::to_string(series.size()));
+  }
+  return Status::OK();
 }
 
 inline BlobHeader MakeHeader(AlgorithmId algorithm, const TimeSeries& series) {

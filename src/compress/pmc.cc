@@ -1,6 +1,7 @@
 #include "compress/pmc.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 
@@ -34,6 +35,8 @@ Result<std::vector<uint8_t>> PmcCompressor::Compress(
   if (series.empty()) {
     return Status::InvalidArgument("cannot compress an empty series");
   }
+  if (Status s = CheckFiniteValues(series); !s.ok()) return s;
+  if (Status s = CheckHeaderRepresentable(series); !s.ok()) return s;
 
   std::vector<Segment> segments;
   const std::vector<double>& v = series.values();
@@ -51,7 +54,11 @@ Result<std::vector<uint8_t>> PmcCompressor::Compress(
     segment.length = static_cast<uint16_t>(end - window_start);
     const double rounded = static_cast<double>(
         static_cast<float>(committed_mean));
-    if (options_.f32_coefficients && rounded >= lo && rounded <= hi) {
+    // The isfinite check matters when a huge value's allowance endpoint
+    // overflowed to ±inf: the f32 cast then overflows too, and an infinite
+    // `rounded` would compare "inside" the infinite interval.
+    if (options_.f32_coefficients && std::isfinite(rounded) && rounded >= lo &&
+        rounded <= hi) {
       segment.mean = rounded;
       segment.width = kF32;
     } else {
@@ -68,8 +75,11 @@ Result<std::vector<uint8_t>> PmcCompressor::Compress(
     const double new_sum = window_sum + v[i];
     const double new_mean =
         new_sum / static_cast<double>(i - window_start + 1);
-    const bool fits = new_lo <= new_hi && new_mean >= new_lo &&
-                      new_mean <= new_hi &&
+    // isfinite guards the same-sign overflow of window_sum near DBL_MAX: an
+    // infinite mean passes the interval test once an allowance endpoint has
+    // itself overflowed to ±inf, yet decodes to a non-recompressible inf.
+    const bool fits = new_lo <= new_hi && std::isfinite(new_mean) &&
+                      new_mean >= new_lo && new_mean <= new_hi &&
                       (i - window_start) < kMaxSegmentLength;
     if (fits) {
       lo = new_lo;
@@ -89,7 +99,10 @@ Result<std::vector<uint8_t>> PmcCompressor::Compress(
 
   ByteWriter writer;
   WriteHeader(MakeHeader(AlgorithmId::kPmc, series), writer);
-  writer.PutU32(static_cast<uint32_t>(segments.size()));
+  if (Status s = PutCountU32(writer, segments.size(), "PMC segment");
+      !s.ok()) {
+    return s;
+  }
   for (const Segment& s : segments) {
     writer.PutU16(s.length);
     writer.PutU8(s.width);
@@ -115,10 +128,14 @@ Result<TimeSeries> PmcCompressor::Decompress(
   if (!num_segments.ok()) return num_segments.status();
 
   std::vector<double> values;
-  values.reserve(header->num_points);
+  values.reserve(SafeReserve(header->num_points));
   for (uint32_t s = 0; s < *num_segments; ++s) {
     Result<uint16_t> length = reader.GetU16();
     if (!length.ok()) return length.status();
+    if (values.size() + *length > header->num_points) {
+      return Status::Corruption(
+          "PMC segment lengths overrun the point count");
+    }
     Result<uint8_t> width = reader.GetU8();
     if (!width.ok()) return width.status();
     double mean = 0.0;

@@ -56,12 +56,18 @@ double EvalPolynomial(const std::array<double, 3>& coeffs, double t) {
 }
 
 // Checks the fitted polynomial against every point's relative allowance.
+// The negated comparison rejects NaN reconstructions (overflowed normal
+// equations yield NaN coefficients, and `rec < lo || rec > hi` is all-false
+// for NaN); the isfinite check additionally rejects ±inf reconstructions,
+// which would otherwise slip through when |v| is so large that the allowance
+// endpoints themselves overflow to ±inf — decompressed output must stay
+// finite so it can be re-compressed.
 bool Feasible(const std::vector<double>& v, size_t begin, size_t len,
               const std::array<double, 3>& coeffs, double error_bound) {
   for (size_t i = 0; i < len; ++i) {
     const double rec = EvalPolynomial(coeffs, static_cast<double>(i));
     const Allowance a = RelativeAllowance(v[begin + i], error_bound);
-    if (rec < a.lo || rec > a.hi) return false;
+    if (!std::isfinite(rec) || !(rec >= a.lo && rec <= a.hi)) return false;
   }
   return true;
 }
@@ -80,6 +86,8 @@ Result<std::vector<uint8_t>> PpaCompressor::Compress(
   if (series.empty()) {
     return Status::InvalidArgument("cannot compress an empty series");
   }
+  if (Status s = CheckFiniteValues(series); !s.ok()) return s;
+  if (Status s = CheckHeaderRepresentable(series); !s.ok()) return s;
 
   const std::vector<double>& v = series.values();
   std::vector<Segment> segments;
@@ -152,7 +160,10 @@ Result<std::vector<uint8_t>> PpaCompressor::Compress(
 
   ByteWriter writer;
   WriteHeader(MakeHeader(AlgorithmId::kPpa, series), writer);
-  writer.PutU32(static_cast<uint32_t>(segments.size()));
+  if (Status s = PutCountU32(writer, segments.size(), "PPA segment");
+      !s.ok()) {
+    return s;
+  }
   for (const Segment& s : segments) {
     writer.PutU16(s.length);
     writer.PutU8(s.degree);
@@ -170,10 +181,14 @@ Result<TimeSeries> PpaCompressor::Decompress(
   if (!num_segments.ok()) return num_segments.status();
 
   std::vector<double> values;
-  values.reserve(header->num_points);
+  values.reserve(SafeReserve(header->num_points));
   for (uint32_t s = 0; s < *num_segments; ++s) {
     Result<uint16_t> length = reader.GetU16();
     if (!length.ok()) return length.status();
+    if (values.size() + *length > header->num_points) {
+      return Status::Corruption(
+          "PPA segment lengths overrun the point count");
+    }
     Result<uint8_t> degree = reader.GetU8();
     if (!degree.ok()) return degree.status();
     if (*degree > 2) return Status::Corruption("PPA degree out of range");

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/status.h"
@@ -40,6 +41,21 @@ class ByteWriter {
  private:
   std::vector<uint8_t> bytes_;
 };
+
+/// Writes a size_t count as u32, failing instead of silently truncating when
+/// the count does not fit. Segment/model/symbol counts are stored as u32 on
+/// the wire; a count past 2^32-1 would otherwise wrap and decode as a shorter
+/// stream that still parses, corrupting the reconstruction undetectably.
+inline Status PutCountU32(ByteWriter& writer, size_t count,
+                          const char* what) {
+  if (count > 0xFFFFFFFFull) {
+    return Status::Internal(std::string(what) +
+                            " count exceeds the u32 wire format: " +
+                            std::to_string(count));
+  }
+  writer.PutU32(static_cast<uint32_t>(count));
+  return Status::OK();
+}
 
 /// Little-endian byte-level reader; every accessor bounds-checks and returns
 /// Corruption past the end so malformed blobs never crash decompression.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 
 #include "compress/header.h"
 #include "compress/serde.h"
@@ -81,6 +82,28 @@ void ChooseBlockModel(const std::vector<double>& w, size_t begin, size_t end,
   }
 }
 
+// Prediction and reconstruction arithmetic shared by Compress and
+// Decompress. The encoder *verifies* every quantized reconstruction against
+// the point's relative allowance (the LFZip-style max-error check), which is
+// only sound if it computes bit-for-bit what the decoder will compute — so
+// both sides call these and nothing else.
+double PredictValue(const BlockModel& model, size_t local_index,
+                    double prev_rec) {
+  switch (model.predictor) {
+    case PredictorId::kLorenzo:
+      return prev_rec;
+    case PredictorId::kMeanLorenzo:
+      return model.mean;
+    case PredictorId::kLinearRegression:
+      return model.a + model.b * static_cast<double>(local_index);
+  }
+  return prev_rec;
+}
+
+double ReconstructValue(double pred, double delta, int code) {
+  return pred + 2.0 * delta * static_cast<double>(code);
+}
+
 }  // namespace
 
 Result<std::vector<uint8_t>> SzCompressor::Compress(
@@ -89,6 +112,8 @@ Result<std::vector<uint8_t>> SzCompressor::Compress(
   if (series.empty()) {
     return Status::InvalidArgument("cannot compress an empty series");
   }
+  if (Status s = CheckFiniteValues(series); !s.ok()) return s;
+  if (Status s = CheckHeaderRepresentable(series); !s.ok()) return s;
 
   const std::vector<double>& v = series.values();
   const int radius = options_.quant_radius;
@@ -129,6 +154,12 @@ Result<std::vector<uint8_t>> SzCompressor::Compress(
     // Store the bound as f32 and quantize with the rounded-down value so
     // encoder and decoder agree bit-for-bit and the bound still holds.
     float bound32 = static_cast<float>(error_bound * min_mag);
+    if (std::isinf(bound32)) {
+      // ε·min|v| past FLT_MAX would quantize every residual to code 0 and
+      // reconstruct pred + 2·inf·0 = NaN. FLT_MAX is still below the true
+      // bound (the cast overflowed), so it is a valid conservative δ.
+      bound32 = std::numeric_limits<float>::max();
+    }
     if (static_cast<double>(bound32) > error_bound * min_mag) {
       bound32 = std::nextafterf(bound32, 0.0f);
     }
@@ -138,23 +169,25 @@ Result<std::vector<uint8_t>> SzCompressor::Compress(
 
     const double delta = static_cast<double>(bound32);
     for (size_t i = begin; i < end; ++i) {
-      double pred = 0.0;
-      switch (model.predictor) {
-        case PredictorId::kLorenzo:
-          pred = prev_rec;
-          break;
-        case PredictorId::kMeanLorenzo:
-          pred = model.mean;
-          break;
-        case PredictorId::kLinearRegression:
-          pred = model.a + model.b * static_cast<double>(i - begin);
-          break;
-      }
+      const double pred = PredictValue(model, i - begin, prev_rec);
       bool predictable = delta > 0.0;
       double code_f = 0.0;
       if (predictable) {
         code_f = std::round((w[i] - pred) / (2.0 * delta));
         predictable = std::abs(code_f) < static_cast<double>(radius);
+      }
+      if (predictable) {
+        // Verify the decoder's exact reconstruction against the allowance.
+        // |2δ·round(r/2δ) − r| ≤ δ only holds in real arithmetic; the
+        // division, scaling, and final addition each round, and near a bin
+        // edge the accumulated drift can cross the bound. Any point the
+        // reconstruction cannot provably cover is stored verbatim.
+        const double rec = ReconstructValue(pred, delta,
+                                            static_cast<int>(code_f));
+        const Allowance a = RelativeAllowance(w[i], error_bound);
+        // isfinite rejects an overflowed ±inf reconstruction that would
+        // "fit" an allowance whose endpoint itself overflowed to ±inf.
+        predictable = std::isfinite(rec) && rec >= a.lo && rec <= a.hi;
       }
       if (!predictable) {
         symbols.push_back(unpredictable_symbol);
@@ -163,7 +196,7 @@ Result<std::vector<uint8_t>> SzCompressor::Compress(
       } else {
         const int code = static_cast<int>(code_f);
         symbols.push_back(code + radius);
-        prev_rec = pred + 2.0 * delta * static_cast<double>(code);
+        prev_rec = ReconstructValue(pred, delta, code);
       }
     }
   }
@@ -171,10 +204,15 @@ Result<std::vector<uint8_t>> SzCompressor::Compress(
   // Stage 4: entropy-code the symbols.
   ByteWriter writer;
   WriteHeader(MakeHeader(AlgorithmId::kSz, series), writer);
-  writer.PutU32(static_cast<uint32_t>(w.size()));
+  if (Status s = PutCountU32(writer, w.size(), "SZ nonzero"); !s.ok()) {
+    return s;
+  }
   for (uint8_t c : classes) writer.PutU8(c);
 
-  writer.PutU32(static_cast<uint32_t>(models.size()));
+  if (Status s = PutCountU32(writer, models.size(), "SZ block model");
+      !s.ok()) {
+    return s;
+  }
   for (const BlockModel& m : models) {
     writer.PutU8(static_cast<uint8_t>(m.predictor));
     uint32_t bound_bits;
@@ -212,7 +250,10 @@ Result<std::vector<uint8_t>> SzCompressor::Compress(
                             (*lengths)[static_cast<size_t>(s)]);
     }
     std::vector<uint8_t> payload = bits.Finish();
-    writer.PutU32(static_cast<uint32_t>(payload.size()));
+    if (Status s = PutCountU32(writer, payload.size(), "SZ Huffman payload");
+        !s.ok()) {
+      return s;
+    }
     writer.PutBytes(payload);
   } else {
     // Degenerate distribution; store the raw codes (gzip still shrinks them).
@@ -220,7 +261,11 @@ Result<std::vector<uint8_t>> SzCompressor::Compress(
     for (int s : symbols) writer.PutU32(static_cast<uint32_t>(s));
   }
 
-  writer.PutU32(static_cast<uint32_t>(unpredictable.size()));
+  if (Status s = PutCountU32(writer, unpredictable.size(),
+                             "SZ unpredictable value");
+      !s.ok()) {
+    return s;
+  }
   for (double x : unpredictable) writer.PutDouble(x);
   return writer.Finish();
 }
@@ -323,7 +368,9 @@ Result<TimeSeries> SzCompressor::Decompress(
     for (uint32_t i = 0; i < *n_nonzero; ++i) {
       Result<uint32_t> sym = reader.GetU32();
       if (!sym.ok()) return sym.status();
-      if (static_cast<int>(*sym) > unpredictable_symbol) {
+      // Compare as unsigned: casting first would wrap codes >= 2^31 to
+      // negative ints that slip past the check and decode as garbage.
+      if (*sym > static_cast<uint32_t>(unpredictable_symbol)) {
         return Status::Corruption("SZ raw symbol out of range");
       }
       symbols.push_back(static_cast<int>(*sym));
@@ -356,19 +403,8 @@ Result<TimeSeries> SzCompressor::Decompress(
     }
     const BlockModel& m = models[block];
     const double delta = static_cast<double>(m.abs_bound);
-    double pred = 0.0;
-    switch (m.predictor) {
-      case PredictorId::kLorenzo:
-        pred = prev_rec;
-        break;
-      case PredictorId::kMeanLorenzo:
-        pred = m.mean;
-        break;
-      case PredictorId::kLinearRegression:
-        pred = m.a +
-               m.b * static_cast<double>(i - block * options_.block_size);
-        break;
-    }
+    const double pred =
+        PredictValue(m, i - block * options_.block_size, prev_rec);
     const int sym = symbols[i];
     if (sym == unpredictable_symbol) {
       if (unpred_pos >= unpredictable.size()) {
@@ -376,7 +412,7 @@ Result<TimeSeries> SzCompressor::Decompress(
       }
       w[i] = unpredictable[unpred_pos++];
     } else {
-      w[i] = pred + 2.0 * delta * static_cast<double>(sym - radius);
+      w[i] = ReconstructValue(pred, delta, sym - radius);
     }
     prev_rec = w[i];
   }

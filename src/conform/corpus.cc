@@ -1,0 +1,196 @@
+#include "conform/corpus.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "core/rng.h"
+#include "core/seed.h"
+
+namespace lossyts::conform {
+
+namespace {
+
+// Kept modest so a full corpus builds in milliseconds; the "lengths" family
+// overrides this to cross the 65535/65536 segment-cap boundary.
+constexpr size_t kDefaultLength = 512;
+
+int64_t RandomTimestamp(Rng& rng) {
+  // Stay inside i32 so the shared header can represent it; vary it so the
+  // header round-trip oracle sees different values per case.
+  return static_cast<int64_t>(rng.UniformInt(4000000000ull)) - 2000000000ll;
+}
+
+int32_t RandomInterval(Rng& rng) {
+  return static_cast<int32_t>(1 + rng.UniformInt(65535));
+}
+
+std::vector<double> MakeConstant(Rng& rng, size_t n) {
+  std::vector<double> v(n, rng.Uniform(-1000.0, 1000.0));
+  return v;
+}
+
+std::vector<double> MakeZeroBlocks(Rng& rng, size_t n) {
+  // Day/night alternation: positive "daytime" signal separated by exact-zero
+  // "night" stretches, the Solar failure mode the paper calls out.
+  std::vector<double> v;
+  v.reserve(n);
+  bool day = rng.UniformInt(2) == 0;
+  while (v.size() < n) {
+    const size_t run = 1 + rng.UniformInt(32);
+    for (size_t i = 0; i < run && v.size() < n; ++i) {
+      v.push_back(day ? rng.Uniform(0.5, 50.0) : 0.0);
+    }
+    day = !day;
+  }
+  return v;
+}
+
+std::vector<double> MakeTiny(Rng& rng, size_t n) {
+  // Magnitudes from deep-subnormal up to 1e-30: ε·|v| underflows SZ's f32
+  // per-block bound to zero and stresses allowance arithmetic everywhere.
+  std::vector<double> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double exponent = rng.Uniform(-320.0, -30.0);
+    const double sign = rng.UniformInt(2) == 0 ? 1.0 : -1.0;
+    v.push_back(sign * std::pow(10.0, exponent));
+  }
+  return v;
+}
+
+std::vector<double> MakeSignFlips(Rng& rng, size_t n) {
+  // Small values alternating sign, with exact zeros interleaved: every zero
+  // crossing forces a zero-width or sign-straddling allowance.
+  std::vector<double> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.UniformInt(5) == 0) {
+      v.push_back(0.0);
+    } else {
+      const double sign = (i % 2 == 0) ? 1.0 : -1.0;
+      v.push_back(sign * rng.Uniform(1e-6, 2.0));
+    }
+  }
+  return v;
+}
+
+std::vector<double> MakeWideRange(Rng& rng, size_t n) {
+  // Exponents -12..12 inside a single SZ block: the conservative per-block
+  // δ = ε·min|v| is ~24 decades below the large values' allowance.
+  std::vector<double> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double exponent = rng.Uniform(-12.0, 12.0);
+    const double sign = rng.UniformInt(2) == 0 ? 1.0 : -1.0;
+    v.push_back(sign * std::pow(10.0, exponent));
+  }
+  return v;
+}
+
+std::vector<double> MakeSteep(Rng& rng, size_t n) {
+  // Alternation between ±c·DBL_MAX: consecutive deltas overflow to ±inf in
+  // both Swing's slope intervals and SZ's f32 block bound.
+  std::vector<double> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double c = rng.Uniform(0.1, 0.9);
+    const double sign = (i % 2 == 0) ? 1.0 : -1.0;
+    v.push_back(sign * c * std::numeric_limits<double>::max());
+  }
+  return v;
+}
+
+std::vector<double> MakeRandomWalk(Rng& rng, size_t n) {
+  std::vector<double> v;
+  v.reserve(n);
+  double level = rng.Uniform(-10.0, 10.0);
+  for (size_t i = 0; i < n; ++i) {
+    level += rng.Normal(0.0, 1.0);
+    // Occasional exact zeros keep the exact-zero oracle live on this family.
+    v.push_back(rng.UniformInt(64) == 0 ? 0.0 : level);
+  }
+  return v;
+}
+
+// Lengths that straddle the u16 segment cap and the degenerate minimum.
+constexpr size_t kLengths[] = {1, 65535, 2, 65536, 5, 65537};
+
+std::vector<double> MakeLengthsCase(Rng& rng, int index) {
+  const size_t n = kLengths[static_cast<size_t>(index) %
+                            (sizeof(kLengths) / sizeof(kLengths[0]))];
+  std::vector<double> v;
+  v.reserve(n);
+  double level = rng.Uniform(0.0, 100.0);
+  for (size_t i = 0; i < n; ++i) {
+    level += rng.Uniform(-0.5, 0.5);
+    v.push_back(level);
+  }
+  return v;
+}
+
+}  // namespace
+
+const std::vector<std::string>& CorpusFamilies() {
+  static const std::vector<std::string> kFamilies = {
+      "constant", "zero-blocks", "tiny",    "sign-flips",
+      "wide-range", "steep",     "lengths", "random-walk"};
+  return kFamilies;
+}
+
+Result<CorpusCase> MakeCorpusCase(std::string_view family, int index,
+                                  uint64_t base_seed) {
+  const uint64_t seed =
+      MixSeed(TagSeed(base_seed, family), static_cast<uint64_t>(index));
+  Rng rng(seed);
+  const int64_t start = RandomTimestamp(rng);
+  const int32_t interval = RandomInterval(rng);
+
+  std::vector<double> values;
+  if (family == "constant") {
+    values = MakeConstant(rng, kDefaultLength);
+  } else if (family == "zero-blocks") {
+    values = MakeZeroBlocks(rng, kDefaultLength);
+  } else if (family == "tiny") {
+    values = MakeTiny(rng, kDefaultLength);
+  } else if (family == "sign-flips") {
+    values = MakeSignFlips(rng, kDefaultLength);
+  } else if (family == "wide-range") {
+    values = MakeWideRange(rng, kDefaultLength);
+  } else if (family == "steep") {
+    values = MakeSteep(rng, kDefaultLength);
+  } else if (family == "lengths") {
+    values = MakeLengthsCase(rng, index);
+  } else if (family == "random-walk") {
+    values = MakeRandomWalk(rng, kDefaultLength);
+  } else {
+    return Status::NotFound("unknown corpus family: " + std::string(family));
+  }
+
+  CorpusCase out;
+  out.family = std::string(family);
+  out.index = index;
+  out.seed = seed;
+  out.series = TimeSeries(start, interval, std::move(values));
+  return out;
+}
+
+std::vector<CorpusCase> GenerateCorpus(uint64_t base_seed,
+                                       int cases_per_family) {
+  std::vector<CorpusCase> corpus;
+  corpus.reserve(CorpusFamilies().size() *
+                 static_cast<size_t>(cases_per_family > 0 ? cases_per_family
+                                                          : 0));
+  for (const std::string& family : CorpusFamilies()) {
+    for (int i = 0; i < cases_per_family; ++i) {
+      Result<CorpusCase> c = MakeCorpusCase(family, i, base_seed);
+      // Families are enumerated from CorpusFamilies(), so NotFound cannot
+      // happen here; skip defensively rather than abort.
+      if (c.ok()) corpus.push_back(std::move(*c));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace lossyts::conform

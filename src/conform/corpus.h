@@ -1,0 +1,53 @@
+#ifndef LOSSYTS_CONFORM_CORPUS_H_
+#define LOSSYTS_CONFORM_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "core/time_series.h"
+
+namespace lossyts::conform {
+
+/// One adversarial series. `seed` is the exact Rng seed the generator used,
+/// derived as MixSeed(TagSeed(base_seed, family), index) — reproducing a
+/// printed failure needs only (base_seed, family, index).
+struct CorpusCase {
+  std::string family;
+  int index = 0;
+  uint64_t seed = 0;
+  TimeSeries series;
+};
+
+/// The corpus families, each aimed at a specific codec weak spot:
+///  - "constant":    constant runs (PMC/Swing merge behaviour, Gorilla XOR=0)
+///  - "zero-blocks": night-time zero stretches between positive signal
+///                   (zero-width allowances inside segments)
+///  - "tiny":        subnormal and near-subnormal magnitudes (SZ's f32
+///                   per-block bound underflows to 0)
+///  - "sign-flips":  small values alternating sign around exact zeros
+///  - "wide-range":  magnitudes spanning ~24 decades inside one SZ block
+///                   (conservative δ = ε·min|v| collapses)
+///  - "steep":       ±DBL_MAX-adjacent alternation (Swing slope intervals
+///                   and SZ's f32 bound overflow to ±inf)
+///  - "lengths":     lengths 1, 2, 5, 65535, 65536, 65537 crossing the u16
+///                   segment-length cap
+///  - "random-walk": generic walk with occasional exact zeros
+const std::vector<std::string>& CorpusFamilies();
+
+/// Deterministically builds case `index` of `family`. NotFound for an
+/// unknown family name.
+Result<CorpusCase> MakeCorpusCase(std::string_view family, int index,
+                                  uint64_t base_seed);
+
+/// The full corpus: `cases_per_family` cases of every family. Iterating the
+/// "lengths" family needs index >= 5 to cross the 65536/65537 boundary, so
+/// soak runs should use cases_per_family >= 6.
+std::vector<CorpusCase> GenerateCorpus(uint64_t base_seed,
+                                       int cases_per_family);
+
+}  // namespace lossyts::conform
+
+#endif  // LOSSYTS_CONFORM_CORPUS_H_

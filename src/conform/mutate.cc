@@ -1,0 +1,157 @@
+#include "conform/mutate.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "core/rng.h"
+
+namespace lossyts::conform {
+
+namespace {
+
+// Shared header layout offsets (compress/header.h).
+constexpr size_t kPointCountOffset = 7;
+constexpr size_t kHeaderSize = 11;
+constexpr size_t kFirstPayloadCountOffset = 11;
+
+uint32_t ReadU32LE(const std::vector<uint8_t>& blob, size_t offset) {
+  uint32_t v = 0;
+  std::memcpy(&v, blob.data() + offset, sizeof(v));
+  return v;
+}
+
+void WriteU32LE(std::vector<uint8_t>& blob, size_t offset, uint32_t v) {
+  std::memcpy(blob.data() + offset, &v, sizeof(v));
+}
+
+void WriteU16LE(std::vector<uint8_t>& blob, size_t offset, uint16_t v) {
+  std::memcpy(blob.data() + offset, &v, sizeof(v));
+}
+
+std::string Hex(uint64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+void AddTruncations(const std::vector<uint8_t>& blob,
+                    std::vector<Mutant>& out) {
+  const size_t candidates[] = {0,  1,  5,          10,
+                               11, 15, blob.size() / 2,
+                               blob.size() > 0 ? blob.size() - 1 : 0};
+  size_t last = blob.size();  // Skip the identity "truncation".
+  for (const size_t at : candidates) {
+    if (at >= blob.size() || at == last) continue;
+    last = at;
+    out.push_back({"truncate@" + std::to_string(at),
+                   std::vector<uint8_t>(blob.begin(),
+                                        blob.begin() + static_cast<long>(at))});
+  }
+}
+
+void AddHeaderBitFlips(const std::vector<uint8_t>& blob,
+                       std::vector<Mutant>& out) {
+  const size_t limit = std::min(blob.size(), kHeaderSize);
+  for (size_t byte = 0; byte < limit; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Mutant m{"bit-flip@" + std::to_string(byte) + "." + std::to_string(bit),
+               blob};
+      m.blob[byte] ^= static_cast<uint8_t>(1u << bit);
+      out.push_back(std::move(m));
+    }
+  }
+}
+
+void AddCountSplices(const std::vector<uint8_t>& blob, size_t offset,
+                     const char* what, std::vector<Mutant>& out) {
+  if (blob.size() < offset + 4) return;
+  const uint32_t old = ReadU32LE(blob, offset);
+  const uint32_t values[] = {0u,       1u,          old - 1u, old + 1u,
+                             old * 2u, 0x7FFFFFFFu, 0xFFFFFFFFu};
+  for (const uint32_t v : values) {
+    if (v == old) continue;
+    Mutant m{std::string(what) + "=" + Hex(v), blob};
+    WriteU32LE(m.blob, offset, v);
+    out.push_back(std::move(m));
+  }
+}
+
+void AddSegmentLengthSplices(const std::vector<uint8_t>& blob,
+                             std::vector<Mutant>& out) {
+  // First u16 inside the first payload record: the segment length for the
+  // length-prefixed codecs (PMC/Swing), arbitrary payload bytes for the rest
+  // — either way the decoder must cope.
+  const size_t offset = kFirstPayloadCountOffset + 4;
+  if (blob.size() < offset + 2) return;
+  for (const uint16_t v : {uint16_t{0}, uint16_t{0xFFFF}}) {
+    Mutant m{"seg-len=" + Hex(v), blob};
+    WriteU16LE(m.blob, offset, v);
+    out.push_back(std::move(m));
+  }
+}
+
+void AddRandomMutations(const std::vector<uint8_t>& blob, uint64_t seed,
+                        int count, std::vector<Mutant>& out) {
+  if (blob.empty()) return;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const size_t byte = rng.UniformInt(blob.size());
+    if (rng.UniformInt(2) == 0) {
+      const int bit = static_cast<int>(rng.UniformInt(8));
+      Mutant m{"rand-flip#" + std::to_string(i) + "@" + std::to_string(byte) +
+                   "." + std::to_string(bit),
+               blob};
+      m.blob[byte] ^= static_cast<uint8_t>(1u << bit);
+      out.push_back(std::move(m));
+    } else {
+      const uint8_t v = static_cast<uint8_t>(rng.UniformInt(256));
+      Mutant m{"rand-byte#" + std::to_string(i) + "@" + std::to_string(byte) +
+                   "=" + Hex(v),
+               blob};
+      m.blob[byte] = v;
+      out.push_back(std::move(m));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Mutant> GenerateMutants(const std::vector<uint8_t>& blob,
+                                    uint64_t seed, int random_bit_flips) {
+  std::vector<Mutant> out;
+  AddTruncations(blob, out);
+  AddHeaderBitFlips(blob, out);
+  AddCountSplices(blob, kPointCountOffset, "num-points", out);
+  AddCountSplices(blob, kFirstPayloadCountOffset, "payload-count", out);
+  AddSegmentLengthSplices(blob, out);
+  AddRandomMutations(blob, seed, random_bit_flips, out);
+  return out;
+}
+
+std::optional<OracleFailure> CheckMutantDecode(
+    const compress::Compressor& codec, const Mutant& mutant) {
+  Result<TimeSeries> rec = codec.Decompress(mutant.blob);
+  // Any clean rejection satisfies the contract; only an OK result carries an
+  // obligation. A flip may of course leave the blob valid (payload bits of a
+  // lossless codec), in which case the decode must still be self-consistent:
+  // the point count the header claims is the point count returned.
+  if (!rec.ok()) return std::nullopt;
+  if (mutant.blob.size() >= kPointCountOffset + 4) {
+    const uint32_t claimed = ReadU32LE(mutant.blob, kPointCountOffset);
+    if (rec->size() != claimed) {
+      return OracleFailure{
+          "mutant-accept",
+          "mutant '" + mutant.kind + "' decoded OK with " +
+              std::to_string(rec->size()) + " points but the header claims " +
+              std::to_string(claimed),
+          0};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace lossyts::conform

@@ -1,0 +1,42 @@
+#ifndef LOSSYTS_CONFORM_MUTATE_H_
+#define LOSSYTS_CONFORM_MUTATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "conform/oracles.h"
+
+namespace lossyts::conform {
+
+/// One mutated blob plus a stable description of how it was derived, so a
+/// decoder crash or mis-accept can be reproduced from the printed report.
+struct Mutant {
+  std::string kind;
+  std::vector<uint8_t> blob;
+};
+
+/// Derives the mutation battery for one valid blob, structure-aware against
+/// the shared header layout (byte 0 algorithm id, i32 timestamp at 1, u16
+/// interval at 5, u32 point count at 7, first payload count at 11):
+///  - truncations at structural boundaries and mid-payload,
+///  - single-bit flips across every header byte,
+///  - u32 splices of the point count and first payload count with boundary
+///    values (0, 1, old±1, old*2, 0x7FFFFFFF, 0xFFFFFFFF),
+///  - u16 splice of the first segment-length field,
+///  - `random_bit_flips` seeded random bit flips and byte splices anywhere.
+/// Deterministic in (blob, seed, random_bit_flips).
+std::vector<Mutant> GenerateMutants(const std::vector<uint8_t>& blob,
+                                    uint64_t seed, int random_bit_flips);
+
+/// Feeds one mutant to `codec.Decompress`. The decoder contract: it may
+/// return any non-OK Status (pass), but it must never crash, over-allocate,
+/// or return OK with a point count different from the header's claim.
+std::optional<OracleFailure> CheckMutantDecode(
+    const compress::Compressor& codec, const Mutant& mutant);
+
+}  // namespace lossyts::conform
+
+#endif  // LOSSYTS_CONFORM_MUTATE_H_

@@ -1,0 +1,200 @@
+#include "conform/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+namespace lossyts::conform {
+
+namespace {
+
+std::string FormatValue(double v) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+bool IsLosslessCodec(std::string_view name) {
+  return name == "GORILLA" || name == "CHIMP";
+}
+
+std::optional<OracleFailure> CheckShape(const TimeSeries& original,
+                                        const TimeSeries& decompressed) {
+  if (decompressed.size() != original.size()) {
+    return OracleFailure{
+        "shape",
+        "decompressed " + std::to_string(decompressed.size()) +
+            " points, expected " + std::to_string(original.size()),
+        0};
+  }
+  return std::nullopt;
+}
+
+std::optional<OracleFailure> CheckHeaderRoundTrip(
+    const TimeSeries& original, const TimeSeries& decompressed) {
+  if (decompressed.start_timestamp() != original.start_timestamp()) {
+    return OracleFailure{
+        "header",
+        "first timestamp " + std::to_string(decompressed.start_timestamp()) +
+            " != " + std::to_string(original.start_timestamp()),
+        0};
+  }
+  if (decompressed.interval_seconds() != original.interval_seconds()) {
+    return OracleFailure{
+        "header",
+        "sampling interval " +
+            std::to_string(decompressed.interval_seconds()) +
+            " != " + std::to_string(original.interval_seconds()),
+        0};
+  }
+  return std::nullopt;
+}
+
+std::optional<OracleFailure> CheckPointwiseBound(
+    const TimeSeries& original, const TimeSeries& decompressed,
+    double error_bound) {
+  if (decompressed.size() != original.size()) return std::nullopt;
+  size_t worst = 0;
+  double worst_excess = 0.0;
+  bool violated = false;
+  for (size_t i = 0; i < original.size(); ++i) {
+    const compress::Allowance a =
+        compress::RelativeAllowance(original[i], error_bound);
+    const double rec = decompressed[i];
+    // The negated comparison also trips on NaN reconstructions.
+    if (!(rec >= a.lo && rec <= a.hi)) {
+      const double excess =
+          std::isnan(rec) ? std::numeric_limits<double>::infinity()
+                          : std::max(a.lo - rec, rec - a.hi);
+      if (!violated || excess > worst_excess) {
+        worst = i;
+        worst_excess = excess;
+      }
+      violated = true;
+    }
+  }
+  if (!violated) return std::nullopt;
+  const compress::Allowance a =
+      compress::RelativeAllowance(original[worst], error_bound);
+  return OracleFailure{
+      "pointwise-bound",
+      "worst violator at index " + std::to_string(worst) + ": value " +
+          FormatValue(original[worst]) + " reconstructed as " +
+          FormatValue(decompressed[worst]) + ", allowance [" +
+          FormatValue(a.lo) + ", " + FormatValue(a.hi) + "], excess " +
+          FormatValue(worst_excess),
+      worst};
+}
+
+std::optional<OracleFailure> CheckExactZeros(const TimeSeries& original,
+                                             const TimeSeries& decompressed) {
+  if (decompressed.size() != original.size()) return std::nullopt;
+  for (size_t i = 0; i < original.size(); ++i) {
+    if (original[i] == 0.0 && decompressed[i] != 0.0) {
+      return OracleFailure{
+          "exact-zero",
+          "zero at index " + std::to_string(i) + " reconstructed as " +
+              FormatValue(decompressed[i]),
+          i};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<OracleFailure> CheckLossless(const TimeSeries& original,
+                                           const TimeSeries& decompressed) {
+  if (decompressed.size() != original.size()) return std::nullopt;
+  for (size_t i = 0; i < original.size(); ++i) {
+    if (Bits(decompressed[i]) != Bits(original[i])) {
+      return OracleFailure{
+          "lossless",
+          "bit mismatch at index " + std::to_string(i) + ": " +
+              FormatValue(original[i]) + " reconstructed as " +
+              FormatValue(decompressed[i]),
+          i};
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<OracleFailure> RunOracles(const compress::Compressor& codec,
+                                      const TimeSeries& series,
+                                      double error_bound) {
+  std::vector<OracleFailure> failures;
+  auto push = [&failures](std::optional<OracleFailure> f) {
+    if (f.has_value()) failures.push_back(std::move(*f));
+  };
+  const bool lossless = IsLosslessCodec(codec.name());
+
+  Result<std::vector<uint8_t>> blob = codec.Compress(series, error_bound);
+  if (!blob.ok()) {
+    failures.push_back(
+        {"compress", blob.status().ToString(), 0});
+    return failures;
+  }
+  Result<TimeSeries> rec = codec.Decompress(*blob);
+  if (!rec.ok()) {
+    failures.push_back({"decompress", rec.status().ToString(), 0});
+    return failures;
+  }
+
+  push(CheckShape(series, *rec));
+  push(CheckHeaderRoundTrip(series, *rec));
+  if (lossless) {
+    push(CheckLossless(series, *rec));
+  } else {
+    push(CheckPointwiseBound(series, *rec, error_bound));
+    push(CheckExactZeros(series, *rec));
+  }
+
+  // Re-compression round: decompressed output is a representable series, so
+  // compressing it again must succeed, and the second reconstruction must
+  // conform against the first (idempotence up to the bound; bit-exact for
+  // the lossless codecs).
+  Result<std::vector<uint8_t>> blob2 = codec.Compress(*rec, error_bound);
+  if (!blob2.ok()) {
+    failures.push_back({"recompress", blob2.status().ToString(), 0});
+    return failures;
+  }
+  Result<TimeSeries> rec2 = codec.Decompress(*blob2);
+  if (!rec2.ok()) {
+    failures.push_back(
+        {"recompress-decompress", rec2.status().ToString(), 0});
+    return failures;
+  }
+  if (auto f = CheckShape(*rec, *rec2); f.has_value()) {
+    f->oracle = "recompress-" + f->oracle;
+    failures.push_back(std::move(*f));
+  }
+  if (lossless) {
+    if (auto f = CheckLossless(*rec, *rec2); f.has_value()) {
+      f->oracle = "recompress-" + f->oracle;
+      failures.push_back(std::move(*f));
+    }
+  } else {
+    if (auto f = CheckPointwiseBound(*rec, *rec2, error_bound);
+        f.has_value()) {
+      f->oracle = "recompress-" + f->oracle;
+      failures.push_back(std::move(*f));
+    }
+    if (auto f = CheckExactZeros(*rec, *rec2); f.has_value()) {
+      f->oracle = "recompress-" + f->oracle;
+      failures.push_back(std::move(*f));
+    }
+  }
+  return failures;
+}
+
+}  // namespace lossyts::conform

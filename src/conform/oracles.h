@@ -1,0 +1,66 @@
+#ifndef LOSSYTS_CONFORM_ORACLES_H_
+#define LOSSYTS_CONFORM_ORACLES_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "core/status.h"
+#include "core/time_series.h"
+
+namespace lossyts::conform {
+
+/// One oracle violation. `oracle` is a stable machine-readable label
+/// ("pointwise-bound", "exact-zero", ...); `detail` is the human-readable
+/// explanation including the worst violator's index and magnitude.
+struct OracleFailure {
+  std::string oracle;
+  std::string detail;
+  size_t index = 0;  ///< Worst violating point, when the oracle has one.
+};
+
+/// True for the codecs held to bit-exact reconstruction (Gorilla, Chimp)
+/// instead of the relative pointwise bound.
+bool IsLosslessCodec(std::string_view name);
+
+/// decompress(compress(x)) must preserve the point count exactly.
+std::optional<OracleFailure> CheckShape(const TimeSeries& original,
+                                        const TimeSeries& decompressed);
+
+/// First timestamp and sampling interval must round-trip through the shared
+/// blob header (paper §3.2) unchanged.
+std::optional<OracleFailure> CheckHeaderRoundTrip(
+    const TimeSeries& original, const TimeSeries& decompressed);
+
+/// Definition 4, checked exactly: every reconstructed value must lie inside
+/// [v − ε·|v|, v + ε·|v|] as computed by compress::RelativeAllowance — the
+/// same arithmetic the codecs target. Reports the worst violator.
+std::optional<OracleFailure> CheckPointwiseBound(
+    const TimeSeries& original, const TimeSeries& decompressed,
+    double error_bound);
+
+/// Exact zeros have a zero-width allowance and must reconstruct as zero.
+/// Subsumed by CheckPointwiseBound but reported separately because it is the
+/// failure mode the paper calls out (Solar's night-time zeros).
+std::optional<OracleFailure> CheckExactZeros(const TimeSeries& original,
+                                             const TimeSeries& decompressed);
+
+/// Bit-exact reconstruction for the lossless codecs (distinguishes NaN
+/// payloads and signed zeros).
+std::optional<OracleFailure> CheckLossless(const TimeSeries& original,
+                                           const TimeSeries& decompressed);
+
+/// Runs the full oracle battery for one (codec, series, ε) cell:
+/// compress, decompress, shape/header/bound (or bit-exactness) checks, then
+/// a re-compression round — the decompressed series is itself a valid input
+/// and must compress cleanly with the bound holding against it. Returns
+/// every violation found (empty means the cell conforms).
+std::vector<OracleFailure> RunOracles(const compress::Compressor& codec,
+                                      const TimeSeries& series,
+                                      double error_bound);
+
+}  // namespace lossyts::conform
+
+#endif  // LOSSYTS_CONFORM_ORACLES_H_

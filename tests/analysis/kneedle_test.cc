@@ -92,5 +92,25 @@ TEST(KneedleTest, DegenerateFlatCurveFails) {
   EXPECT_FALSE(FindKnee(x, y).ok());
 }
 
+// Regression: the local-max scan used to *discard* a standing candidate when
+// the confirmation drop below the Satopää threshold never arrived before the
+// curve ended (a plateaued tail), handing the decision to the global-max
+// fallback. Here the whole difference curve is non-positive (the curve hugs
+// the diagonal from below), so the fallback's `diff > 0` test fails and the
+// old code returned NotFound even though the scan had found the knee.
+TEST(KneedleTest, PlateauedTailKeepsStandingCandidate) {
+  std::vector<double> x = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  // Normalized y equals y/10: diff = yn - xn is
+  // {0, -0.117, -0.033, -0.1, -0.167, -0.153, 0} — a local max at index 2
+  // with threshold -0.2 (sensitivity 1) that the tail never crosses.
+  std::vector<double> y = {0.0, 0.5, 3.0, 4.0, 5.0, 6.8, 10.0};
+  KneedleOptions options;
+  options.curve = KneedleCurve::kConcaveIncreasing;
+  Result<KneePoint> knee = FindKnee(x, y, options);
+  ASSERT_TRUE(knee.ok()) << knee.status().ToString();
+  EXPECT_EQ(knee->index, 2u);
+  EXPECT_DOUBLE_EQ(knee->x, 2.0);
+}
+
 }  // namespace
 }  // namespace lossyts::analysis

@@ -1,0 +1,191 @@
+// Edge-case coverage for the shared error-bound contract arithmetic
+// (RelativeAllowance / CheckErrorBound / CheckFiniteValues /
+// CheckHeaderRepresentable) and a cross-codec check that all lossy codecs
+// reject invalid bounds and inputs identically — they all route through the
+// same shared helpers, so divergence would mean a codec stopped calling them.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compress/compressor.h"
+#include "compress/header.h"
+#include "compress/pipeline.h"
+
+namespace lossyts::compress {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(RelativeAllowanceTest, PositiveValueBracketsValue) {
+  const Allowance a = RelativeAllowance(10.0, 0.1);
+  EXPECT_DOUBLE_EQ(a.lo, 9.0);
+  EXPECT_DOUBLE_EQ(a.hi, 11.0);
+}
+
+TEST(RelativeAllowanceTest, NegativeValueKeepsOrdering) {
+  // Slack uses |v|, so lo < v < hi also for negative values; a naive
+  // v*(1-eb)..v*(1+eb) would invert the interval.
+  const Allowance a = RelativeAllowance(-10.0, 0.1);
+  EXPECT_DOUBLE_EQ(a.lo, -11.0);
+  EXPECT_DOUBLE_EQ(a.hi, -9.0);
+  EXPECT_LT(a.lo, a.hi);
+}
+
+TEST(RelativeAllowanceTest, ExactZeroHasZeroWidth) {
+  const Allowance a = RelativeAllowance(0.0, 0.8);
+  EXPECT_EQ(a.lo, 0.0);
+  EXPECT_EQ(a.hi, 0.0);
+}
+
+TEST(RelativeAllowanceTest, SubnormalKeepsOrdering) {
+  const double v = 5e-324;  // Smallest positive subnormal.
+  const Allowance a = RelativeAllowance(v, 0.5);
+  EXPECT_LE(a.lo, v);
+  EXPECT_GE(a.hi, v);
+}
+
+TEST(RelativeAllowanceTest, HugeValueOverflowsToInfiniteEndpoint) {
+  // Documents the overflow the codecs must defend against: for |v| close to
+  // DBL_MAX the upper endpoint saturates at +inf, so "rec <= hi" stops
+  // constraining and codecs must additionally require finite reconstructions
+  // (see the isfinite guards in pmc/swing/sz/ppa).
+  const double v = 1.6e308;
+  const Allowance a = RelativeAllowance(v, 0.8);
+  EXPECT_TRUE(std::isinf(a.hi));
+  EXPECT_TRUE(std::isfinite(a.lo));
+}
+
+TEST(RelativeAllowanceTest, NaNValuePoisonsTheInterval) {
+  const Allowance a = RelativeAllowance(std::nan(""), 0.1);
+  // Both endpoints are NaN, so the membership test `rec >= lo && rec <= hi`
+  // is false for every rec: no reconstruction can satisfy a NaN point, which
+  // is why the lossy codecs reject non-finite input up front.
+  EXPECT_TRUE(std::isnan(a.lo));
+  EXPECT_TRUE(std::isnan(a.hi));
+  EXPECT_FALSE(1.0 >= a.lo && 1.0 <= a.hi);
+}
+
+TEST(CheckErrorBoundTest, AcceptsTheOpenUnitInterval) {
+  EXPECT_TRUE(CheckErrorBound(0.01).ok());
+  EXPECT_TRUE(CheckErrorBound(0.5).ok());
+  EXPECT_TRUE(CheckErrorBound(0.999).ok());
+  EXPECT_TRUE(CheckErrorBound(std::numeric_limits<double>::denorm_min()).ok());
+}
+
+TEST(CheckErrorBoundTest, RejectsBoundaryAndInvalidValues) {
+  for (const double eb : {0.0, -0.1, 1.0, 1.5, kInf, -kInf}) {
+    const Status s = CheckErrorBound(eb);
+    EXPECT_FALSE(s.ok()) << "eb=" << eb;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << "eb=" << eb;
+  }
+}
+
+TEST(CheckErrorBoundTest, RejectsNaN) {
+  const Status s = CheckErrorBound(std::nan(""));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckHeaderRepresentableTest, RejectsOutOfRangeMetadata) {
+  EXPECT_TRUE(
+      CheckHeaderRepresentable(TimeSeries(0, 60, {1.0})).ok());
+  EXPECT_FALSE(
+      CheckHeaderRepresentable(TimeSeries(3000000000ll, 60, {1.0})).ok());
+  EXPECT_FALSE(
+      CheckHeaderRepresentable(TimeSeries(-3000000000ll, 60, {1.0})).ok());
+  EXPECT_FALSE(CheckHeaderRepresentable(TimeSeries(0, 70000, {1.0})).ok());
+  EXPECT_FALSE(CheckHeaderRepresentable(TimeSeries(0, -1, {1.0})).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-codec: identical rejection behaviour.
+
+class LossyCodecContractTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LossyCodecContractTest, RejectsInvalidBoundsWithSharedDiagnostics) {
+  Result<std::unique_ptr<Compressor>> codec = MakeCompressor(GetParam());
+  ASSERT_TRUE(codec.ok());
+  TimeSeries ts(0, 60, {1.0, 2.0, 3.0, 4.0, 5.0});
+  for (const double eb : {0.0, -0.5, 1.0, 2.0, std::nan("")}) {
+    Result<std::vector<uint8_t>> blob = (*codec)->Compress(ts, eb);
+    ASSERT_FALSE(blob.ok()) << GetParam() << " eb=" << eb;
+    // All codecs route through the shared CheckErrorBound, so the code AND
+    // the message must be byte-identical to the helper's.
+    const Status expected = CheckErrorBound(eb);
+    EXPECT_EQ(blob.status().code(), expected.code());
+    EXPECT_EQ(blob.status().message(), expected.message());
+  }
+}
+
+TEST_P(LossyCodecContractTest, RejectsNonFiniteValues) {
+  Result<std::unique_ptr<Compressor>> codec = MakeCompressor(GetParam());
+  ASSERT_TRUE(codec.ok());
+  for (const double bad : {std::nan(""), kInf, -kInf}) {
+    TimeSeries ts(0, 60, {1.0, bad, 3.0});
+    Result<std::vector<uint8_t>> blob = (*codec)->Compress(ts, 0.1);
+    ASSERT_FALSE(blob.ok()) << GetParam() << " value=" << bad;
+    EXPECT_EQ(blob.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_P(LossyCodecContractTest, RejectsUnrepresentableHeaderMetadata) {
+  Result<std::unique_ptr<Compressor>> codec = MakeCompressor(GetParam());
+  ASSERT_TRUE(codec.ok());
+  std::vector<double> v(8, 1.0);
+  TimeSeries bad_interval(0, 70000, std::vector<double>(v));
+  TimeSeries bad_timestamp(int64_t{1} << 40, 60, std::vector<double>(v));
+  for (const TimeSeries* ts : {&bad_interval, &bad_timestamp}) {
+    Result<std::vector<uint8_t>> blob = (*codec)->Compress(*ts, 0.1);
+    ASSERT_FALSE(blob.ok()) << GetParam();
+    EXPECT_EQ(blob.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLossyCodecs, LossyCodecContractTest,
+                         ::testing::Values("PMC", "SWING", "SZ", "PPA"));
+
+// The lossless codecs accept any bit pattern — NaN and inf round-trip
+// bit-exactly instead of being rejected.
+class LosslessCodecContractTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LosslessCodecContractTest, RoundTripsNonFiniteBitPatterns) {
+  Result<std::unique_ptr<Compressor>> codec = MakeCompressor(GetParam());
+  ASSERT_TRUE(codec.ok());
+  TimeSeries ts(0, 60, {1.0, std::nan(""), kInf, -kInf, -0.0, 2.0});
+  Result<std::vector<uint8_t>> blob = (*codec)->Compress(ts, 0.1);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = (*codec)->Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    uint64_t a, b;
+    const double va = ts[i];
+    const double vb = (*out)[i];
+    std::memcpy(&a, &va, sizeof(a));
+    std::memcpy(&b, &vb, sizeof(b));
+    EXPECT_EQ(a, b) << "index " << i;
+  }
+}
+
+TEST_P(LosslessCodecContractTest, StillRejectsUnrepresentableHeader) {
+  Result<std::unique_ptr<Compressor>> codec = MakeCompressor(GetParam());
+  ASSERT_TRUE(codec.ok());
+  TimeSeries ts(0, 70000, {1.0, 2.0});
+  Result<std::vector<uint8_t>> blob = (*codec)->Compress(ts, 0.1);
+  ASSERT_FALSE(blob.ok());
+  EXPECT_EQ(blob.status().code(), StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLosslessCodecs, LosslessCodecContractTest,
+                         ::testing::Values("GORILLA", "CHIMP"));
+
+}  // namespace
+}  // namespace lossyts::compress

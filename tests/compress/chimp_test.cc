@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include "compress/gorilla.h"
+#include "compress/serde.h"
 #include "core/rng.h"
+#include "zip/bitstream.h"
 
 namespace lossyts::compress {
 namespace {
@@ -119,6 +121,31 @@ TEST(ChimpTest, DecompressRejectsWrongAlgorithm) {
   ASSERT_TRUE(blob.ok());
   (*blob)[0] = 4;  // Gorilla's id.
   EXPECT_FALSE(chimp.Decompress(*blob).ok());
+}
+
+// Regression (conformance mutation pass under UBSan): a center-bits record
+// claiming leading=0 and significant=0 made trailing = 64, and `center << 64`
+// is undefined — on x86 the shift wraps to zero, so the blob silently
+// *decoded* instead of failing. The encoder never emits significant == 0 (a
+// zero XOR uses the '00' identical-value control), so it must be Corruption.
+TEST(ChimpTest, ZeroSignificantCenterRecordIsCorruption) {
+  ByteWriter w;
+  w.PutU8(5);   // AlgorithmId::kChimp.
+  w.PutI32(0);  // First timestamp.
+  w.PutU16(60);
+  w.PutU32(2);  // Two points: one literal + one center-bits record.
+  zip::BitWriter bits;
+  for (int i = 0; i < 64; ++i) bits.WriteBits(0, 1);  // First value: 0.0.
+  bits.WriteBits(0b10, 2);  // Center-bits control (LSB-first pair (0,1)).
+  bits.WriteBits(0, 3);     // leading_code 0 -> leading 0.
+  bits.WriteBits(0, 6);     // significant 0 -> trailing would be 64.
+  const std::vector<uint8_t> payload = bits.Finish();
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutBytes(payload);
+  ChimpCompressor chimp;
+  Result<TimeSeries> out = chimp.Decompress(w.Finish());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "compress/serde.h"
 #include "core/metrics.h"
 #include "core/rng.h"
 
@@ -187,6 +188,48 @@ TEST_P(PmcPropertyTest, BoundHoldsOnRandomWalks) {
 
 INSTANTIATE_TEST_SUITE_P(Bounds, PmcPropertyTest,
                          ::testing::Values(0.01, 0.03, 0.05, 0.1, 0.2, 0.5));
+
+// Regression (conformance mutation pass): a blob whose header claims few
+// points but whose first segment claims length 65535 must fail as Corruption
+// before the decoder materializes the bogus segment — not after building a
+// multi-gigabyte vector from a chain of such segments.
+TEST(PmcTest, SegmentLengthOverrunIsCorruption) {
+  ByteWriter w;
+  w.PutU8(1);   // AlgorithmId::kPmc.
+  w.PutI32(0);  // First timestamp.
+  w.PutU16(60);
+  w.PutU32(10);     // num_points = 10...
+  w.PutU32(1);      // ...one segment...
+  w.PutU16(65535);  // ...claiming 65535 points.
+  w.PutU8(1);       // f64 width.
+  w.PutDouble(5.0);
+  PmcCompressor pmc;
+  Result<TimeSeries> out = pmc.Decompress(w.Finish());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+// Regression (conformance harness, "steep" family): near DBL_MAX the
+// allowance endpoints and the window sum both overflow; an infinite mean or
+// an f32-overflowed coefficient used to compare "inside" the infinite
+// interval and decode as inf.
+TEST(PmcTest, NearMaxMagnitudesStayFiniteAndBounded) {
+  TimeSeries ts(0, 60, {1.6e308, 1.65e308, -1.7e308, -1.6e308, 9e307});
+  PmcCompressor pmc;
+  for (const double eb : {0.2, 0.8}) {
+    Result<std::vector<uint8_t>> blob = pmc.Compress(ts, eb);
+    ASSERT_TRUE(blob.ok()) << "eb=" << eb;
+    Result<TimeSeries> out = pmc.Decompress(*blob);
+    ASSERT_TRUE(out.ok()) << "eb=" << eb;
+    ASSERT_EQ(out->size(), ts.size());
+    for (size_t i = 0; i < ts.size(); ++i) {
+      ASSERT_TRUE(std::isfinite((*out)[i])) << "eb=" << eb << " i=" << i;
+      const Allowance a = RelativeAllowance(ts[i], eb);
+      EXPECT_GE((*out)[i], a.lo) << "eb=" << eb << " i=" << i;
+      EXPECT_LE((*out)[i], a.hi) << "eb=" << eb << " i=" << i;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace lossyts::compress

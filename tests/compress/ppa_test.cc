@@ -173,5 +173,32 @@ TEST_P(PpaPropertyTest, BoundHoldsOnRandomWalks) {
 INSTANTIATE_TEST_SUITE_P(Bounds, PpaPropertyTest,
                          ::testing::Values(0.01, 0.05, 0.1, 0.3));
 
+// Regression (conformance harness, "steep" family): fitting near-DBL_MAX
+// values overflows the normal equations into NaN coefficients, and the old
+// feasibility check `rec < lo || rec > hi` is all-false for NaN — the NaN
+// polynomial sailed through and every point decoded as NaN.
+TEST(PpaTest, NearMaxMagnitudesStayFiniteAndBounded) {
+  std::vector<double> v;
+  for (int i = 0; i < 12; ++i) {
+    const double c = 0.1 + 0.07 * static_cast<double>(i);
+    v.push_back((i % 2 == 0 ? 1.0 : -1.0) * c * 1.7976931348623157e308);
+  }
+  TimeSeries ts(0, 60, std::move(v));
+  PpaCompressor ppa;
+  for (const double eb : {0.01, 0.2, 0.8}) {
+    Result<std::vector<uint8_t>> blob = ppa.Compress(ts, eb);
+    ASSERT_TRUE(blob.ok()) << "eb=" << eb;
+    Result<TimeSeries> out = ppa.Decompress(*blob);
+    ASSERT_TRUE(out.ok()) << "eb=" << eb;
+    ASSERT_EQ(out->size(), ts.size());
+    for (size_t i = 0; i < ts.size(); ++i) {
+      ASSERT_TRUE(std::isfinite((*out)[i])) << "eb=" << eb << " i=" << i;
+      const Allowance a = RelativeAllowance(ts[i], eb);
+      EXPECT_GE((*out)[i], a.lo) << "eb=" << eb << " i=" << i;
+      EXPECT_LE((*out)[i], a.hi) << "eb=" << eb << " i=" << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lossyts::compress

@@ -168,5 +168,52 @@ TEST_P(SwingPropertyTest, BoundHoldsOnRandomWalks) {
 INSTANTIATE_TEST_SUITE_P(Bounds, SwingPropertyTest,
                          ::testing::Values(0.01, 0.03, 0.05, 0.1, 0.2, 0.5));
 
+// Regression (conformance harness, "zero-blocks"/"sign-flips" families): an
+// exact zero inside a segment has a zero-width allowance, but the midpoint
+// slope times the in-segment index rounds — fl(-1/3)*3 is about -1+1.1e-16,
+// so the reconstruction drifts off zero unless the compressor verifies with
+// the decoder's exact arithmetic and shortens the segment.
+TEST(SwingTest, ExactZeroInsideSlopeIsReconstructedExactly) {
+  TimeSeries ts(0, 60, {1.0, 0.7, 0.35, 0.0});
+  SwingCompressor swing;
+  Result<std::vector<uint8_t>> blob = swing.Compress(ts, 0.2);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = swing.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 4u);
+  EXPECT_EQ((*out)[3], 0.0);
+  Result<double> max_rel = MaxRelError(ts.values(), out->values());
+  ASSERT_TRUE(max_rel.ok());
+  EXPECT_LE(*max_rel, 0.2);
+}
+
+// Regression (conformance harness, "steep" family): for values near
+// DBL_MAX the slope-interval endpoints overflow to ±inf, the midpoint slope
+// becomes ±inf or NaN, and at decode time inf*0 = NaN poisoned even the
+// anchor point. The allowance endpoints can overflow to ±inf too, letting an
+// infinite reconstruction "pass" the bound comparison.
+TEST(SwingTest, NearMaxMagnitudesStayFiniteAndBounded) {
+  std::vector<double> v;
+  for (int i = 0; i < 16; ++i) {
+    const double c = 0.1 + 0.05 * static_cast<double>(i);
+    v.push_back((i % 2 == 0 ? 1.0 : -1.0) * c * 1.7976931348623157e308);
+  }
+  TimeSeries ts(0, 60, std::move(v));
+  SwingCompressor swing;
+  for (const double eb : {0.2, 0.8}) {
+    Result<std::vector<uint8_t>> blob = swing.Compress(ts, eb);
+    ASSERT_TRUE(blob.ok()) << "eb=" << eb;
+    Result<TimeSeries> out = swing.Decompress(*blob);
+    ASSERT_TRUE(out.ok()) << "eb=" << eb;
+    ASSERT_EQ(out->size(), ts.size());
+    for (size_t i = 0; i < ts.size(); ++i) {
+      ASSERT_TRUE(std::isfinite((*out)[i])) << "eb=" << eb << " i=" << i;
+      const Allowance a = RelativeAllowance(ts[i], eb);
+      EXPECT_GE((*out)[i], a.lo) << "eb=" << eb << " i=" << i;
+      EXPECT_LE((*out)[i], a.hi) << "eb=" << eb << " i=" << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lossyts::compress

@@ -1,9 +1,11 @@
 #include "compress/sz.h"
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
+#include "compress/serde.h"
 #include "core/metrics.h"
 #include "core/rng.h"
 
@@ -199,6 +201,108 @@ TEST_P(SzPropertyTest, BoundHoldsOnRandomWalks) {
 
 INSTANTIATE_TEST_SUITE_P(Bounds, SzPropertyTest,
                          ::testing::Values(0.01, 0.03, 0.05, 0.1, 0.2, 0.5));
+
+// Regression (conformance harness, "steep" family): ε·min|v| past FLT_MAX
+// used to cast to a +inf block bound, and every "predictable" point then
+// reconstructed as pred + 2·inf·0 = NaN.
+TEST(SzTest, NearMaxMagnitudesStayFiniteAndBounded) {
+  std::vector<double> v;
+  for (int i = 0; i < 8; ++i) {
+    v.push_back((i % 2 == 0 ? 1.0 : -1.0) * 1.5e308);
+  }
+  TimeSeries ts(0, 60, std::move(v));
+  SzCompressor sz;
+  for (const double eb : {0.2, 0.8}) {
+    Result<std::vector<uint8_t>> blob = sz.Compress(ts, eb);
+    ASSERT_TRUE(blob.ok()) << "eb=" << eb;
+    Result<TimeSeries> out = sz.Decompress(*blob);
+    ASSERT_TRUE(out.ok()) << "eb=" << eb;
+    ASSERT_EQ(out->size(), ts.size());
+    for (size_t i = 0; i < ts.size(); ++i) {
+      ASSERT_TRUE(std::isfinite((*out)[i])) << "eb=" << eb << " i=" << i;
+      const Allowance a = RelativeAllowance(ts[i], eb);
+      EXPECT_GE((*out)[i], a.lo) << "eb=" << eb << " i=" << i;
+      EXPECT_LE((*out)[i], a.hi) << "eb=" << eb << " i=" << i;
+    }
+  }
+}
+
+// Regression (conformance harness, "tiny" family): for subnormal magnitudes
+// ε·min|v| underflows the f32 block bound to zero; every point must then be
+// stored verbatim, making the round trip exact.
+TEST(SzTest, SubnormalMagnitudesRoundTripExactly) {
+  TimeSeries ts(0, 60, {1e-320, -3e-321, 5e-324, -1e-310, 2e-315});
+  SzCompressor sz;
+  Result<std::vector<uint8_t>> blob = sz.Compress(ts, 0.5);
+  ASSERT_TRUE(blob.ok());
+  Result<TimeSeries> out = sz.Decompress(*blob);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ((*out)[i], ts[i]) << "i=" << i;
+  }
+}
+
+// Builds a minimal single-point raw-mode (mode byte 1) SZ blob carrying the
+// given symbol, with one Lorenzo block of bound 0.5 and no unpredictable
+// values. Exercises the decoder path the encoder reaches only when Huffman
+// construction fails.
+std::vector<uint8_t> RawModeBlob(uint32_t symbol) {
+  ByteWriter w;
+  w.PutU8(3);   // AlgorithmId::kSz.
+  w.PutI32(0);  // First timestamp.
+  w.PutU16(60);
+  w.PutU32(1);  // num_points.
+  w.PutU32(1);  // Non-zero count.
+  w.PutU8(1);   // Class: non-zero.
+  w.PutU32(1);  // One block model.
+  w.PutU8(0);   // Lorenzo predictor.
+  const float bound = 0.5f;
+  uint32_t bound_bits;
+  std::memcpy(&bound_bits, &bound, sizeof(bound_bits));
+  w.PutU32(bound_bits);
+  w.PutU8(1);  // Raw symbol mode.
+  w.PutU32(symbol);
+  w.PutU32(0);  // No unpredictable values.
+  return w.Finish();
+}
+
+TEST(SzTest, RawModeBlobDecodes) {
+  // Default quant_radius is 32768, so symbol radius+1 carries code +1:
+  // value = prev_rec(0) + 2·0.5·1 = 1.
+  SzCompressor sz;
+  Result<TimeSeries> out = sz.Decompress(RawModeBlob(32769));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_DOUBLE_EQ((*out)[0], 1.0);
+}
+
+// Regression: raw symbols were cast to int *before* the range check, so a
+// value >= 2^31 wrapped negative, slipped past `sym > unpredictable_symbol`,
+// and indexed the reconstruction with garbage.
+TEST(SzTest, RawSymbolPastIntRangeIsCorruption) {
+  SzCompressor sz;
+  Result<TimeSeries> out = sz.Decompress(RawModeBlob(0x80000000u));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SzTest, RawSymbolJustPastAlphabetIsCorruption) {
+  // unpredictable_symbol = 2·32768; one past it is invalid.
+  SzCompressor sz;
+  Result<TimeSeries> out = sz.Decompress(RawModeBlob(65537));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SzTest, UnpredictableSymbolWithEmptyStreamIsCorruption) {
+  // The symbol itself is in range but the unpredictable value stream is
+  // empty; the decoder must fail cleanly instead of reading past it.
+  SzCompressor sz;
+  Result<TimeSeries> out = sz.Decompress(RawModeBlob(65536));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
 
 }  // namespace
 }  // namespace lossyts::compress

@@ -23,6 +23,13 @@ run_config() {
     ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R "${filter}"
   else
     ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+    # Codec conformance smoke: adversarial corpus x codecs x error bounds
+    # through the pointwise-bound oracles plus decoder fuzzing. CI keeps the
+    # grid small (2 cases per family); for a soak, set LOSSYTS_CONFORM_ITERS
+    # to 8+ (>= 6 also cycles the whole "lengths" family across the u16
+    # segment cap). The variable feeds both this smoke leg and the
+    # ConformanceTest.FullGridIsClean ctest above.
+    "${dir}/tools/lossyts" conform --cases "${LOSSYTS_CONFORM_ITERS:-2}"
   fi
 }
 

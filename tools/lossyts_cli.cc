@@ -5,6 +5,7 @@
 //   lossyts stats <in.csv | dataset-name>
 //   lossyts sweep <in.csv | dataset-name>
 //   lossyts grid [--resume] [--fresh] [--cache <path>] [--jobs N] [filters...]
+//   lossyts conform [--cases N] [--seed S] [--codecs a,b] [--jobs N] [...]
 //
 // Compressed files are the library's self-describing blobs wrapped in gzip
 // (the paper's measurement format), so `decompress` needs no codec argument.
@@ -17,6 +18,7 @@
 #include <string>
 
 #include "compress/pipeline.h"
+#include "conform/harness.h"
 #include "data/csv.h"
 #include "data/datasets.h"
 #include "eval/grid.h"
@@ -41,6 +43,9 @@ int Usage() {
       "               [--jobs N] [--datasets a,b] [--models a,b]\n"
       "               [--compressors a,b] [--error-bounds 0.05,0.4]\n"
       "               [--seeds 1,2]\n"
+      "  lossyts conform [--cases N] [--seed S] [--codecs a,b]\n"
+      "               [--error-bounds 0.01,0.2] [--bit-flips N]\n"
+      "               [--no-mutate] [--jobs N]\n"
       "dataset names: ETTm1 ETTm2 Solar Weather ElecDem Wind\n");
   return 2;
 }
@@ -274,6 +279,64 @@ int Grid(int argc, char** argv) {
   return 0;
 }
 
+// Runs the codec conformance harness: adversarial corpus × codecs × error
+// bounds through the pointwise-bound oracles plus the decoder-fuzzing pass.
+// Exits nonzero iff any oracle fired; each failure line carries the codec,
+// ε, corpus family/index, and seed needed to reproduce it deterministically.
+int Conform(int argc, char** argv) {
+  conform::ConformOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--cases") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.cases_per_family = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.base_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--codecs") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.codecs = SplitList(v);
+    } else if (arg == "--error-bounds") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.error_bounds.clear();
+      for (const std::string& eb : SplitList(v)) {
+        options.error_bounds.push_back(std::strtod(eb.c_str(), nullptr));
+      }
+    } else if (arg == "--bit-flips") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.random_bit_flips = std::atoi(v);
+    } else if (arg == "--no-mutate") {
+      options.mutate = false;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.jobs = std::atoi(v);
+    } else {
+      return Usage();
+    }
+  }
+  Result<conform::ConformSummary> summary = conform::RunConform(options);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  for (const conform::ConformFailure& f : summary->failures) {
+    std::fprintf(stderr, "%s\n", conform::FormatFailure(f).c_str());
+  }
+  std::printf("conform: %zu cells, %zu mutants, %zu failures (seed %llu)\n",
+              summary->cases, summary->mutants, summary->failures.size(),
+              static_cast<unsigned long long>(options.base_seed));
+  return summary->failures.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -288,5 +351,6 @@ int main(int argc, char** argv) {
   if (command == "stats" && argc == 3) return Stats(argv[2]);
   if (command == "sweep" && argc == 3) return Sweep(argv[2]);
   if (command == "grid") return Grid(argc, argv);
+  if (command == "conform") return Conform(argc, argv);
   return Usage();
 }
