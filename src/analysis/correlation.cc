@@ -1,7 +1,9 @@
 #include "analysis/correlation.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <string>
 
 #include "core/metrics.h"
 
@@ -33,6 +35,15 @@ Result<double> SpearmanCorrelation(const std::vector<double>& x,
   }
   if (x.size() < 3) {
     return Status::InvalidArgument("Spearman needs at least 3 observations");
+  }
+  // NaN breaks the strict weak ordering of the rank sort, which makes the
+  // resulting ranks (and through them rho) indeterminate — reject instead.
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x[i]) || !std::isfinite(y[i])) {
+      return Status::InvalidArgument("non-finite value at index " +
+                                     std::to_string(i) +
+                                     " in Spearman input");
+    }
   }
   return PearsonR(AverageRanks(x), AverageRanks(y));
 }

@@ -9,7 +9,8 @@ namespace lossyts::analysis {
 
 /// Spearman rank correlation (Pearson correlation of average ranks, so ties
 /// are handled). This is the correlation behind Table 4's characteristic
-/// ranking.
+/// ranking. Fails on non-finite input: NaN breaks the rank sort's strict
+/// weak ordering and would make the result indeterminate.
 Result<double> SpearmanCorrelation(const std::vector<double>& x,
                                    const std::vector<double>& y);
 

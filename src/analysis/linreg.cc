@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace lossyts::analysis {
 
@@ -52,6 +53,24 @@ Result<OlsResult> FitOls(const std::vector<std::vector<double>>& columns,
   for (const auto& col : columns) {
     if (col.size() != n) {
       return Status::InvalidArgument("regressor length mismatch");
+    }
+  }
+  // NaN in any cell would flow through the normal equations and the pivoted
+  // inversion into quietly-NaN coefficients (NaN comparisons are all false,
+  // so the pivot checks cannot catch it) — reject with the coordinate.
+  for (size_t t = 0; t < n; ++t) {
+    if (!std::isfinite(y[t])) {
+      return Status::InvalidArgument("non-finite y at index " +
+                                     std::to_string(t));
+    }
+  }
+  for (size_t j = 0; j < columns.size(); ++j) {
+    for (size_t t = 0; t < n; ++t) {
+      if (!std::isfinite(columns[j][t])) {
+        return Status::InvalidArgument(
+            "non-finite regressor " + std::to_string(j) + " at index " +
+            std::to_string(t));
+      }
     }
   }
 

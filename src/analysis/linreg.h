@@ -19,7 +19,8 @@ struct OlsResult {
 };
 
 /// Fits y = b0 + b1*x1 + ... with an automatic intercept. `columns[j]` is the
-/// j-th regressor. Fails when inputs are inconsistent, the system is
+/// j-th regressor. Fails when inputs are inconsistent or contain non-finite
+/// values (which would yield quietly-NaN coefficients), the system is
 /// singular, or there are not enough degrees of freedom.
 Result<OlsResult> FitOls(const std::vector<std::vector<double>>& columns,
                          const std::vector<double>& y);

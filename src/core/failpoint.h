@@ -21,6 +21,9 @@ namespace lossyts {
 ///   "decompress"  — compress::RunPipeline, before the codec's Decompress
 ///   "train_step"  — forecast::NnForecaster::Fit, before each batch step
 ///   "cache_write" — eval::GridCheckpointWriter::Append, before the row write
+///   "autodiff_backward_perturb" — nn::MatMul's backward; corrupts dA so the
+///                   numcheck gradient oracle's seeded-fault drill has a
+///                   real bug to catch (used as a trigger, not a Status)
 class FailPoints {
  public:
   /// Arms `site`: hits are counted from 1, and hits `fire_on` through

@@ -23,7 +23,12 @@ class NBeatsNetwork : public WindowNetwork {
         block.fc.emplace_back(in, arch.hidden, rng);
         in = arch.hidden;
       }
-      block.backcast = std::make_unique<nn::Linear>(in, input_length, rng);
+      // The doubly-residual stacking discards the last block's backcast, so
+      // its projection could never receive gradient (the numcheck oracle
+      // flags such parameters as unreachable) — don't build it at all.
+      if (b + 1 < arch.num_blocks) {
+        block.backcast = std::make_unique<nn::Linear>(in, input_length, rng);
+      }
       block.forecast = std::make_unique<nn::Linear>(in, horizon, rng);
       blocks_.push_back(std::move(block));
     }
@@ -35,7 +40,9 @@ class NBeatsNetwork : public WindowNetwork {
     for (const Block& block : blocks_) {
       nn::Var h = residual;
       for (const nn::Linear& fc : block.fc) h = nn::Relu(fc.Forward(h));
-      residual = nn::Sub(residual, block.backcast->Forward(h));
+      if (block.backcast != nullptr) {
+        residual = nn::Sub(residual, block.backcast->Forward(h));
+      }
       const nn::Var f = block.forecast->Forward(h);
       total_forecast = total_forecast == nullptr ? f
                                                  : nn::Add(total_forecast, f);
@@ -49,8 +56,10 @@ class NBeatsNetwork : public WindowNetwork {
       for (const nn::Linear& fc : block.fc) {
         for (const nn::Var& p : fc.Parameters()) params.push_back(p);
       }
-      for (const nn::Var& p : block.backcast->Parameters()) {
-        params.push_back(p);
+      if (block.backcast != nullptr) {
+        for (const nn::Var& p : block.backcast->Parameters()) {
+          params.push_back(p);
+        }
       }
       for (const nn::Var& p : block.forecast->Parameters()) {
         params.push_back(p);

@@ -1,12 +1,23 @@
 #include "forecast/scaler.h"
 
 #include <cmath>
+#include <string>
 
 namespace lossyts::forecast {
 
 Status StandardScaler::Fit(const std::vector<double>& values) {
   if (values.empty()) {
     return Status::InvalidArgument("cannot fit scaler on empty data");
+  }
+  // A single NaN/inf would silently poison mean and stddev — and through
+  // them every scaled window the model ever sees — so reject it here, where
+  // the offending index is still known.
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      return Status::InvalidArgument(
+          "non-finite value at index " + std::to_string(i) +
+          " in scaler input");
+    }
   }
   double sum = 0.0;
   for (double v : values) sum += v;

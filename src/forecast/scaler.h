@@ -12,8 +12,10 @@ namespace lossyts::forecast {
 /// data scale.
 class StandardScaler {
  public:
-  /// Computes mean and standard deviation. Fails on empty input; a constant
-  /// series gets unit scale so Transform stays well-defined.
+  /// Computes mean and standard deviation. Fails on empty input and on any
+  /// non-finite value (InvalidArgument naming the first offending index —
+  /// NaN here would otherwise silently poison every scaled window); a
+  /// constant series gets unit scale so Transform stays well-defined.
   Status Fit(const std::vector<double>& values);
 
   double Transform(double v) const { return (v - mean_) / stddev_; }

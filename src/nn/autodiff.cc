@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <unordered_set>
+
+#include "core/failpoint.h"
 
 namespace lossyts::nn {
 
@@ -87,6 +90,12 @@ Var MatMul(const Var& a, const Var& b) {
           b_in->grad(p, j) += a_in->value(i, p) * g;
         }
       }
+    }
+    // Seeded-fault drill for the finite-difference gradient oracle: when the
+    // site is armed the accumulated dA is corrupted, which numcheck must
+    // report. One relaxed atomic load when unarmed (see core/failpoint.h).
+    if (!FailPoints::Hit("autodiff_backward_perturb").ok()) {
+      a_in->grad(0, 0) += 0.5;
     }
   });
 }
@@ -226,9 +235,21 @@ Var Softmax(const Var& a, const Tensor* additive_mask) {
       out.storage()[i] += additive_mask->storage()[i];
     }
   }
+  // A row masked to -inf in every position has an empty support: the
+  // shifted exponentials would all be exp(-inf - -inf) = NaN. Such rows are
+  // defined as the uniform distribution with zero gradient (the limit of a
+  // row with no preference), and the backward pass skips them.
+  auto dead_rows = std::make_shared<std::vector<uint8_t>>(out.rows(), 0);
   for (size_t r = 0; r < out.rows(); ++r) {
     double mx = out(r, 0);
     for (size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, out(r, c));
+    if (std::isinf(mx) && mx < 0.0) {
+      (*dead_rows)[r] = 1;
+      for (size_t c = 0; c < out.cols(); ++c) {
+        out(r, c) = 1.0 / static_cast<double>(out.cols());
+      }
+      continue;
+    }
     double sum = 0.0;
     for (size_t c = 0; c < out.cols(); ++c) {
       out(r, c) = std::exp(out(r, c) - mx);
@@ -236,8 +257,9 @@ Var Softmax(const Var& a, const Tensor* additive_mask) {
     }
     for (size_t c = 0; c < out.cols(); ++c) out(r, c) /= sum;
   }
-  return MakeOpNode(std::move(out), {a}, [](Node& node) {
+  return MakeOpNode(std::move(out), {a}, [dead_rows](Node& node) {
     for (size_t r = 0; r < node.grad.rows(); ++r) {
+      if ((*dead_rows)[r]) continue;  // Constant output: zero gradient.
       double dot = 0.0;
       for (size_t c = 0; c < node.grad.cols(); ++c) {
         dot += node.grad(r, c) * node.value(r, c);

@@ -54,7 +54,9 @@ Var Relu(const Var& a);
 Var Gelu(const Var& a);
 
 /// Row-wise softmax with an optional additive mask (same shape; use large
-/// negative entries to block positions, e.g. causal attention masks).
+/// negative entries to block positions, e.g. causal attention masks). A row
+/// whose every position is masked to -inf has an empty support; it is
+/// defined as the uniform distribution with zero gradient rather than NaN.
 Var Softmax(const Var& a, const Tensor* additive_mask = nullptr);
 
 /// Row-wise layer normalization with learned gain/bias (1×n each).

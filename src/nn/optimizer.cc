@@ -22,7 +22,10 @@ void Adam::ZeroGrad() {
 Status Adam::Step() {
   // Divergence guard: a single non-finite gradient would propagate through
   // the moment buffers into every parameter, so reject the step before any
-  // state is mutated. The squared norm is also what clipping needs.
+  // state is mutated — m_/v_/step_count_ must not advance on a rejected
+  // step, or the survivors' bias correction would drift out of sync with
+  // the moments (see the Step() contract in the header). The squared norm
+  // is also what clipping needs.
   double norm_sq = 0.0;
   for (const Var& p : parameters_) {
     if (p->grad.size() != p->value.size()) continue;

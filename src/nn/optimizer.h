@@ -27,9 +27,14 @@ class Adam {
   Adam(std::vector<Var> parameters, const Options& options);
 
   /// Applies one update using the gradients accumulated by Backward().
-  /// Internal (with the parameters untouched) when the gradients are
-  /// non-finite — a diverged step must surface as a failed fit, not as NaN
-  /// weights that silently poison every later metric.
+  /// Internal when the gradients are non-finite — a diverged step must
+  /// surface as a failed fit, not as NaN weights that silently poison every
+  /// later metric. A rejected step is a full no-op on optimizer state:
+  /// parameters, the moment buffers m/v, and the bias-correction step count
+  /// are all untouched (the guard runs before any of them is mutated), and
+  /// only the gradients are cleared. Training may therefore continue with
+  /// the next batch exactly as if the diverged batch had never been seen;
+  /// tests/nn/optimizer_test.cc pins this recovery contract bit-for-bit.
   Status Step();
 
   /// Clears parameter gradients (Backward() re-zeroes reachable nodes, but

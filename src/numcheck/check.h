@@ -1,0 +1,32 @@
+#ifndef LOSSYTS_NUMCHECK_CHECK_H_
+#define LOSSYTS_NUMCHECK_CHECK_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lossyts::numcheck {
+
+/// One numerics-oracle violation. The harness wraps it with the component
+/// name, case index and seed that reproduce it (see numcheck/harness.h).
+struct CheckFailure {
+  std::string check;   ///< Which oracle fired, e.g. "grad/input" or "ols/se".
+  std::string detail;  ///< Worst violating coordinate and the two values.
+};
+
+/// Outcome of one component case: how many individual oracle comparisons ran
+/// and which of them fired. `checks` counts comparisons, not entries — one
+/// gradient check of a whole tensor is one check.
+struct CheckReport {
+  size_t checks = 0;
+  std::vector<CheckFailure> failures;
+
+  void Merge(CheckReport other) {
+    checks += other.checks;
+    for (CheckFailure& f : other.failures) failures.push_back(std::move(f));
+  }
+};
+
+}  // namespace lossyts::numcheck
+
+#endif  // LOSSYTS_NUMCHECK_CHECK_H_

@@ -1,0 +1,119 @@
+#include "numcheck/determinism.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/seed.h"
+#include "core/thread_pool.h"
+#include "core/time_series.h"
+#include "forecast/registry.h"
+
+namespace lossyts::numcheck {
+
+namespace {
+
+struct FitOutcome {
+  Status status = Status::OK();
+  std::vector<double> prediction;
+};
+
+FitOutcome FitAndPredict(const std::string& model,
+                         const forecast::ForecastConfig& config,
+                         const TimeSeries& train, const TimeSeries& val,
+                         const std::vector<double>& window) {
+  Result<std::unique_ptr<forecast::Forecaster>> forecaster =
+      forecast::MakeForecaster(model, config);
+  if (!forecaster.ok()) return {forecaster.status(), {}};
+  if (Status s = (*forecaster)->Fit(train, val); !s.ok()) return {s, {}};
+  Result<std::vector<double>> prediction = (*forecaster)->Predict(window);
+  if (!prediction.ok()) return {prediction.status(), {}};
+  return {Status::OK(), std::move(*prediction)};
+}
+
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+}  // namespace
+
+Result<CheckReport> RunTrainingDeterminismChecks(uint64_t seed) {
+  CheckReport report;
+
+  // Seeded series: seasonal + trend + noise, long enough for a handful of
+  // training windows at the tiny configuration below.
+  Rng rng(MixSeed(seed, 1));
+  std::vector<double> values(170);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(2.0 * 3.14159265358979323846 *
+                         static_cast<double>(i) / 24.0) +
+                0.002 * static_cast<double>(i) + 0.2 * rng.Normal();
+  }
+  const std::vector<double> train_values(values.begin(), values.begin() + 130);
+  const std::vector<double> val_values(values.begin() + 130, values.end());
+  const TimeSeries train(0, 3600, train_values);
+  const TimeSeries val(130 * 3600, 3600, val_values);
+
+  forecast::ForecastConfig config;
+  config.input_length = 16;
+  config.horizon = 4;
+  config.max_epochs = 2;
+  config.max_train_windows = 32;
+  config.batch_size = 8;
+  const std::vector<double> window(train_values.end() - 16,
+                                   train_values.end());
+
+  for (const std::string& model : {std::string("DLinear"), std::string("GRU")}) {
+    config.seed = TagSeed(seed, model);
+
+    const FitOutcome baseline =
+        FitAndPredict(model, config, train, val, window);
+    ++report.checks;
+    if (!baseline.status.ok()) {
+      report.failures.push_back(
+          {"determinism/fit", model + ": " + baseline.status.ToString()});
+      continue;
+    }
+
+    // Same seed, same thread: the whole trajectory must replay bit for bit.
+    const FitOutcome repeat = FitAndPredict(model, config, train, val, window);
+    ++report.checks;
+    if (!repeat.status.ok() ||
+        !BitIdentical(baseline.prediction, repeat.prediction)) {
+      report.failures.push_back(
+          {"determinism/repeat",
+           model + ": repeated fit with the same seed diverged"});
+    }
+
+    // Same seed on a 4-worker pool, three replicas racing: scheduling must
+    // not leak into training (identity-derived seeds, no shared state).
+    std::vector<FitOutcome> replicas(3);
+    {
+      ThreadPool pool(4);
+      for (size_t i = 0; i < replicas.size(); ++i) {
+        FitOutcome* slot = &replicas[i];
+        pool.Submit([&, slot] {
+          *slot = FitAndPredict(model, config, train, val, window);
+        });
+      }
+      pool.Wait();
+    }
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      ++report.checks;
+      if (!replicas[i].status.ok() ||
+          !BitIdentical(baseline.prediction, replicas[i].prediction)) {
+        report.failures.push_back(
+            {"determinism/jobs",
+             model + ": pooled replica " + std::to_string(i) +
+                 " diverged from the single-thread fit"});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace lossyts::numcheck

@@ -1,0 +1,22 @@
+#ifndef LOSSYTS_NUMCHECK_DETERMINISM_H_
+#define LOSSYTS_NUMCHECK_DETERMINISM_H_
+
+#include <cstdint>
+
+#include "core/status.h"
+#include "numcheck/check.h"
+
+namespace lossyts::numcheck {
+
+/// Training-determinism oracle: trains tiny seeded forecasters (DLinear and
+/// GRU) several times — repeated runs on the calling thread and replicas
+/// spread across a 4-worker thread pool — and requires every run with the
+/// same seed to produce bit-identical predictions. Any dependence on thread
+/// scheduling, shared hidden state, or uninitialized reads shows up as a
+/// byte difference. Ordinary training failures (a fit returning an error)
+/// are reported as violations, not as a Status.
+Result<CheckReport> RunTrainingDeterminismChecks(uint64_t seed);
+
+}  // namespace lossyts::numcheck
+
+#endif  // LOSSYTS_NUMCHECK_DETERMINISM_H_

@@ -1,0 +1,54 @@
+#ifndef LOSSYTS_NUMCHECK_GRADCHECK_H_
+#define LOSSYTS_NUMCHECK_GRADCHECK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "nn/autodiff.h"
+#include "numcheck/check.h"
+
+namespace lossyts::numcheck {
+
+/// Tolerances of the finite-difference gradient oracle. The step is scaled
+/// by max(1, |x|) per entry (central differences have O(h^2) truncation and
+/// O(eps/h) rounding error, so h near eps^(1/3) balances both — Baydin et
+/// al., JMLR 2018); the acceptance test is relative in the larger of the two
+/// gradients: |analytic - numeric| <= atol + rtol * max(|analytic|, |numeric|).
+struct GradTolerance {
+  double step = 1e-5;
+  double rtol = 1e-4;
+  double atol = 1e-6;
+};
+
+/// A leaf tensor participating in a gradient check, with the name used in
+/// failure reports ("input", "weight", "bias", ...).
+struct NamedLeaf {
+  std::string name;
+  nn::Var var;
+};
+
+/// Checks d(loss)/d(leaf) for every entry of every leaf against central
+/// differences. `forward` must be a pure deterministic function of the leaf
+/// values (re-seed any Rng it consumes on every call) returning a 1x1 loss.
+/// Reports at most one failure per leaf — the worst violating entry, with
+/// its coordinates and both gradient values — plus non-finite loss/gradient
+/// violations. One entry in CheckReport::checks per leaf.
+CheckReport CheckGradients(const std::vector<NamedLeaf>& leaves,
+                           const std::function<nn::Var()>& forward,
+                           const GradTolerance& tolerance = GradTolerance());
+
+/// Names of the autodiff ops and nn-module composites covered by the
+/// gradient oracle, in the order they are documented in nn/autodiff.h.
+const std::vector<std::string>& GradCheckOpNames();
+
+/// Runs the gradient oracle over one op's seeded case. Fails with NotFound
+/// for names outside GradCheckOpNames(); oracle violations come back inside
+/// the report.
+Result<CheckReport> RunOpGradChecks(const std::string& op, uint64_t seed);
+
+}  // namespace lossyts::numcheck
+
+#endif  // LOSSYTS_NUMCHECK_GRADCHECK_H_

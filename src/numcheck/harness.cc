@@ -1,0 +1,118 @@
+#include "numcheck/harness.h"
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+#include <tuple>
+#include <utility>
+
+#include "core/seed.h"
+#include "core/thread_pool.h"
+#include "numcheck/gradcheck.h"
+#include "numcheck/models.h"
+#include "numcheck/oracles.h"
+
+namespace lossyts::numcheck {
+
+namespace {
+
+/// A resolved component: display name plus the leg that runs one seeded case.
+struct Component {
+  std::string name;
+  std::function<Result<CheckReport>(uint64_t)> run;
+};
+
+/// Resolves one selector category against its registry. Empty selects every
+/// registered name, the single entry "none" selects nothing, and an unknown
+/// name fails the whole run instead of silently shrinking the grid.
+Status ResolveSelection(const std::vector<std::string>& selection,
+                        const std::vector<std::string>& registry,
+                        const std::string& prefix,
+                        Result<CheckReport> (*run)(const std::string&,
+                                                   uint64_t),
+                        std::vector<Component>& components) {
+  if (selection.size() == 1 && selection[0] == "none") return Status::OK();
+  const std::vector<std::string>& names =
+      selection.empty() ? registry : selection;
+  for (const std::string& name : names) {
+    if (std::find(registry.begin(), registry.end(), name) == registry.end()) {
+      return Status::NotFound("unknown numcheck component: " + prefix + name);
+    }
+    components.push_back(
+        {prefix + name, [run, name](uint64_t seed) { return run(name, seed); }});
+  }
+  return Status::OK();
+}
+
+bool FailureLess(const NumCheckFailure& a, const NumCheckFailure& b) {
+  return std::tie(a.component, a.case_index, a.check, a.detail) <
+         std::tie(b.component, b.case_index, b.check, b.detail);
+}
+
+}  // namespace
+
+std::string FormatFailure(const NumCheckFailure& failure) {
+  return "[" + failure.component + "#" + std::to_string(failure.case_index) +
+         " seed=" + std::to_string(failure.seed) + "] " + failure.check +
+         ": " + failure.detail;
+}
+
+Result<NumCheckSummary> RunNumCheck(const NumCheckOptions& options) {
+  if (options.iters <= 0) {
+    return Status::InvalidArgument("iters must be positive");
+  }
+
+  std::vector<Component> components;
+  if (Status s = ResolveSelection(options.ops, GradCheckOpNames(), "op:",
+                                  &RunOpGradChecks, components);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = ResolveSelection(options.models, GradCheckModelNames(),
+                                  "model:", &RunModelGradChecks, components);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = ResolveSelection(options.oracles, AnalysisOracleNames(),
+                                  "oracle:", &RunAnalysisOracle, components);
+      !s.ok()) {
+    return s;
+  }
+
+  NumCheckSummary summary;
+  std::mutex mu;
+  Status first_error = Status::OK();
+  ThreadPool pool(options.jobs);
+
+  for (const Component& component : components) {
+    for (int index = 0; index < options.iters; ++index) {
+      // Seeds derive from the case identity, never from execution order, so
+      // the grid is bit-identical for every jobs value.
+      const uint64_t seed =
+          MixSeed(TagSeed(options.base_seed, component.name), index);
+      pool.Submit([&component, index, seed, &summary, &mu, &first_error] {
+        Result<CheckReport> report = component.run(seed);
+        std::lock_guard<std::mutex> lock(mu);
+        ++summary.cases;
+        if (!report.ok()) {
+          if (first_error.ok()) first_error = report.status();
+          return;
+        }
+        summary.checks += report->checks;
+        for (CheckFailure& f : report->failures) {
+          summary.failures.push_back(NumCheckFailure{
+              component.name, index, seed, std::move(f.check),
+              std::move(f.detail)});
+        }
+      });
+    }
+  }
+  pool.Wait();
+
+  if (!first_error.ok()) return first_error;
+  // Execution order is pool-dependent; the report is not.
+  std::sort(summary.failures.begin(), summary.failures.end(), FailureLess);
+  return summary;
+}
+
+}  // namespace lossyts::numcheck

@@ -1,0 +1,61 @@
+#ifndef LOSSYTS_NUMCHECK_HARNESS_H_
+#define LOSSYTS_NUMCHECK_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lossyts::numcheck {
+
+/// Configuration for one numerics-conformance run. Each selector lists the
+/// components of its category to run; empty selects all of them, and the
+/// single entry "none" selects none (so one category can be isolated from
+/// the command line).
+struct NumCheckOptions {
+  /// Autodiff ops / nn composites (see GradCheckOpNames()).
+  std::vector<std::string> ops;
+  /// Deep forecaster networks (see GradCheckModelNames()).
+  std::vector<std::string> models;
+  /// Analysis + determinism oracles (see AnalysisOracleNames()).
+  std::vector<std::string> oracles;
+  /// Seeded cases per component.
+  int iters = 2;
+  /// Base seed: with the component name and case index (both printed on
+  /// failure) it regenerates any failing case.
+  uint64_t base_seed = 1;
+  /// Worker threads; 0 resolves to ThreadPool::DefaultJobs().
+  int jobs = 0;
+};
+
+/// One oracle violation, with every coordinate needed to reproduce it:
+/// rerun with the same base seed and the component/case pair.
+struct NumCheckFailure {
+  std::string component;  ///< "op:Softmax", "model:GRU", "oracle:ols".
+  int case_index = 0;
+  uint64_t seed = 0;      ///< Derived per-case seed (informational).
+  std::string check;      ///< Which oracle fired, e.g. "grad/input".
+  std::string detail;
+};
+
+/// Aggregate outcome. `failures` is empty iff every check passed.
+struct NumCheckSummary {
+  size_t cases = 0;   ///< (component, case) cells executed.
+  size_t checks = 0;  ///< Individual oracle comparisons across all cells.
+  std::vector<NumCheckFailure> failures;
+};
+
+/// Stable one-line rendering: component, case index, seed, check, detail.
+std::string FormatFailure(const NumCheckFailure& failure);
+
+/// Runs the selected components × iters seeded cases on a thread pool.
+/// Deterministic in the options: case identity (component name + index)
+/// derives every seed, and failures are sorted before returning. Errors
+/// (unknown component name, invalid option) come back as a Status; oracle
+/// violations come back inside the summary.
+Result<NumCheckSummary> RunNumCheck(const NumCheckOptions& options);
+
+}  // namespace lossyts::numcheck
+
+#endif  // LOSSYTS_NUMCHECK_HARNESS_H_

@@ -1,0 +1,132 @@
+#include "numcheck/models.h"
+
+#include <memory>
+#include <utility>
+
+#include "core/rng.h"
+#include "core/seed.h"
+#include "forecast/dlinear.h"
+#include "forecast/gru.h"
+#include "forecast/nbeats.h"
+#include "forecast/transformer.h"
+#include "numcheck/gradcheck.h"
+
+namespace lossyts::numcheck {
+
+namespace {
+
+using forecast::ForecastConfig;
+using forecast::WindowNetwork;
+
+/// BuildNetwork is protected (only NnForecaster::Fit calls it in production);
+/// the oracle needs the bare network without a training loop around it, so a
+/// thin subclass re-exports the factory per forecaster type.
+template <typename Forecaster>
+class NetworkFactory : public Forecaster {
+ public:
+  using Forecaster::Forecaster;
+  std::unique_ptr<WindowNetwork> Build(Rng& rng) {
+    return this->BuildNetwork(rng);
+  }
+};
+
+/// Tiny seeded configuration: 8-step windows keep the full-sweep finite
+/// differences cheap and keep Informer's top-u ProbSparse cutoff above the
+/// sequence length, so its query selection stays total (a partial selection
+/// is discrete and not finite-differentiable).
+ForecastConfig TinyConfig(uint64_t seed) {
+  ForecastConfig config;
+  config.input_length = 8;
+  config.horizon = 4;
+  config.seed = seed;
+  config.dropout = 0.0;
+  return config;
+}
+
+std::unique_ptr<WindowNetwork> BuildModelNetwork(const std::string& model,
+                                                 const ForecastConfig& config,
+                                                 Rng& rng) {
+  if (model == "DLinear") {
+    return NetworkFactory<forecast::DLinearForecaster>(config).Build(rng);
+  }
+  if (model == "GRU") {
+    forecast::GruForecaster::Architecture arch;
+    arch.hidden = 5;
+    return NetworkFactory<forecast::GruForecaster>(config, arch).Build(rng);
+  }
+  if (model == "NBeats") {
+    forecast::NBeatsForecaster::Architecture arch;
+    arch.num_blocks = 2;
+    arch.hidden = 8;
+    arch.fc_layers = 2;
+    return NetworkFactory<forecast::NBeatsForecaster>(config, arch).Build(rng);
+  }
+  if (model == "Transformer" || model == "Informer") {
+    forecast::TransformerForecaster::Architecture arch;
+    arch.d_model = 8;
+    arch.num_heads = 2;
+    arch.d_ff = 12;
+    arch.encoder_layers = model == "Informer" ? 2 : 1;  // 2 hits distilling.
+    arch.decoder_layers = 1;
+    arch.label_length = 4;
+    if (model == "Informer") {
+      return NetworkFactory<forecast::InformerForecaster>(config, arch)
+          .Build(rng);
+    }
+    return NetworkFactory<forecast::TransformerForecaster>(config, arch)
+        .Build(rng);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<std::string>& GradCheckModelNames() {
+  static const std::vector<std::string> kNames = {
+      "DLinear", "GRU", "NBeats", "Transformer", "Informer"};
+  return kNames;
+}
+
+Result<CheckReport> RunModelGradChecks(const std::string& model,
+                                       uint64_t seed) {
+  const ForecastConfig config = TinyConfig(seed);
+  Rng init_rng(MixSeed(seed, 1));
+  std::shared_ptr<WindowNetwork> network =
+      BuildModelNetwork(model, config, init_rng);
+  if (network == nullptr) {
+    return Status::NotFound("unknown numcheck model: " + model);
+  }
+
+  Rng data_rng(MixSeed(seed, 2));
+  nn::Tensor batch(2, config.input_length);
+  for (double& v : batch.storage()) v = data_rng.Uniform(-1.0, 1.0);
+  nn::Tensor target(2, config.horizon);
+  for (double& v : target.storage()) v = data_rng.Uniform(-1.0, 1.0);
+
+  nn::Var input = nn::MakeVar(std::move(batch), /*requires_grad=*/true);
+  nn::Var target_var = nn::MakeVar(std::move(target));
+
+  std::vector<NamedLeaf> leaves = {{"input", input}};
+  const std::vector<nn::Var> parameters = network->Parameters();
+  for (size_t i = 0; i < parameters.size(); ++i) {
+    leaves.push_back({"param" + std::to_string(i), parameters[i]});
+  }
+
+  // Deep graphs: a smaller step keeps perturbations from crossing ReLU kinks
+  // inside the blocks, and the looser rtol absorbs the longer cancellation
+  // chains of the attention/normalization stacks.
+  GradTolerance tolerance;
+  tolerance.step = 1e-6;
+  tolerance.rtol = 5e-4;
+  tolerance.atol = 1e-6;
+  return CheckGradients(
+      leaves,
+      [network, input, target_var] {
+        Rng unused(0);  // train=false: dropout inactive, rng unconsumed.
+        return nn::MseLoss(network->Forward(input, /*train=*/false, unused),
+                           target_var);
+      },
+      tolerance);
+}
+
+}  // namespace lossyts::numcheck

@@ -1,0 +1,27 @@
+#ifndef LOSSYTS_NUMCHECK_MODELS_H_
+#define LOSSYTS_NUMCHECK_MODELS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "numcheck/check.h"
+
+namespace lossyts::numcheck {
+
+/// The five deep forecasters whose end-to-end forward-backward pass the
+/// gradient oracle covers: DLinear, GRU, NBeats, Transformer, Informer.
+const std::vector<std::string>& GradCheckModelNames();
+
+/// Builds the named model's window network at a tiny seeded configuration
+/// and checks the full forward-backward against central differences: every
+/// input-batch entry, plus a seeded sample of entries in every parameter
+/// tensor. Fails with NotFound for unknown names; oracle violations come
+/// back inside the report.
+Result<CheckReport> RunModelGradChecks(const std::string& model,
+                                       uint64_t seed);
+
+}  // namespace lossyts::numcheck
+
+#endif  // LOSSYTS_NUMCHECK_MODELS_H_

@@ -1,0 +1,473 @@
+#include "numcheck/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "analysis/correlation.h"
+#include "analysis/gbm.h"
+#include "analysis/linreg.h"
+#include "analysis/tree.h"
+#include "analysis/treeshap.h"
+#include "core/metrics.h"
+#include "core/rng.h"
+#include "core/seed.h"
+#include "numcheck/determinism.h"
+
+namespace lossyts::numcheck {
+
+namespace {
+
+/// Compares a library value against an independently computed reference.
+/// Tolerance is relative in max(1, magnitude), so tiny values fall back to
+/// an absolute comparison at the same scale.
+void Compare(CheckReport& report, const std::string& check, const char* what,
+             double got, double want, double rtol) {
+  ++report.checks;
+  const double scale = std::max({1.0, std::abs(got), std::abs(want)});
+  if (!(std::abs(got - want) <= rtol * scale)) {
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer), "%s: got %.12g want %.12g", what,
+                  got, want);
+    report.failures.push_back({check, buffer});
+  }
+}
+
+void ReportStatus(CheckReport& report, const std::string& check,
+                  const Status& status) {
+  ++report.checks;
+  if (!status.ok()) {
+    report.failures.push_back({check, status.ToString()});
+  }
+}
+
+// ---- OLS ----
+
+/// Solves the k-dimensional normal equations in long double via Gauss-Jordan
+/// with partial pivoting, returning both the solution and the inverse of A —
+/// an implementation with no code shared with analysis/linreg.cc.
+bool SolveAndInvert(std::vector<std::vector<long double>> a,
+                    std::vector<long double> b,
+                    std::vector<long double>* solution,
+                    std::vector<std::vector<long double>>* inverse) {
+  const size_t k = a.size();
+  std::vector<std::vector<long double>> inv(k,
+                                            std::vector<long double>(k, 0.0L));
+  for (size_t i = 0; i < k; ++i) inv[i][i] = 1.0L;
+  for (size_t col = 0; col < k; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < k; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-15L) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(inv[col], inv[pivot]);
+    std::swap(b[col], b[pivot]);
+    const long double d = a[col][col];
+    for (size_t c = 0; c < k; ++c) {
+      a[col][c] /= d;
+      inv[col][c] /= d;
+    }
+    b[col] /= d;
+    for (size_t r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const long double f = a[r][col];
+      for (size_t c = 0; c < k; ++c) {
+        a[r][c] -= f * a[col][c];
+        inv[r][c] -= f * inv[col][c];
+      }
+      b[r] -= f * b[col];
+    }
+  }
+  *solution = std::move(b);
+  *inverse = std::move(inv);
+  return true;
+}
+
+CheckReport RunOlsOracle(uint64_t seed) {
+  CheckReport report;
+  Rng rng(seed);
+
+  // Multi-regressor case against the long-double normal equations.
+  const size_t n = 40;
+  std::vector<double> x1(n), x2(n), y(n);
+  for (size_t t = 0; t < n; ++t) {
+    x1[t] = rng.Uniform(-2.0, 2.0);
+    x2[t] = rng.Uniform(-2.0, 2.0);
+    y[t] = 1.5 - 0.7 * x1[t] + 0.3 * x2[t] + 0.2 * rng.Normal();
+  }
+  Result<analysis::OlsResult> fit = analysis::FitOls({x1, x2}, y);
+  ReportStatus(report, "ols/fit", fit.status());
+  if (fit.ok()) {
+    const size_t k = 3;
+    std::vector<std::vector<long double>> xtx(
+        k, std::vector<long double>(k, 0.0L));
+    std::vector<long double> xty(k, 0.0L);
+    for (size_t t = 0; t < n; ++t) {
+      const long double row[3] = {1.0L, x1[t], x2[t]};
+      for (size_t i = 0; i < k; ++i) {
+        for (size_t j = 0; j < k; ++j) xtx[i][j] += row[i] * row[j];
+        xty[i] += row[i] * y[t];
+      }
+    }
+    std::vector<long double> beta;
+    std::vector<std::vector<long double>> inv;
+    if (!SolveAndInvert(xtx, xty, &beta, &inv)) {
+      report.failures.push_back({"ols/reference", "reference solve singular"});
+    } else {
+      long double ssr = 0.0L;
+      for (size_t t = 0; t < n; ++t) {
+        const long double e = y[t] - (beta[0] + beta[1] * x1[t] +
+                                      beta[2] * x2[t]);
+        ssr += e * e;
+      }
+      const long double sigma2 = ssr / static_cast<long double>(n - k);
+      for (size_t i = 0; i < k; ++i) {
+        Compare(report, "ols/coefficient",
+                ("beta" + std::to_string(i)).c_str(), fit->coefficients[i],
+                static_cast<double>(beta[i]), 1e-8);
+        Compare(report, "ols/standard-error",
+                ("se" + std::to_string(i)).c_str(), fit->standard_errors[i],
+                static_cast<double>(std::sqrt(sigma2 * inv[i][i])), 1e-8);
+      }
+    }
+    // Normal-equation residual orthogonality of the library's own fit:
+    // X'e = 0 is what "least squares" means, independent of any solver.
+    double se_sum = 0.0, se_x1 = 0.0, se_x2 = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      const double e = y[t] - (fit->coefficients[0] +
+                               fit->coefficients[1] * x1[t] +
+                               fit->coefficients[2] * x2[t]);
+      se_sum += e;
+      se_x1 += e * x1[t];
+      se_x2 += e * x2[t];
+    }
+    Compare(report, "ols/orthogonality", "sum(e)", se_sum, 0.0, 1e-9);
+    Compare(report, "ols/orthogonality", "sum(e*x1)", se_x1, 0.0, 1e-9);
+    Compare(report, "ols/orthogonality", "sum(e*x2)", se_x2, 0.0, 1e-9);
+  }
+
+  // Simple regression against the textbook closed forms.
+  const size_t m = 30;
+  std::vector<double> xs(m), ys(m);
+  for (size_t t = 0; t < m; ++t) {
+    xs[t] = rng.Uniform(0.0, 4.0);
+    ys[t] = 0.8 + 1.2 * xs[t] + 0.3 * rng.Normal();
+  }
+  Result<analysis::OlsResult> simple = analysis::FitSimpleRegression(xs, ys);
+  ReportStatus(report, "ols/simple-fit", simple.status());
+  if (simple.ok()) {
+    long double mx = 0.0L, my = 0.0L;
+    for (size_t t = 0; t < m; ++t) {
+      mx += xs[t];
+      my += ys[t];
+    }
+    mx /= m;
+    my /= m;
+    long double sxx = 0.0L, sxy = 0.0L, syy = 0.0L;
+    for (size_t t = 0; t < m; ++t) {
+      sxx += (xs[t] - mx) * (xs[t] - mx);
+      sxy += (xs[t] - mx) * (ys[t] - my);
+      syy += (ys[t] - my) * (ys[t] - my);
+    }
+    const long double slope = sxy / sxx;
+    const long double intercept = my - slope * mx;
+    long double ssr = 0.0L;
+    for (size_t t = 0; t < m; ++t) {
+      const long double e = ys[t] - (intercept + slope * xs[t]);
+      ssr += e * e;
+    }
+    const long double sigma2 = ssr / static_cast<long double>(m - 2);
+    Compare(report, "ols/simple", "slope", simple->coefficients[1],
+            static_cast<double>(slope), 1e-8);
+    Compare(report, "ols/simple", "intercept", simple->coefficients[0],
+            static_cast<double>(intercept), 1e-8);
+    Compare(report, "ols/simple", "se(slope)", simple->standard_errors[1],
+            static_cast<double>(std::sqrt(sigma2 / sxx)), 1e-8);
+    Compare(report, "ols/simple", "se(intercept)",
+            simple->standard_errors[0],
+            static_cast<double>(
+                std::sqrt(sigma2 * (1.0L / m + mx * mx / sxx))),
+            1e-8);
+    Compare(report, "ols/simple", "r_squared", simple->r_squared,
+            static_cast<double>(sxy * sxy / (sxx * syy)), 1e-8);
+  }
+  return report;
+}
+
+// ---- Correlation ----
+
+long double ReferencePearson(const std::vector<double>& x,
+                             const std::vector<double>& y) {
+  const size_t n = x.size();
+  long double mx = 0.0L, my = 0.0L;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  long double sxy = 0.0L, sxx = 0.0L, syy = 0.0L;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+/// Average ranks by counting (O(n^2)), sharing no code with the sort-based
+/// analysis::AverageRanks.
+std::vector<double> ReferenceRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<double> ranks(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t less = 0, equal = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (values[j] < values[i]) ++less;
+      if (values[j] == values[i]) ++equal;
+    }
+    ranks[i] = static_cast<double>(less) +
+               (static_cast<double>(equal) + 1.0) / 2.0;
+  }
+  return ranks;
+}
+
+CheckReport RunCorrelationOracle(uint64_t seed) {
+  CheckReport report;
+  Rng rng(seed);
+
+  // Pearson against the long-double two-pass reference.
+  const size_t n = 50;
+  std::vector<double> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    y[i] = 0.6 * x[i] + 0.8 * rng.Normal();
+  }
+  Result<double> r = PearsonR(x, y);
+  ReportStatus(report, "correlation/pearson", r.status());
+  if (r.ok()) {
+    Compare(report, "correlation/pearson", "r", *r,
+            static_cast<double>(ReferencePearson(x, y)), 1e-12);
+  }
+
+  // Tie-free Spearman against the closed form 1 - 6*sum(d^2)/(n(n^2-1)).
+  // Integer bases keep the jittered values distinct by construction.
+  std::vector<double> sx(n), sy(n);
+  for (size_t i = 0; i < n; ++i) {
+    sx[i] = static_cast<double>(i) + rng.Uniform(-0.3, 0.3);
+    sy[i] = static_cast<double>((i * 17) % n) + rng.Uniform(-0.3, 0.3);
+  }
+  Result<double> rho = analysis::SpearmanCorrelation(sx, sy);
+  ReportStatus(report, "correlation/spearman", rho.status());
+  if (rho.ok()) {
+    const std::vector<double> rx = ReferenceRanks(sx);
+    const std::vector<double> ry = ReferenceRanks(sy);
+    long double sum_d2 = 0.0L;
+    for (size_t i = 0; i < n; ++i) {
+      sum_d2 += (rx[i] - ry[i]) * (rx[i] - ry[i]);
+    }
+    const long double dn = static_cast<long double>(n);
+    const long double closed = 1.0L - 6.0L * sum_d2 / (dn * (dn * dn - 1.0L));
+    Compare(report, "correlation/spearman", "rho (no ties)", *rho,
+            static_cast<double>(closed), 1e-12);
+  }
+
+  // Tie-heavy Spearman: small integer alphabets force long tie runs, which
+  // the closed form above cannot handle — the reference is the definition,
+  // Pearson over independently computed average ranks.
+  std::vector<double> tx(n), ty(n);
+  for (size_t i = 0; i < n; ++i) {
+    tx[i] = static_cast<double>(rng.UniformInt(5));
+    ty[i] = static_cast<double>(rng.UniformInt(4));
+  }
+  Result<double> tied = analysis::SpearmanCorrelation(tx, ty);
+  ReportStatus(report, "correlation/spearman-ties", tied.status());
+  if (tied.ok()) {
+    Compare(report, "correlation/spearman-ties", "rho (ties)", *tied,
+            static_cast<double>(
+                ReferencePearson(ReferenceRanks(tx), ReferenceRanks(ty))),
+            1e-12);
+  }
+  return report;
+}
+
+// ---- TreeSHAP ----
+
+/// Brute-force Shapley values by subset enumeration over the tree's distinct
+/// split features, with the same path-dependent conditional expectation
+/// (unlisted features descend both children weighted by cover). Independent
+/// of analysis/treeshap.cc: recursive, unmemoized, permutation-weighted.
+std::vector<double> BruteForceShap(const analysis::RegressionTree& tree,
+                                   const std::vector<double>& row,
+                                   size_t num_features) {
+  std::vector<int> features;
+  for (const analysis::TreeNode& node : tree.nodes()) {
+    if (node.feature >= 0 &&
+        std::find(features.begin(), features.end(), node.feature) ==
+            features.end()) {
+      features.push_back(node.feature);
+    }
+  }
+  const size_t d = features.size();
+
+  std::function<double(int, uint32_t)> exp_value =
+      [&](int node_id, uint32_t mask) -> double {
+    const analysis::TreeNode& node = tree.nodes()[node_id];
+    if (node.feature < 0) return node.value;
+    const size_t pos = static_cast<size_t>(
+        std::find(features.begin(), features.end(), node.feature) -
+        features.begin());
+    if ((mask >> pos) & 1u) {
+      return row[node.feature] <= node.threshold
+                 ? exp_value(node.left, mask)
+                 : exp_value(node.right, mask);
+    }
+    const analysis::TreeNode& l = tree.nodes()[node.left];
+    const analysis::TreeNode& r = tree.nodes()[node.right];
+    return (l.cover * exp_value(node.left, mask) +
+            r.cover * exp_value(node.right, mask)) /
+           (l.cover + r.cover);
+  };
+
+  std::vector<double> factorial(d + 1, 1.0);
+  for (size_t i = 1; i <= d; ++i) {
+    factorial[i] = factorial[i - 1] * static_cast<double>(i);
+  }
+  std::vector<double> phi(num_features, 0.0);
+  for (size_t p = 0; p < d; ++p) {
+    for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+      if ((mask >> p) & 1u) continue;
+      size_t s = 0;
+      for (size_t b = 0; b < d; ++b) s += (mask >> b) & 1u;
+      const double weight =
+          factorial[s] * factorial[d - s - 1] / factorial[d];
+      phi[features[p]] +=
+          weight * (exp_value(0, mask | (1u << p)) - exp_value(0, mask));
+    }
+  }
+  return phi;
+}
+
+CheckReport RunTreeShapOracle(uint64_t seed) {
+  CheckReport report;
+  Rng rng(seed);
+
+  // Seeded ensemble: the target mixes two of four features so fitted trees
+  // leave genuine null players for the missingness axiom.
+  const size_t n = 80;
+  std::vector<std::vector<double>> rows(n, std::vector<double>(4));
+  std::vector<double> targets(n);
+  for (size_t t = 0; t < n; ++t) {
+    for (double& v : rows[t]) v = rng.Uniform(0.0, 1.0);
+    targets[t] = 2.0 * (rows[t][0] > 0.5 ? 1.0 : 0.0) +
+                 (rows[t][2] > 0.3 ? 1.0 : 0.0) + 0.1 * rng.Normal();
+  }
+  analysis::GradientBoostedTrees::Options options;
+  options.num_trees = 4;
+  options.learning_rate = 0.3;
+  options.subsample = 1.0;
+  options.tree.max_depth = 2;
+  options.seed = MixSeed(seed, 1);
+  analysis::GradientBoostedTrees model(options);
+  ReportStatus(report, "treeshap/fit", model.Fit(rows, targets));
+  if (report.failures.empty()) {
+    for (int q = 0; q < 3; ++q) {
+      std::vector<double> query(4);
+      for (double& v : query) v = rng.Uniform(0.0, 1.0);
+
+      // Efficiency / local accuracy for the whole ensemble.
+      Result<std::vector<double>> phi =
+          analysis::GbmShapValues(model, query, 4);
+      ReportStatus(report, "treeshap/gbm", phi.status());
+      if (phi.ok()) {
+        double total = model.base_score();
+        for (double p : *phi) total += p;
+        Compare(report, "treeshap/efficiency", "sum(phi)+base vs predict",
+                total, model.Predict(query), 1e-9);
+      }
+
+      // Exact per-tree agreement with brute-force Shapley, plus the
+      // null-player axiom for features the tree never splits on.
+      for (size_t ti = 0; ti < model.trees().size(); ++ti) {
+        const analysis::RegressionTree& tree = model.trees()[ti];
+        Result<std::vector<double>> tree_phi =
+            analysis::TreeShapValues(tree, query, 4);
+        ReportStatus(report, "treeshap/tree", tree_phi.status());
+        if (!tree_phi.ok()) continue;
+        const std::vector<double> brute = BruteForceShap(tree, query, 4);
+        std::vector<bool> used(4, false);
+        for (const analysis::TreeNode& node : tree.nodes()) {
+          if (node.feature >= 0) used[node.feature] = true;
+        }
+        for (size_t f = 0; f < 4; ++f) {
+          Compare(report, "treeshap/brute-force",
+                  ("tree" + std::to_string(ti) + " phi" + std::to_string(f))
+                      .c_str(),
+                  (*tree_phi)[f], brute[f], 1e-9);
+          if (!used[f]) {
+            Compare(report, "treeshap/null-player",
+                    ("tree" + std::to_string(ti) + " phi" +
+                     std::to_string(f))
+                        .c_str(),
+                    (*tree_phi)[f], 0.0, 1e-12);
+          }
+        }
+      }
+    }
+  }
+
+  // Deterministic symmetric tree: a balanced 2x2 grid with
+  // y = [x0>0.5] + [x1>0.5] fits to a tree whose value function treats the
+  // two features interchangeably, so their Shapley values must be equal.
+  std::vector<std::vector<double>> grid;
+  std::vector<double> grid_y;
+  for (double a : {0.25, 0.75}) {
+    for (double b : {0.25, 0.75}) {
+      for (int rep = 0; rep < 10; ++rep) {
+        grid.push_back({a, b});
+        grid_y.push_back((a > 0.5 ? 1.0 : 0.0) + (b > 0.5 ? 1.0 : 0.0));
+      }
+    }
+  }
+  analysis::RegressionTree sym_tree;
+  ReportStatus(report, "treeshap/symmetric-fit", sym_tree.Fit(grid, grid_y));
+  if (sym_tree.fitted()) {
+    for (const std::vector<double>& query :
+         {std::vector<double>{0.75, 0.75}, std::vector<double>{0.25, 0.25}}) {
+      Result<std::vector<double>> phi =
+          analysis::TreeShapValues(sym_tree, query, 2);
+      ReportStatus(report, "treeshap/symmetry", phi.status());
+      if (phi.ok()) {
+        Compare(report, "treeshap/symmetry", "phi0 vs phi1", (*phi)[0],
+                (*phi)[1], 1e-12);
+        const std::vector<double> brute = BruteForceShap(sym_tree, query, 2);
+        Compare(report, "treeshap/symmetry-brute", "phi0", (*phi)[0],
+                brute[0], 1e-12);
+        Compare(report, "treeshap/symmetry-brute", "phi1", (*phi)[1],
+                brute[1], 1e-12);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+const std::vector<std::string>& AnalysisOracleNames() {
+  static const std::vector<std::string> kNames = {"ols", "correlation",
+                                                  "treeshap", "determinism"};
+  return kNames;
+}
+
+Result<CheckReport> RunAnalysisOracle(const std::string& oracle,
+                                      uint64_t seed) {
+  if (oracle == "ols") return RunOlsOracle(seed);
+  if (oracle == "correlation") return RunCorrelationOracle(seed);
+  if (oracle == "treeshap") return RunTreeShapOracle(seed);
+  if (oracle == "determinism") return RunTrainingDeterminismChecks(seed);
+  return Status::NotFound("unknown numcheck oracle: " + oracle);
+}
+
+}  // namespace lossyts::numcheck

@@ -1,0 +1,31 @@
+#ifndef LOSSYTS_NUMCHECK_ORACLES_H_
+#define LOSSYTS_NUMCHECK_ORACLES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "numcheck/check.h"
+
+namespace lossyts::numcheck {
+
+/// Analytic oracles over the analysis substrate plus the training-
+/// determinism oracle: "ols" (closed-form normal equations in long double,
+/// residual orthogonality, textbook simple-regression formulas),
+/// "correlation" (long-double Pearson reference; Spearman vs the no-tie
+/// closed form and vs independently computed average ranks on tie-heavy
+/// input), "treeshap" (brute-force subset-enumeration Shapley on fitted
+/// trees; efficiency, symmetry and null-player axioms), and "determinism"
+/// (same seed => bit-identical fits across jobs values and repeated runs,
+/// see numcheck/determinism.h).
+const std::vector<std::string>& AnalysisOracleNames();
+
+/// Runs one oracle's seeded case. Fails with NotFound for names outside
+/// AnalysisOracleNames(); violations come back inside the report.
+Result<CheckReport> RunAnalysisOracle(const std::string& oracle,
+                                      uint64_t seed);
+
+}  // namespace lossyts::numcheck
+
+#endif  // LOSSYTS_NUMCHECK_ORACLES_H_

@@ -1,5 +1,8 @@
 #include "analysis/correlation.h"
 
+#include <cmath>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "core/rng.h"
@@ -67,6 +70,20 @@ TEST(SpearmanTest, TooShortFails) {
 
 TEST(SpearmanTest, LengthMismatchFails) {
   EXPECT_FALSE(SpearmanCorrelation({1.0, 2.0, 3.0}, {1.0, 2.0}).ok());
+}
+
+// Regression (numcheck bug batch): NaN breaks the strict weak ordering of
+// the rank sort, making rho indeterminate — Spearman must reject non-finite
+// input in either vector, naming the offending index.
+TEST(SpearmanTest, NonFiniteInputFails) {
+  const std::vector<double> x = {1.0, std::nan(""), 3.0, 4.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  Result<double> rho = SpearmanCorrelation(x, y);
+  ASSERT_FALSE(rho.ok());
+  EXPECT_EQ(rho.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rho.status().ToString().find("index 1"), std::string::npos)
+      << rho.status().ToString();
+  EXPECT_FALSE(SpearmanCorrelation(y, x).ok());  // Also checked in y.
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include "analysis/linreg.h"
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -85,6 +87,26 @@ TEST(LinregTest, TooFewObservationsFails) {
 
 TEST(LinregTest, LengthMismatchFails) {
   EXPECT_FALSE(FitSimpleRegression({1.0, 2.0, 3.0}, {1.0, 2.0}).ok());
+}
+
+// Regression (numcheck bug batch): NaN comparisons are all false, so a NaN
+// cell sailed through the pivot checks into quietly-NaN coefficients. The
+// fit must reject non-finite inputs with the offending coordinate instead.
+TEST(LinregTest, NonFiniteInputFails) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y = {1.1, 1.9, 3.2, 3.8, 5.1};
+
+  std::vector<double> bad_y = y;
+  bad_y[3] = std::nan("");
+  Result<OlsResult> r = FitSimpleRegression(x, bad_y);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find("index 3"), std::string::npos)
+      << r.status().ToString();
+
+  std::vector<double> bad_x = x;
+  bad_x[1] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(FitSimpleRegression(bad_x, y).ok());
 }
 
 }  // namespace

@@ -1,0 +1,90 @@
+// Regression for the training-determinism contract (numcheck bug batch):
+// fitting the same seeded forecaster must produce bit-identical predictions
+// whether training runs on the calling thread or inside a multi-worker
+// thread pool. Any dependence on thread identity, shared hidden state, or
+// scheduling order shows up as a byte difference here.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/split.h"
+#include "core/thread_pool.h"
+#include "forecast/registry.h"
+
+namespace lossyts::forecast {
+namespace {
+
+TimeSeries NoisySine(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = 10.0 +
+           3.0 * std::sin(2.0 * 3.14159265 * static_cast<double>(i) / 24.0) +
+           0.3 * rng.Normal();
+  }
+  return TimeSeries(0, 3600, std::move(v));
+}
+
+ForecastConfig TinyConfig(uint64_t seed) {
+  ForecastConfig config;
+  config.input_length = 24;
+  config.horizon = 6;
+  config.season_length = 24;
+  config.max_epochs = 2;
+  config.max_train_windows = 32;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<double> FitAndPredict(const std::string& model_name) {
+  TimeSeries series = NoisySine(400, 17);
+  Result<TrainValTest> split = SplitSeries(series);
+  EXPECT_TRUE(split.ok());
+  Result<std::unique_ptr<Forecaster>> model =
+      MakeForecaster(model_name, TinyConfig(5));
+  EXPECT_TRUE(model.ok());
+  EXPECT_TRUE((*model)->Fit(split->train, split->val).ok());
+  std::vector<double> window(split->test.values().begin(),
+                             split->test.values().begin() + 24);
+  Result<std::vector<double>> pred = (*model)->Predict(window);
+  EXPECT_TRUE(pred.ok());
+  return pred.ok() ? *pred : std::vector<double>();
+}
+
+void ExpectBitIdentical(const std::vector<double>& a,
+                        const std::vector<double>& b, const std::string& tag) {
+  ASSERT_EQ(a.size(), b.size()) << tag;
+  ASSERT_FALSE(a.empty()) << tag;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+      << tag << ": same-seed fits diverged";
+}
+
+class TrainingDeterminismTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(TrainingDeterminismTest, PoolWorkersMatchInlineFitBitForBit) {
+  const std::vector<double> inline_pred = FitAndPredict(GetParam());
+
+  std::vector<std::vector<double>> pool_preds(3);
+  ThreadPool pool(4);
+  for (size_t i = 0; i < pool_preds.size(); ++i) {
+    pool.Submit([&, i] { pool_preds[i] = FitAndPredict(GetParam()); });
+  }
+  pool.Wait();
+
+  for (size_t i = 0; i < pool_preds.size(); ++i) {
+    ExpectBitIdentical(inline_pred, pool_preds[i],
+                       GetParam() + " replica " + std::to_string(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DeepModels, TrainingDeterminismTest,
+                         ::testing::Values("DLinear", "GRU"));
+
+}  // namespace
+}  // namespace lossyts::forecast

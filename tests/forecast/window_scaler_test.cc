@@ -1,3 +1,7 @@
+#include <cmath>
+#include <limits>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "forecast/scaler.h"
@@ -35,6 +39,23 @@ TEST(ScalerTest, EmptyFails) {
   StandardScaler scaler;
   EXPECT_FALSE(scaler.Fit({}).ok());
   EXPECT_FALSE(scaler.fitted());
+}
+
+// Regression (numcheck bug batch): a NaN in the fit data used to flow
+// through the mean/stddev into every scaled window — Fit must reject it up
+// front, naming the offending index.
+TEST(ScalerTest, NonFiniteInputFailsWithOffendingIndex) {
+  StandardScaler scaler;
+  const Status s = scaler.Fit({1.0, 2.0, std::nan(""), 4.0});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("index 2"), std::string::npos) << s.ToString();
+  EXPECT_FALSE(scaler.fitted());
+
+  StandardScaler inf_scaler;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(inf_scaler.Fit({0.0, -inf, 1.0}).ok());
+  EXPECT_FALSE(inf_scaler.fitted());
 }
 
 TEST(WindowTest, BasicExtraction) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -128,6 +129,34 @@ TEST(AutodiffTest, SoftmaxMaskBlocksPositions) {
   EXPECT_NEAR(y->value(0, 0), 0.5, 1e-9);
   EXPECT_NEAR(y->value(0, 1), 0.5, 1e-9);
   EXPECT_NEAR(y->value(0, 2), 0.0, 1e-12);
+}
+
+// Regression (numcheck bug batch): a row masked to -inf in every position
+// used to produce exp(-inf - -inf) = NaN values that poisoned the whole
+// graph. Such rows are defined as uniform with zero gradient; open rows in
+// the same tensor must be unaffected.
+TEST(AutodiffTest, SoftmaxFullyMaskedRowIsUniformWithZeroGradient) {
+  const double inf = std::numeric_limits<double>::infinity();
+  Var x = MakeVar(RandomTensor(2, 4, 50), /*requires_grad=*/true);
+  Tensor mask(2, 4, 0.0);
+  for (size_t c = 0; c < 4; ++c) mask(1, c) = -inf;
+  Var y = Softmax(x, &mask);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(y->value(1, c), 0.25) << "col " << c;
+  }
+  double open_row_sum = 0.0;
+  for (size_t c = 0; c < 4; ++c) open_row_sum += y->value(0, c);
+  EXPECT_NEAR(open_row_sum, 1.0, 1e-12);
+
+  const Tensor w = RandomTensor(2, 4, 51);
+  Backward(Mean(Mul(y, MakeVar(w))));
+  double open_row_grad = 0.0;
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(x->grad(1, c), 0.0) << "col " << c;
+    ASSERT_TRUE(std::isfinite(x->grad(0, c))) << "col " << c;
+    open_row_grad += std::abs(x->grad(0, c));
+  }
+  EXPECT_GT(open_row_grad, 0.0);  // The open row still learns.
 }
 
 TEST(AutodiffTest, LayerNormGradient) {

@@ -1,0 +1,85 @@
+// Tests of the Adam rejected-step contract (numcheck bug batch): a step with
+// non-finite gradients must fail without mutating any optimizer state, so
+// training can continue exactly as if the diverged batch had never happened.
+
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lossyts::nn {
+namespace {
+
+Tensor SampleTensor(double offset) {
+  Tensor t(2, 3);
+  for (size_t i = 0; i < t.size(); ++i) {
+    t.storage()[i] = offset + 0.1 * static_cast<double>(i);
+  }
+  return t;
+}
+
+void SetGrad(const Var& p, double scale) {
+  p->grad = Tensor(p->value.rows(), p->value.cols());
+  for (size_t i = 0; i < p->grad.size(); ++i) {
+    p->grad.storage()[i] = scale * (static_cast<double>(i) - 2.5);
+  }
+}
+
+TEST(AdamTest, FiniteStepUpdatesParameters) {
+  Var p = MakeVar(SampleTensor(1.0), /*requires_grad=*/true);
+  Adam adam({p});
+  SetGrad(p, 1.0);
+  ASSERT_TRUE(adam.Step().ok());
+  EXPECT_NE(p->value(0, 0), SampleTensor(1.0)(0, 0));
+  // Step() clears the gradients for the next accumulation.
+  for (double g : p->grad.storage()) EXPECT_EQ(g, 0.0);
+}
+
+TEST(AdamTest, NonFiniteGradientIsRejected) {
+  Var p = MakeVar(SampleTensor(1.0), /*requires_grad=*/true);
+  Adam adam({p});
+  SetGrad(p, 1.0);
+  p->grad(0, 1) = std::nan("");
+  const Status s = adam.Step();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  // Parameters are untouched and the poisoned gradients are cleared.
+  const Tensor fresh = SampleTensor(1.0);
+  for (size_t i = 0; i < p->value.size(); ++i) {
+    EXPECT_EQ(p->value.storage()[i], fresh.storage()[i]) << "entry " << i;
+  }
+  for (double g : p->grad.storage()) EXPECT_EQ(g, 0.0);
+}
+
+// The core of the contract: an optimizer that saw (and rejected) a diverged
+// batch must follow the exact same trajectory afterwards as one that never
+// saw it — bit for bit. Any leak of the rejected step into m/v or the
+// bias-correction step count shows up as a parameter difference.
+TEST(AdamTest, RejectedStepLeavesTrajectoryBitIdentical) {
+  Var clean = MakeVar(SampleTensor(1.0), /*requires_grad=*/true);
+  Var poisoned = MakeVar(SampleTensor(1.0), /*requires_grad=*/true);
+  Adam clean_adam({clean});
+  Adam poisoned_adam({poisoned});
+
+  SetGrad(poisoned, 1.0);
+  poisoned->grad(1, 2) = std::numeric_limits<double>::infinity();
+  ASSERT_FALSE(poisoned_adam.Step().ok());
+
+  for (int step = 0; step < 5; ++step) {
+    const double scale = 1.0 + 0.25 * static_cast<double>(step);
+    SetGrad(clean, scale);
+    SetGrad(poisoned, scale);
+    ASSERT_TRUE(clean_adam.Step().ok());
+    ASSERT_TRUE(poisoned_adam.Step().ok());
+    for (size_t i = 0; i < clean->value.size(); ++i) {
+      ASSERT_EQ(clean->value.storage()[i], poisoned->value.storage()[i])
+          << "step " << step << " entry " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lossyts::nn

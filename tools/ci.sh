@@ -30,6 +30,14 @@ run_config() {
     # segment cap). The variable feeds both this smoke leg and the
     # ConformanceTest.FullGridIsClean ctest above.
     "${dir}/tools/lossyts" conform --cases "${LOSSYTS_CONFORM_ITERS:-2}"
+    # Numerics conformance smoke: finite-difference gradient oracles over the
+    # autodiff ops and forecaster networks, closed-form analysis oracles, and
+    # the training-determinism drill. CI keeps it small (2 seeded cases per
+    # component); for a soak set LOSSYTS_NUMCHECK_ITERS to 8+. The variable
+    # also sizes NumCheckTest.FullRunIsClean in the ctest pass above. Runs in
+    # the plain, ASan, and UBSan legs, so the gradient math is also checked
+    # for UB (signed overflow, bad shifts) and memory errors.
+    "${dir}/tools/lossyts" numcheck --iters "${LOSSYTS_NUMCHECK_ITERS:-2}"
   fi
 }
 

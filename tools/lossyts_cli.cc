@@ -6,6 +6,7 @@
 //   lossyts sweep <in.csv | dataset-name>
 //   lossyts grid [--resume] [--fresh] [--cache <path>] [--jobs N] [filters...]
 //   lossyts conform [--cases N] [--seed S] [--codecs a,b] [--jobs N] [...]
+//   lossyts numcheck [--iters N] [--seed S] [--ops a,b] [--models a,b] [...]
 //
 // Compressed files are the library's self-describing blobs wrapped in gzip
 // (the paper's measurement format), so `decompress` needs no codec argument.
@@ -24,6 +25,7 @@
 #include "eval/grid.h"
 #include "eval/report.h"
 #include "features/registry.h"
+#include "numcheck/harness.h"
 #include "zip/gzip.h"
 
 using namespace lossyts;
@@ -46,6 +48,9 @@ int Usage() {
       "  lossyts conform [--cases N] [--seed S] [--codecs a,b]\n"
       "               [--error-bounds 0.01,0.2] [--bit-flips N]\n"
       "               [--no-mutate] [--jobs N]\n"
+      "  lossyts numcheck [--iters N] [--seed S] [--ops a,b] [--models a,b]\n"
+      "               [--oracles a,b] [--jobs N]   (list \"none\" to skip a\n"
+      "               category; empty list means all)\n"
       "dataset names: ETTm1 ETTm2 Solar Weather ElecDem Wind\n");
   return 2;
 }
@@ -337,6 +342,60 @@ int Conform(int argc, char** argv) {
   return summary->failures.empty() ? 0 : 1;
 }
 
+// Runs the numerics conformance harness: finite-difference gradient oracles
+// over the autodiff ops and forecaster networks, plus closed-form analysis
+// and training-determinism oracles. Exits nonzero iff any check fired; each
+// failure line carries the component, case index, and seed needed to
+// reproduce it deterministically.
+int Numcheck(int argc, char** argv) {
+  numcheck::NumCheckOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--iters") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.iters = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.base_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--ops") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.ops = SplitList(v);
+    } else if (arg == "--models") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.models = SplitList(v);
+    } else if (arg == "--oracles") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.oracles = SplitList(v);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.jobs = std::atoi(v);
+    } else {
+      return Usage();
+    }
+  }
+  Result<numcheck::NumCheckSummary> summary = numcheck::RunNumCheck(options);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  for (const numcheck::NumCheckFailure& f : summary->failures) {
+    std::fprintf(stderr, "%s\n", numcheck::FormatFailure(f).c_str());
+  }
+  std::printf("numcheck: %zu cases, %zu checks, %zu failures (seed %llu)\n",
+              summary->cases, summary->checks, summary->failures.size(),
+              static_cast<unsigned long long>(options.base_seed));
+  return summary->failures.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -352,5 +411,6 @@ int main(int argc, char** argv) {
   if (command == "sweep" && argc == 3) return Sweep(argv[2]);
   if (command == "grid") return Grid(argc, argv);
   if (command == "conform") return Conform(argc, argv);
+  if (command == "numcheck") return Numcheck(argc, argv);
   return Usage();
 }
