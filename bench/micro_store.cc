@@ -1,0 +1,123 @@
+// Engineering microbenchmarks (google-benchmark) for the chunk store:
+// ingest throughput, point-read latency on model vs lossless chunks, and
+// the pushdown-vs-decode aggregate speedup the design is built around. Not
+// a paper table — a regression guard for src/store/.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "store/query.h"
+#include "store/reader.h"
+#include "store/writer.h"
+
+namespace lossyts {
+namespace {
+
+TimeSeries MakeSeries(size_t n) {
+  Rng rng(42);
+  std::vector<double> v(n);
+  double x = 100.0;
+  for (auto& val : v) {
+    x += 0.1 * rng.Normal();
+    val = x;
+  }
+  return TimeSeries(0, 60, std::move(v));
+}
+
+std::string BenchStorePath(const char* codec) {
+  return std::string("/tmp/lossyts_micro_store_") + codec + ".lts";
+}
+
+// Builds (once per codec) a single-codec store over the synthetic walk and
+// returns a reader onto it.
+std::unique_ptr<store::StoreReader> MakeStore(const char* codec, size_t n) {
+  const std::string path = BenchStorePath(codec);
+  const TimeSeries series = MakeSeries(n);
+  store::StoreOptions options;
+  options.error_bound = 0.05;
+  options.codecs = {codec};
+  auto writer = store::StoreWriter::Create(path, options);
+  if (!writer.ok() || !(*writer)->Append(series).ok() ||
+      !(*writer)->Finish().ok()) {
+    std::fprintf(stderr, "micro_store: cannot build %s\n", path.c_str());
+    std::abort();
+  }
+  auto reader = store::StoreReader::Open(path);
+  if (!reader.ok()) std::abort();
+  return std::move(*reader);
+}
+
+void BM_StoreIngest(benchmark::State& state) {
+  const TimeSeries series = MakeSeries(static_cast<size_t>(state.range(0)));
+  const std::string path = BenchStorePath("ingest");
+  store::StoreOptions options;
+  options.error_bound = 0.05;
+  for (auto _ : state) {
+    auto writer = store::StoreWriter::Create(path, options);
+    if (!writer.ok()) std::abort();
+    benchmark::DoNotOptimize((*writer)->Append(series));
+    benchmark::DoNotOptimize((*writer)->Finish());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  std::remove(path.c_str());
+}
+
+template <int kCodec>  // 0 = PMC (segment walk), 1 = GORILLA (prefix decode)
+void BM_StorePointRead(benchmark::State& state) {
+  const char* codec = kCodec == 0 ? "PMC" : "GORILLA";
+  auto reader = MakeStore(codec, static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  const int64_t last = reader->last_timestamp();
+  for (auto _ : state) {
+    // Random on-grid timestamp; ClearChunkCache keeps this a cold partial
+    // decode rather than a cache hit.
+    const int64_t t = 60 * rng.UniformInt(last / 60 + 1);
+    reader->ClearChunkCache();
+    benchmark::DoNotOptimize(reader->ReadPoint(t));
+  }
+}
+
+template <bool kPushdown>
+void BM_StoreMean(benchmark::State& state) {
+  auto reader = MakeStore("PMC", static_cast<size_t>(state.range(0)));
+  store::AggregateOptions options;
+  options.allow_pushdown = kPushdown;
+  for (auto _ : state) {
+    reader->ClearChunkCache();
+    benchmark::DoNotOptimize(store::AggregateRange(
+        *reader, store::AggregateKind::kMean, reader->start_timestamp(),
+        reader->last_timestamp(), options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_StoreRangeScan(benchmark::State& state) {
+  auto reader = MakeStore("SZ", 1 << 16);
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    reader->ClearChunkCache();
+    benchmark::DoNotOptimize(
+        reader->ReadRange(reader->start_timestamp(),
+                          reader->last_timestamp(), jobs));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+
+BENCHMARK(BM_StoreIngest)->Arg(1 << 14);
+BENCHMARK(BM_StorePointRead<0>)->Arg(1 << 16);
+BENCHMARK(BM_StorePointRead<1>)->Arg(1 << 16);
+// The pushdown-vs-decode pair: the ratio of these two is the speedup the
+// acceptance criterion pins (>= 5x on PMC chunks).
+BENCHMARK(BM_StoreMean<true>)->Arg(1 << 16);
+BENCHMARK(BM_StoreMean<false>)->Arg(1 << 16);
+BENCHMARK(BM_StoreRangeScan)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace lossyts
+
+BENCHMARK_MAIN();

@@ -1,6 +1,8 @@
 #include "compress/chimp.h"
 
+#include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "compress/header.h"
 #include "compress/serde.h"
@@ -111,8 +113,13 @@ Result<std::vector<uint8_t>> ChimpCompressor::Compress(
   return writer.Finish();
 }
 
-Result<TimeSeries> ChimpCompressor::Decompress(
-    const std::vector<uint8_t>& blob) const {
+namespace {
+
+// Shared decode core: reconstructs the first min(limit, num_points) values,
+// mirroring gorilla.cc's DecodeGorilla — the early-stop path is the same
+// sequential walk, just cut short.
+Result<TimeSeries> DecodeChimp(const std::vector<uint8_t>& blob,
+                               size_t limit) {
   ByteReader reader(blob);
   Result<BlobHeader> header = ReadHeader(reader, AlgorithmId::kChimp);
   if (!header.ok()) return header.status();
@@ -126,15 +133,16 @@ Result<TimeSeries> ChimpCompressor::Decompress(
     return Status::Corruption("Chimp blob with zero points");
   }
 
+  const size_t target = std::min<size_t>(limit, header->num_points);
   std::vector<double> values;
-  values.reserve(SafeReserve(header->num_points));
+  values.reserve(SafeReserve(static_cast<uint32_t>(target)));
   Result<uint64_t> first = ReadBitsMsbFirst(bits, 64);
   if (!first.ok()) return first.status();
   uint64_t prev = *first;
   values.push_back(BitsToDouble(prev));
 
   int prev_leading = -1;
-  while (values.size() < header->num_points) {
+  while (values.size() < target) {
     Result<uint32_t> control = bits.ReadBits(2);
     if (!control.ok()) return control.status();
     uint64_t x = 0;
@@ -187,6 +195,21 @@ Result<TimeSeries> ChimpCompressor::Decompress(
   }
   return TimeSeries(header->first_timestamp, header->interval_seconds,
                     std::move(values));
+}
+
+}  // namespace
+
+Result<TimeSeries> ChimpCompressor::Decompress(
+    const std::vector<uint8_t>& blob) const {
+  return DecodeChimp(blob, std::numeric_limits<size_t>::max());
+}
+
+Result<TimeSeries> ChimpCompressor::DecompressPrefix(
+    const std::vector<uint8_t>& blob, size_t max_points) const {
+  if (max_points == 0) {
+    return Status::InvalidArgument("prefix decode requires max_points >= 1");
+  }
+  return DecodeChimp(blob, max_points);
 }
 
 }  // namespace lossyts::compress

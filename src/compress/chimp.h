@@ -28,6 +28,11 @@ class ChimpCompressor : public Compressor {
                                         double error_bound) const override;
   Result<TimeSeries> Decompress(
       const std::vector<uint8_t>& blob) const override;
+
+  /// Decodes only the first min(max_points, total) values; see
+  /// GorillaCompressor::DecompressPrefix for the contract.
+  Result<TimeSeries> DecompressPrefix(const std::vector<uint8_t>& blob,
+                                      size_t max_points) const;
 };
 
 }  // namespace lossyts::compress

@@ -1,6 +1,8 @@
 #include "compress/gorilla.h"
 
+#include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "compress/header.h"
 #include "compress/serde.h"
@@ -100,8 +102,14 @@ Result<std::vector<uint8_t>> GorillaCompressor::Compress(
   return writer.Finish();
 }
 
-Result<TimeSeries> GorillaCompressor::Decompress(
-    const std::vector<uint8_t>& blob) const {
+namespace {
+
+// Shared decode core: reconstructs the first min(limit, num_points) values.
+// The XOR chain has no random access, so both the full decode and the
+// early-stop prefix path walk it identically and differ only in where they
+// stop — which is what keeps the two bit-identical.
+Result<TimeSeries> DecodeGorilla(const std::vector<uint8_t>& blob,
+                                 size_t limit) {
   ByteReader reader(blob);
   Result<BlobHeader> header = ReadHeader(reader, AlgorithmId::kGorilla);
   if (!header.ok()) return header.status();
@@ -112,11 +120,12 @@ Result<TimeSeries> GorillaCompressor::Decompress(
   }
   zip::BitReader bits(reader.current(), *payload_size);
 
-  std::vector<double> values;
-  values.reserve(SafeReserve(header->num_points));
   if (header->num_points == 0) {
     return Status::Corruption("Gorilla blob with zero points");
   }
+  const size_t target = std::min<size_t>(limit, header->num_points);
+  std::vector<double> values;
+  values.reserve(SafeReserve(static_cast<uint32_t>(target)));
 
   Result<uint64_t> first = ReadBitsMsbFirst(bits, 64);
   if (!first.ok()) return first.status();
@@ -126,7 +135,7 @@ Result<TimeSeries> GorillaCompressor::Decompress(
   int leading = 0;
   int trailing = 0;
   bool window_set = false;
-  while (values.size() < header->num_points) {
+  while (values.size() < target) {
     Result<uint32_t> nonzero = bits.ReadBit();
     if (!nonzero.ok()) return nonzero.status();
     if (*nonzero == 0) {
@@ -157,6 +166,21 @@ Result<TimeSeries> GorillaCompressor::Decompress(
   }
   return TimeSeries(header->first_timestamp, header->interval_seconds,
                     std::move(values));
+}
+
+}  // namespace
+
+Result<TimeSeries> GorillaCompressor::Decompress(
+    const std::vector<uint8_t>& blob) const {
+  return DecodeGorilla(blob, std::numeric_limits<size_t>::max());
+}
+
+Result<TimeSeries> GorillaCompressor::DecompressPrefix(
+    const std::vector<uint8_t>& blob, size_t max_points) const {
+  if (max_points == 0) {
+    return Status::InvalidArgument("prefix decode requires max_points >= 1");
+  }
+  return DecodeGorilla(blob, max_points);
 }
 
 }  // namespace lossyts::compress

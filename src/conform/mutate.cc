@@ -1,12 +1,16 @@
 #include "conform/mutate.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <utility>
 
 #include "core/rng.h"
+#include "store/format.h"
+#include "store/query.h"
+#include "store/reader.h"
 
 namespace lossyts::conform {
 
@@ -149,6 +153,207 @@ std::optional<OracleFailure> CheckMutantDecode(
               std::to_string(rec->size()) + " points but the header claims " +
               std::to_string(claimed),
           0};
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void WriteU64LE(std::vector<uint8_t>& blob, size_t offset, uint64_t v) {
+  std::memcpy(blob.data() + offset, &v, sizeof(v));
+}
+
+void AddBitFlipRange(const std::vector<uint8_t>& image, size_t begin,
+                     size_t count, const char* what,
+                     std::vector<Mutant>& out) {
+  const size_t end = std::min(image.size(), begin + count);
+  for (size_t byte = begin; byte < end; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Mutant m{std::string(what) + "-flip@" + std::to_string(byte) + "." +
+                   std::to_string(bit),
+               image};
+      m.blob[byte] ^= static_cast<uint8_t>(1u << bit);
+      out.push_back(std::move(m));
+    }
+  }
+}
+
+void AddStoreTruncation(const std::vector<uint8_t>& image, size_t at,
+                        std::vector<Mutant>& out) {
+  if (at >= image.size()) return;
+  for (const Mutant& existing : out) {
+    if (existing.blob.size() == at &&
+        existing.kind.rfind("truncate@", 0) == 0) {
+      return;  // Deduplicate identical cut points.
+    }
+  }
+  out.push_back({"truncate@" + std::to_string(at),
+                 std::vector<uint8_t>(image.begin(),
+                                      image.begin() + static_cast<long>(at))});
+}
+
+void AddU32Splices(const std::vector<uint8_t>& image, size_t offset,
+                   const char* what, std::vector<Mutant>& out) {
+  if (image.size() < offset + 4) return;
+  const uint32_t old = ReadU32LE(image, offset);
+  const uint32_t values[] = {0u,       1u,          old - 1u, old + 1u,
+                             old * 2u, 0x7FFFFFFFu, 0xFFFFFFFFu};
+  for (const uint32_t v : values) {
+    if (v == old) continue;
+    Mutant m{std::string(what) + "=" + Hex(v), image};
+    WriteU32LE(m.blob, offset, v);
+    out.push_back(std::move(m));
+  }
+}
+
+// Maximum |a - b| the fp-rounding gap between a closed-form pushdown
+// aggregate and the decode-then-aggregate reference can explain. Anything
+// larger is a genuinely different answer.
+bool AggregatesAgree(double pushdown, double decode) {
+  const double scale = std::max({1.0, std::fabs(pushdown), std::fabs(decode)});
+  return std::fabs(pushdown - decode) <= 1e-6 * scale;
+}
+
+}  // namespace
+
+std::vector<Mutant> GenerateStoreMutants(const std::vector<uint8_t>& image,
+                                         uint64_t seed,
+                                         int random_bit_flips) {
+  std::vector<Mutant> out;
+
+  // Structural offsets, recovered by opening the (valid) input image. If it
+  // does not open, only the structure-blind mutations apply.
+  Result<std::unique_ptr<store::StoreReader>> opened =
+      store::StoreReader::OpenBytes(image);
+  if (opened.ok()) {
+    const store::StoreReader& reader = **opened;
+    uint64_t index_offset = image.size();
+    if (image.size() >= store::kFooterSize) {
+      uint64_t off = 0;
+      std::memcpy(&off, image.data() + image.size() - 16, sizeof(off));
+      index_offset = off;
+    }
+    const size_t data_begin =
+        reader.chunks().empty() ? static_cast<size_t>(index_offset)
+                                : static_cast<size_t>(reader.chunks()[0].offset);
+
+    // Torn-write truncations: inside the file header, at every structural
+    // boundary of the first frame, mid-payload, at the index and the footer.
+    AddStoreTruncation(image, 0, out);
+    AddStoreTruncation(image, 1, out);
+    AddStoreTruncation(image, data_begin / 2, out);
+    AddStoreTruncation(image, data_begin, out);
+    if (!reader.chunks().empty()) {
+      const store::ChunkInfo& first = reader.chunks()[0];
+      const size_t frame = static_cast<size_t>(first.offset);
+      AddStoreTruncation(image, frame + 4, out);
+      AddStoreTruncation(image, frame + 8, out);
+      AddStoreTruncation(image, frame + 8 + first.payload_size / 2, out);
+      AddStoreTruncation(image, frame + 8 + first.payload_size, out);
+      AddStoreTruncation(
+          image, frame + store::kChunkFrameOverhead + first.payload_size, out);
+
+      // Frame framing fields: magic + payload size, payload edges.
+      AddBitFlipRange(image, frame, 8, "frame", out);
+      AddBitFlipRange(image, frame + 8, 1, "payload-head", out);
+      AddBitFlipRange(image, frame + 8 + first.payload_size - 1, 1,
+                      "payload-tail", out);
+      AddU32Splices(image, frame + 4, "frame-size", out);
+    }
+    if (index_offset < image.size()) {
+      const size_t index = static_cast<size_t>(index_offset);
+      AddStoreTruncation(image, index, out);
+      AddStoreTruncation(image, index + 6, out);
+      AddBitFlipRange(image, index, 8, "index-head", out);
+      AddU32Splices(image, index + 4, "index-count", out);
+      if (!reader.chunks().empty()) {
+        // First index entry: offset u64, first_timestamp i64, num_points u32.
+        AddU32Splices(image, index + 8 + 16, "index-points", out);
+      }
+    }
+    if (image.size() >= store::kFooterSize) {
+      const size_t footer = image.size() - store::kFooterSize;
+      AddStoreTruncation(image, footer, out);
+      AddStoreTruncation(image, footer + 10, out);
+      AddStoreTruncation(image, image.size() - 1, out);
+      AddBitFlipRange(image, footer, store::kFooterSize, "footer", out);
+      for (const uint64_t v :
+           {uint64_t{0}, uint64_t{1}, static_cast<uint64_t>(image.size()),
+            static_cast<uint64_t>(image.size()) * 2, ~uint64_t{0}}) {
+        Mutant m{"footer-offset=" + Hex(v), image};
+        WriteU64LE(m.blob, footer + 4, v);
+        out.push_back(std::move(m));
+      }
+    }
+
+    // File header: every bit, as for codec blobs.
+    AddBitFlipRange(image, 0, data_begin, "header", out);
+  }
+
+  AddRandomMutations(image, seed, random_bit_flips, out);
+  return out;
+}
+
+std::optional<OracleFailure> CheckStoreMutant(const Mutant& mutant) {
+  // Any Status at any depth is a clean rejection: the contract obliges only
+  // OK answers, which must then be self-consistent.
+  Result<std::unique_ptr<store::StoreReader>> opened =
+      store::StoreReader::OpenBytes(mutant.blob);
+  if (!opened.ok()) return std::nullopt;
+  const store::StoreReader& reader = **opened;
+
+  auto fail = [&mutant](const std::string& detail) {
+    return OracleFailure{"store-mutant-accept",
+                         "mutant '" + mutant.kind + "': " + detail, 0};
+  };
+
+  Result<TimeSeries> all = reader.ReadAll();
+  if (!all.ok()) return std::nullopt;
+  if (all->size() != reader.total_points()) {
+    return fail("full decode returned " + std::to_string(all->size()) +
+                " points but the store declares " +
+                std::to_string(reader.total_points()));
+  }
+  if (reader.total_points() == 0) return std::nullopt;
+  if (all->start_timestamp() != reader.start_timestamp() ||
+      all->interval_seconds() != reader.interval_seconds()) {
+    return fail("full decode disagrees with the store's time grid");
+  }
+
+  // Point reads at the edges must match the materialized series.
+  Result<double> first = reader.ReadPoint(reader.start_timestamp());
+  Result<double> last = reader.ReadPoint(reader.last_timestamp());
+  if (first.ok() && *first != all->values().front()) {
+    return fail("point read of the first timestamp disagrees with decode");
+  }
+  if (last.ok() && *last != all->values().back()) {
+    return fail("point read of the last timestamp disagrees with decode");
+  }
+
+  // Pushdown vs decode-then-aggregate over the whole extent.
+  for (const store::AggregateKind kind :
+       {store::AggregateKind::kCount, store::AggregateKind::kSum,
+        store::AggregateKind::kMin, store::AggregateKind::kMax,
+        store::AggregateKind::kMean}) {
+    store::AggregateOptions pushdown;
+    store::AggregateOptions decode;
+    decode.allow_pushdown = false;
+    Result<store::AggregateResult> a = store::AggregateRange(
+        reader, kind, reader.start_timestamp(), reader.last_timestamp(),
+        pushdown);
+    Result<store::AggregateResult> b = store::AggregateRange(
+        reader, kind, reader.start_timestamp(), reader.last_timestamp(),
+        decode);
+    if (!a.ok() || !b.ok()) return std::nullopt;
+    if (a->count != reader.total_points() || b->count != a->count) {
+      return fail(std::string(store::AggregateKindName(kind)) +
+                  " count disagrees with the declared point count");
+    }
+    if (!AggregatesAgree(a->value, b->value)) {
+      return fail(std::string(store::AggregateKindName(kind)) +
+                  " pushdown answer " + std::to_string(a->value) +
+                  " disagrees with decode answer " + std::to_string(b->value));
     }
   }
   return std::nullopt;

@@ -37,6 +37,29 @@ std::vector<Mutant> GenerateMutants(const std::vector<uint8_t>& blob,
 std::optional<OracleFailure> CheckMutantDecode(
     const compress::Compressor& codec, const Mutant& mutant);
 
+/// Derives the mutation battery for one chunk store file image (the on-disk
+/// format of store/format.h), structure-aware against its framing:
+///  - truncations at the header / chunk-frame / index / footer boundaries
+///    and mid-frame (torn-write shapes),
+///  - single-bit flips across the file header, the first chunk frame's
+///    framing fields, the index block head and the footer,
+///  - u32/u64 splices of the frame payload size, the index entry count, an
+///    index entry's point count, and the footer's index offset,
+///  - `random_bit_flips` seeded random bit flips and byte splices anywhere.
+/// The image should be a valid store file; deterministic in
+/// (image, seed, random_bit_flips).
+std::vector<Mutant> GenerateStoreMutants(const std::vector<uint8_t>& image,
+                                         uint64_t seed, int random_bit_flips);
+
+/// Opens one mutated store image and, when the open succeeds, drills its
+/// answers for self-consistency: the full range decode must match the
+/// declared point count and grid, COUNT must equal the decoded length, and
+/// pushdown aggregates must agree with decode-then-aggregate. The store
+/// contract mirrors the decoder contract: any non-OK Status passes (a
+/// truncated file legitimately opens as a salvaged prefix), but a crash or
+/// a silently inconsistent answer is a failure.
+std::optional<OracleFailure> CheckStoreMutant(const Mutant& mutant);
+
 }  // namespace lossyts::conform
 
 #endif  // LOSSYTS_CONFORM_MUTATE_H_

@@ -21,6 +21,10 @@ namespace lossyts {
 ///   "decompress"  — compress::RunPipeline, before the codec's Decompress
 ///   "train_step"  — forecast::NnForecaster::Fit, before each batch step
 ///   "cache_write" — eval::GridCheckpointWriter::Append, before the row write
+///   "store_write" — store::StoreWriter, before each chunk frame and before
+///                   the index/footer epilogue; on fire the writer leaves a
+///                   genuinely torn half-frame on disk, the scenario the
+///                   reader's salvage scan recovers from
 ///   "autodiff_backward_perturb" — nn::MatMul's backward; corrupts dA so the
 ///                   numcheck gradient oracle's seeded-fault drill has a
 ///                   real bug to catch (used as a trigger, not a Status)

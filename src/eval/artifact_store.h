@@ -36,7 +36,12 @@ class ArtifactStore {
     {
       std::lock_guard<std::mutex> lock(mu_);
       std::shared_ptr<Slot>& entry = slots_[key];
-      if (entry == nullptr) entry = std::make_shared<Slot>();
+      if (entry == nullptr) {
+        entry = std::make_shared<Slot>();
+        ++misses_;
+      } else {
+        ++hits_;
+      }
       slot = entry;
     }
     std::call_once(slot->once, [&] {
@@ -65,6 +70,19 @@ class ArtifactStore {
     return slots_.size();
   }
 
+  /// Cache-effectiveness counters: a GetOrCompute on an existing slot (even
+  /// one still computing — the caller shares, not recomputes) is a hit, a
+  /// first request is a miss. hits + misses == total GetOrCompute calls;
+  /// surfaced through the Progress reporter after a sweep.
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
  private:
   struct Slot {
     std::once_flag once;
@@ -73,6 +91,8 @@ class ArtifactStore {
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
 };
 
 }  // namespace lossyts::eval

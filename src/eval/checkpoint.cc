@@ -95,6 +95,11 @@ uint32_t GridOptionsHash(const GridOptions& options) {
   AppendDouble(repr, f.dropout);
   repr += std::to_string(options.scenario.eval_stride) + '|' +
           std::to_string(options.scenario.max_eval_windows);
+  // Store-sourced sweeps measure a different compression ratio (serving
+  // ratio, see eval/store_source.h), so they must not share a checkpoint
+  // with recompression sweeps. Appended only when set so every pre-existing
+  // cache keeps its hash.
+  if (!options.store_dir.empty()) repr += "|store=" + options.store_dir;
   return zip::ComputeCrc32(reinterpret_cast<const uint8_t*>(repr.data()),
                            repr.size());
 }

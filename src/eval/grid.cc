@@ -343,7 +343,7 @@ Result<std::vector<GridRecord>> RunGridResumable(
                 tnode.error_bound,
                 dataset_store.Lookup(dataset_nodes[tnode.dataset].name)
                     ->split.test,
-                max_attempts, options.verbose);
+                options.store_dir, max_attempts, options.verbose);
           });
           for (const size_t slot : tnode.cells) resolve_dep(slot);
         });
@@ -371,6 +371,20 @@ Result<std::vector<GridRecord>> RunGridResumable(
     });
   }
   pool.Wait();
+
+  if (options.verbose) {
+    // Artifact-cache effectiveness: how much sharing the DAG achieved. A
+    // miss is a computed artifact, a hit a reuse by a sibling cell.
+    Progress::Printf(
+        "[grid] artifact cache: datasets %llu hits / %llu misses, "
+        "transforms %llu hits / %llu misses, fits %llu hits / %llu misses\n",
+        static_cast<unsigned long long>(dataset_store.hits()),
+        static_cast<unsigned long long>(dataset_store.misses()),
+        static_cast<unsigned long long>(transform_store.hits()),
+        static_cast<unsigned long long>(transform_store.misses()),
+        static_cast<unsigned long long>(fit_store.hits()),
+        static_cast<unsigned long long>(fit_store.misses()));
+  }
 
   // Configuration errors abort the sweep deterministically: the first
   // failing dataset (then model) in canonical order wins, matching the

@@ -64,6 +64,12 @@ struct GridOptions {
   forecast::ForecastConfig forecast;
   ScenarioOptions scenario;
   bool verbose = false;  ///< Progress lines on stderr (mutex-guarded).
+  /// When non-empty, CompressAtBound stages source their transform artifacts
+  /// from the chunk store files under this directory (see
+  /// eval/store_source.h), falling back to recompression per combination
+  /// when the store is missing or invalid. Participates in GridOptionsHash
+  /// (only when set, so caches from before this option keep their hashes).
+  std::string store_dir;
   /// Extra attempts after a failed fit or compression transform. Retried
   /// fits run with RetrySeed()-derived seeds so a divergent initialization
   /// does not permanently kill the cell; the record keeps the original seed

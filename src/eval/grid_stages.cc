@@ -8,6 +8,7 @@
 #include "core/split.h"
 #include "forecast/registry.h"
 #include "eval/scenario.h"
+#include "eval/store_source.h"
 
 namespace lossyts::eval {
 
@@ -57,8 +58,23 @@ TransformArtifact CompressAtBoundStage(const std::string& dataset_name,
                                        const std::string& compressor_name,
                                        double error_bound,
                                        const TimeSeries& test,
+                                       const std::string& store_dir,
                                        int max_attempts, bool verbose) {
   TransformArtifact out;
+  if (!store_dir.empty()) {
+    Result<TransformArtifact> stored = LoadTransformFromStore(
+        store_dir, dataset_name, compressor_name, error_bound, test);
+    if (stored.ok()) return std::move(*stored);
+    // A missing/stale/corrupt store degrades to recompression: the sweep
+    // still completes, just without the storage-sourced artifact.
+    if (verbose) {
+      Progress::Printf("[grid] store source %s eb=%g on %s unavailable (%s); "
+                       "recompressing\n",
+                       compressor_name.c_str(), error_bound,
+                       dataset_name.c_str(),
+                       stored.status().ToString().c_str());
+    }
+  }
   Result<std::unique_ptr<compress::Compressor>> compressor =
       compress::MakeCompressor(compressor_name);
   if (!compressor.ok()) {

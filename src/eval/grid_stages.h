@@ -59,6 +59,11 @@ struct TransformArtifact {
   double segment_count = 0.0;
   Status status;
   int attempts = 1;
+  /// True when the artifact was sourced from a chunk store file
+  /// (eval/store_source.h) instead of being recompressed. Store-sourced
+  /// artifacts carry the *serving* compression ratio (raw gzip bytes over
+  /// store file bytes) rather than the pipeline's per-blob gzip ratio.
+  bool from_store = false;
 };
 
 /// Output of the FitModel stage: a model trained on the raw train/val splits
@@ -101,12 +106,16 @@ DatasetArtifact LoadDatasetStage(const std::string& name,
                                  const data::DatasetOptions& options);
 
 /// Stage 2: run `compressor_name` at `error_bound` over the test split, with
-/// up to `max_attempts` tries. Verbose failures are reported through the
-/// core progress reporter.
+/// up to `max_attempts` tries. When `store_dir` is non-empty the stage first
+/// tries to source the artifact from that directory's chunk store files
+/// (eval/store_source.h), falling back to recompression — with a verbose
+/// note — when the store is missing, stale, or invalid. Verbose failures are
+/// reported through the core progress reporter.
 TransformArtifact CompressAtBoundStage(const std::string& dataset_name,
                                        const std::string& compressor_name,
                                        double error_bound,
                                        const TimeSeries& test,
+                                       const std::string& store_dir,
                                        int max_attempts, bool verbose);
 
 /// Stage 3: fit `model_name` on the raw splits with per-attempt reseeding

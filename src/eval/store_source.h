@@ -1,0 +1,49 @@
+#ifndef LOSSYTS_EVAL_STORE_SOURCE_H_
+#define LOSSYTS_EVAL_STORE_SOURCE_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "core/time_series.h"
+#include "eval/grid_stages.h"
+
+namespace lossyts::eval {
+
+// Sourcing CompressAtBound artifacts from chunk store files instead of
+// recompressing: BuildTransformStores ingests every (dataset, compressor,
+// error bound) combination's chronological test split into a per-combination
+// single-codec store under a directory, and a grid run pointed at that
+// directory (GridOptions::store_dir) has its CompressAtBoundStage read the
+// reconstructed series straight out of the store — the "train directly from
+// compressed storage" path. The store is trusted only after validation:
+// bound, codec list and time grid must match the request exactly, and a
+// missing/stale/corrupt file falls back to recompression.
+
+/// Canonical store file path for one (dataset, compressor, bound)
+/// combination, e.g. "<dir>/Solar_PMC_eb0.05.lts".
+std::string TransformStorePath(const std::string& dir,
+                               const std::string& dataset,
+                               const std::string& compressor,
+                               double error_bound);
+
+/// Ingests the test split of every combination in `options` (empty lists
+/// resolve to the grid defaults) into store files under `dir`, creating the
+/// directory if needed. Existing files are overwritten; ingestion is
+/// deterministic, so a rebuild is byte-identical.
+Status BuildTransformStores(const GridOptions& options,
+                            const std::string& dir);
+
+/// Sources one TransformArtifact from `dir`. Validates that the store is
+/// clean (complete footer), was built at exactly `error_bound` with exactly
+/// `compressor_name`, and reconstructs onto `test`'s time grid; computes the
+/// TE metrics against `test`, the serving compression ratio
+/// (gzip(raw CSV) / store file bytes) and the segment count. Any failure
+/// returns the status — the caller decides whether to fall back.
+Result<TransformArtifact> LoadTransformFromStore(
+    const std::string& dir, const std::string& dataset_name,
+    const std::string& compressor_name, double error_bound,
+    const TimeSeries& test);
+
+}  // namespace lossyts::eval
+
+#endif  // LOSSYTS_EVAL_STORE_SOURCE_H_

@@ -38,6 +38,22 @@ run_config() {
     # the plain, ASan, and UBSan legs, so the gradient math is also checked
     # for UB (signed overflow, bad shifts) and memory errors.
     "${dir}/tools/lossyts" numcheck --iters "${LOSSYTS_NUMCHECK_ITERS:-2}"
+    # Chunk store smoke: ingest a dataset, answer an aggregate by segment
+    # pushdown and by full decode, and verify every reconstructed point
+    # against the raw data under the conform bound oracle. Runs in the
+    # plain, ASan, and UBSan legs, so the frame parser and salvage scan are
+    # memory-checked too. LOSSYTS_STORE_ITERS picks how many error bounds
+    # the loop covers (default 1; the full list is 0.01 0.05 0.2).
+    local store_bounds=(0.05 0.01 0.2)
+    local store_iters="${LOSSYTS_STORE_ITERS:-1}"
+    for eb in "${store_bounds[@]:0:${store_iters}}"; do
+      local lts="${dir}/store_smoke_${eb}.lts"
+      "${dir}/tools/lossyts" store ingest PMC,SWING,SZ,GORILLA "${eb}" \
+        Solar "${lts}"
+      "${dir}/tools/lossyts" store query "${lts}" MEAN
+      "${dir}/tools/lossyts" store query "${lts}" MEAN --no-pushdown
+      "${dir}/tools/lossyts" store verify "${lts}" Solar
+    done
   fi
 }
 
@@ -49,6 +65,6 @@ UBSAN_OPTIONS=halt_on_error=1 run_config ubsan undefined
 # exercise every cross-thread edge, and a full TSan run of the NN training
 # tests would dominate CI time without touching more shared state.
 TSAN_OPTIONS=halt_on_error=1 run_config tsan thread \
-  'ThreadPoolTest|ProgressTest|SeedTest|GridConcurrencyTest|ArtifactStoreTest'
+  'ThreadPoolTest|ProgressTest|SeedTest|GridConcurrencyTest|ArtifactStoreTest|StoreConcurrencyTest'
 
 echo "=== ci.sh: all configurations passed ==="

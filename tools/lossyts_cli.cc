@@ -7,10 +7,15 @@
 //   lossyts grid [--resume] [--fresh] [--cache <path>] [--jobs N] [filters...]
 //   lossyts conform [--cases N] [--seed S] [--codecs a,b] [--jobs N] [...]
 //   lossyts numcheck [--iters N] [--seed S] [--ops a,b] [--models a,b] [...]
+//   lossyts store ingest|query|stats|verify|ingest-grid ...
 //
 // Compressed files are the library's self-describing blobs wrapped in gzip
 // (the paper's measurement format), so `decompress` needs no codec argument.
+// `store` files are the chunk store format from src/store/ — CRC-framed
+// chunk records plus a sparse time index, queryable without full decode.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,8 +29,13 @@
 #include "data/datasets.h"
 #include "eval/grid.h"
 #include "eval/report.h"
+#include "eval/store_source.h"
 #include "features/registry.h"
 #include "numcheck/harness.h"
+#include "store/format.h"
+#include "store/query.h"
+#include "store/reader.h"
+#include "store/writer.h"
 #include "zip/gzip.h"
 
 using namespace lossyts;
@@ -51,6 +61,16 @@ int Usage() {
       "  lossyts numcheck [--iters N] [--seed S] [--ops a,b] [--models a,b]\n"
       "               [--oracles a,b] [--jobs N]   (list \"none\" to skip a\n"
       "               category; empty list means all)\n"
+      "  lossyts store ingest <codec[,codec...]> <eb> <in.csv | dataset>\n"
+      "               <out.lts> [--span N]\n"
+      "  lossyts store query <in.lts> <MIN|MAX|SUM|COUNT|MEAN> [<t0> <t1>]\n"
+      "               [--jobs N] [--no-pushdown]\n"
+      "  lossyts store stats <in.lts>\n"
+      "  lossyts store verify <in.lts> <in.csv | dataset>\n"
+      "  lossyts store ingest-grid <dir> [--datasets a,b]\n"
+      "               [--compressors a,b] [--error-bounds 0.05,0.4]\n"
+      "  (grid also takes --store-dir <dir> to source transforms from\n"
+      "   store files, and --build-stores to build them first)\n"
       "dataset names: ETTm1 ETTm2 Solar Weather ElecDem Wind\n");
   return 2;
 }
@@ -207,6 +227,7 @@ int Grid(int argc, char** argv) {
   eval::GridOptions options;
   options.verbose = true;
   bool resume = false;
+  bool build_stores = false;
   std::string cache_path = eval::DefaultGridCachePath();
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -221,6 +242,12 @@ int Grid(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       cache_path = v;
+    } else if (arg == "--store-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.store_dir = v;
+    } else if (arg == "--build-stores") {
+      build_stores = true;
     } else if (arg == "--retries") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -257,6 +284,17 @@ int Grid(int argc, char** argv) {
       }
     } else {
       return Usage();
+    }
+  }
+  if (build_stores) {
+    if (options.store_dir.empty()) {
+      std::fprintf(stderr, "--build-stores requires --store-dir\n");
+      return Usage();
+    }
+    if (Status s = eval::BuildTransformStores(options, options.store_dir);
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
     }
   }
   if (!resume) std::remove(cache_path.c_str());
@@ -396,6 +434,317 @@ int Numcheck(int argc, char** argv) {
   return summary->failures.empty() ? 0 : 1;
 }
 
+const char* AlgorithmName(compress::AlgorithmId id) {
+  switch (id) {
+    case compress::AlgorithmId::kPmc: return "PMC";
+    case compress::AlgorithmId::kSwing: return "SWING";
+    case compress::AlgorithmId::kSz: return "SZ";
+    case compress::AlgorithmId::kGorilla: return "GORILLA";
+    case compress::AlgorithmId::kChimp: return "CHIMP";
+    case compress::AlgorithmId::kPpa: return "PPA";
+  }
+  return "?";
+}
+
+int StoreIngest(int argc, char** argv) {
+  if (argc < 7) return Usage();
+  store::StoreOptions options;
+  options.codecs = SplitList(argv[3]);
+  options.error_bound = std::strtod(argv[4], nullptr);
+  const std::string in_path = argv[5];
+  const std::string out_path = argv[6];
+  for (int i = 7; i < argc; ++i) {
+    if (std::string(argv[i]) == "--span" && i + 1 < argc) {
+      options.chunk_span = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else {
+      return Usage();
+    }
+  }
+  Result<TimeSeries> series = LoadSeries(in_path);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<store::StoreWriter>> writer =
+      store::StoreWriter::Create(out_path, options);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "%s\n", writer.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = (*writer)->Append(*series); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = (*writer)->Finish(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const size_t raw_gz = compress::RawGzipSize(*series);
+  std::printf(
+      "%s: %llu points in %llu chunks -> %llu bytes (CR %.1fx vs gzip'd "
+      "CSV)\n",
+      out_path.c_str(),
+      static_cast<unsigned long long>((*writer)->points_written()),
+      static_cast<unsigned long long>((*writer)->chunks_written()),
+      static_cast<unsigned long long>((*writer)->bytes_written()),
+      static_cast<double>(raw_gz) /
+          static_cast<double>((*writer)->bytes_written()));
+  return 0;
+}
+
+int StoreQuery(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const std::string path = argv[3];
+  Result<store::AggregateKind> kind = store::ParseAggregateKind(argv[4]);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return Usage();
+  }
+  Result<std::unique_ptr<store::StoreReader>> reader =
+      store::StoreReader::Open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  int64_t t0 = (*reader)->start_timestamp();
+  int64_t t1 = (*reader)->last_timestamp();
+  store::AggregateOptions options;
+  int i = 5;
+  if (i + 1 < argc && argv[i][0] != '-') {
+    t0 = std::strtoll(argv[i], nullptr, 10);
+    t1 = std::strtoll(argv[i + 1], nullptr, 10);
+    i += 2;
+  }
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      options.jobs = std::atoi(argv[++i]);
+    } else if (arg == "--no-pushdown") {
+      options.allow_pushdown = false;
+    } else {
+      return Usage();
+    }
+  }
+  Result<store::AggregateResult> result =
+      store::AggregateRange(**reader, *kind, t0, t1, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s[%lld, %lld] = %.17g  (±%.3g vs raw, %llu points, "
+              "%zu pushdown / %zu decoded chunks)\n",
+              store::AggregateKindName(*kind), static_cast<long long>(t0),
+              static_cast<long long>(t1), result->value, result->error_bound,
+              static_cast<unsigned long long>(result->count),
+              result->pushdown_chunks, result->decoded_chunks);
+  return 0;
+}
+
+int StoreStats(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  Result<std::unique_ptr<store::StoreReader>> opened =
+      store::StoreReader::Open(argv[3]);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  const store::StoreReader& reader = **opened;
+  std::string codecs;
+  for (const std::string& name : reader.header().codecs) {
+    if (!codecs.empty()) codecs += ',';
+    codecs += name;
+  }
+  std::printf("state:     %s\n", reader.clean() ? "complete" : "salvaged");
+  std::printf("bound:     %g\n", reader.header().error_bound);
+  std::printf("span:      %u points/chunk\n", reader.header().chunk_span);
+  std::printf("codecs:    %s\n", codecs.c_str());
+  std::printf("points:    %llu\n",
+              static_cast<unsigned long long>(reader.total_points()));
+  std::printf("chunks:    %zu\n", reader.chunks().size());
+  std::printf("bytes:     %zu\n", reader.file_size());
+  if (!reader.chunks().empty()) {
+    std::printf("range:     [%lld, %lld] at %d s\n",
+                static_cast<long long>(reader.start_timestamp()),
+                static_cast<long long>(reader.last_timestamp()),
+                reader.interval_seconds());
+    size_t by_alg[7] = {};
+    for (const store::ChunkInfo& chunk : reader.chunks()) {
+      const size_t id = static_cast<size_t>(chunk.algorithm);
+      if (id < 7) ++by_alg[id];
+    }
+    std::string mix;
+    for (size_t id = 1; id < 7; ++id) {
+      if (by_alg[id] == 0) continue;
+      if (!mix.empty()) mix += ", ";
+      mix += std::to_string(by_alg[id]);
+      mix += "x";
+      mix += AlgorithmName(static_cast<compress::AlgorithmId>(id));
+    }
+    std::printf("chunk mix: %s\n", mix.c_str());
+  }
+  return 0;
+}
+
+// Verifies a store against the raw series it was ingested from: the time
+// grid must match, every reconstructed point must sit inside the
+// RelativeAllowance interval of its raw value (bit-exact for lossless
+// chunks — the same §2 pointwise oracle the conform harness enforces), and
+// every pushdown aggregate must sit within its self-reported error bound of
+// the same aggregate over the raw data.
+int StoreVerify(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  Result<std::unique_ptr<store::StoreReader>> opened =
+      store::StoreReader::Open(argv[3]);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  const store::StoreReader& reader = **opened;
+  Result<TimeSeries> raw = LoadSeries(argv[4]);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "%s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  if (reader.total_points() > raw->size() ||
+      reader.start_timestamp() != raw->start_timestamp() ||
+      reader.interval_seconds() != raw->interval_seconds()) {
+    std::fprintf(stderr,
+                 "verify: store grid does not match the raw series "
+                 "(%llu stored vs %zu raw points)\n",
+                 static_cast<unsigned long long>(reader.total_points()),
+                 raw->size());
+    return 1;
+  }
+  if (!reader.clean()) {
+    std::printf("verify: store is a salvaged prefix (%llu of %zu points); "
+                "verifying the prefix\n",
+                static_cast<unsigned long long>(reader.total_points()),
+                raw->size());
+  }
+  Result<TimeSeries> recon = reader.ReadAll();
+  if (!recon.ok()) {
+    std::fprintf(stderr, "%s\n", recon.status().ToString().c_str());
+    return 1;
+  }
+  const double eb = reader.header().error_bound;
+  size_t checked = 0;
+  for (const store::ChunkInfo& chunk : reader.chunks()) {
+    const bool lossless = store::IsLosslessAlgorithm(chunk.algorithm);
+    for (uint32_t k = 0; k < chunk.num_points; ++k, ++checked) {
+      const double v = raw->values()[checked];
+      const double v_hat = recon->values()[checked];
+      bool ok;
+      if (lossless) {
+        // Bit-exact, NaN included: compare representations.
+        ok = std::memcmp(&v, &v_hat, sizeof(double)) == 0;
+      } else {
+        const compress::Allowance a = compress::RelativeAllowance(v, eb);
+        ok = v_hat >= a.lo && v_hat <= a.hi;
+      }
+      if (!ok) {
+        std::fprintf(stderr,
+                     "verify: point %zu out of bound: raw %.17g vs stored "
+                     "%.17g (eb %g, %s chunk)\n",
+                     checked, v, v_hat, eb, AlgorithmName(chunk.algorithm));
+        return 1;
+      }
+    }
+  }
+  // Aggregate verification: the pushdown answer must be within its own
+  // reported bound of the raw aggregate (small fp slack for the summation
+  // order difference).
+  const char* kinds[] = {"MIN", "MAX", "SUM", "COUNT", "MEAN"};
+  for (const char* name : kinds) {
+    Result<store::AggregateKind> kind = store::ParseAggregateKind(name);
+    Result<store::AggregateResult> got = store::AggregateRange(
+        reader, *kind, reader.start_timestamp(), reader.last_timestamp());
+    if (!got.ok()) {
+      std::fprintf(stderr, "verify: %s failed: %s\n", name,
+                   got.status().ToString().c_str());
+      return 1;
+    }
+    double expect = 0.0;
+    double sum = 0.0, mn = raw->values()[0], mx = raw->values()[0];
+    for (size_t i = 0; i < checked; ++i) {
+      const double v = raw->values()[i];
+      sum += v;
+      if (v < mn) mn = v;
+      if (v > mx) mx = v;
+    }
+    switch (*kind) {
+      case store::AggregateKind::kMin: expect = mn; break;
+      case store::AggregateKind::kMax: expect = mx; break;
+      case store::AggregateKind::kSum: expect = sum; break;
+      case store::AggregateKind::kCount:
+        expect = static_cast<double>(checked);
+        break;
+      case store::AggregateKind::kMean:
+        expect = sum / static_cast<double>(checked);
+        break;
+    }
+    const double slack =
+        got->error_bound + 1e-9 * std::max(1.0, std::abs(expect));
+    if (std::abs(got->value - expect) > slack) {
+      std::fprintf(stderr,
+                   "verify: %s = %.17g deviates from raw %.17g beyond its "
+                   "reported bound %.3g\n",
+                   name, got->value, expect, got->error_bound);
+      return 1;
+    }
+  }
+  std::printf("verify: OK — %zu points within bound %g, all aggregates "
+              "within their reported error\n",
+              checked, eb);
+  return 0;
+}
+
+int StoreIngestGrid(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  eval::GridOptions options;
+  const std::string dir = argv[3];
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--datasets") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.datasets = SplitList(v);
+    } else if (arg == "--compressors") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.compressors = SplitList(v);
+    } else if (arg == "--error-bounds") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.error_bounds.clear();
+      for (const std::string& eb : SplitList(v)) {
+        options.error_bounds.push_back(std::strtod(eb.c_str(), nullptr));
+      }
+    } else {
+      return Usage();
+    }
+  }
+  if (Status s = eval::BuildTransformStores(options, dir); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("built transform stores under %s\n", dir.c_str());
+  return 0;
+}
+
+int StoreCmd(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string sub = argv[2];
+  if (sub == "ingest") return StoreIngest(argc, argv);
+  if (sub == "query") return StoreQuery(argc, argv);
+  if (sub == "stats") return StoreStats(argc, argv);
+  if (sub == "verify") return StoreVerify(argc, argv);
+  if (sub == "ingest-grid") return StoreIngestGrid(argc, argv);
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -412,5 +761,6 @@ int main(int argc, char** argv) {
   if (command == "grid") return Grid(argc, argv);
   if (command == "conform") return Conform(argc, argv);
   if (command == "numcheck") return Numcheck(argc, argv);
+  if (command == "store") return StoreCmd(argc, argv);
   return Usage();
 }
