@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/rng.h"
+#include "serve/wal.h"
 #include "store/format.h"
 #include "store/query.h"
 #include "store/reader.h"
@@ -293,6 +294,80 @@ std::vector<Mutant> GenerateStoreMutants(const std::vector<uint8_t>& image,
 
   AddRandomMutations(image, seed, random_bit_flips, out);
   return out;
+}
+
+std::vector<Mutant> GenerateWalMutants(const std::vector<uint8_t>& image,
+                                       uint64_t seed, int random_bit_flips) {
+  std::vector<Mutant> out;
+
+  // Torn-write truncations inside the header.
+  AddStoreTruncation(image, 0, out);
+  AddStoreTruncation(image, 1, out);
+  AddStoreTruncation(image, serve::kWalHeaderSize - 1, out);
+  AddStoreTruncation(image, serve::kWalHeaderSize, out);
+  AddBitFlipRange(image, 0, serve::kWalHeaderSize, "wal-header", out);
+
+  // Structure of the first record, recovered by replaying the (valid) input.
+  Result<serve::WalReplay> replay = serve::ReplayWalBytes(image);
+  if (replay.ok() && !replay->records.empty()) {
+    const size_t frame = serve::kWalHeaderSize;
+    const size_t frame_size =
+        serve::EncodeWalRecord(replay->records[0]).size();
+    const size_t payload_size = frame_size - serve::kWalFrameOverhead;
+    AddStoreTruncation(image, frame + 4, out);      // After the magic.
+    AddStoreTruncation(image, frame + 8, out);      // After the size field.
+    AddStoreTruncation(image, frame + 8 + payload_size / 2, out);
+    AddStoreTruncation(image, frame + 8 + payload_size, out);  // Before CRC.
+    AddStoreTruncation(image, frame + frame_size - 1, out);
+    AddStoreTruncation(image, frame + frame_size, out);
+    AddBitFlipRange(image, frame, 8, "wal-frame", out);
+    AddBitFlipRange(image, frame + 8, 1, "wal-payload-head", out);
+    AddBitFlipRange(image, frame + 8 + payload_size - 1, 1,
+                    "wal-payload-tail", out);
+    AddBitFlipRange(image, frame + 8 + payload_size, 4, "wal-crc", out);
+    AddU32Splices(image, frame + 4, "wal-record-size", out);
+  }
+
+  AddRandomMutations(image, seed, random_bit_flips, out);
+  return out;
+}
+
+std::optional<OracleFailure> CheckWalMutant(const Mutant& mutant) {
+  Result<serve::WalReplay> replay = serve::ReplayWalBytes(mutant.blob);
+  // Corruption (unreadable header) is a clean rejection; an OK replay must
+  // be exactly the longest valid prefix of the image.
+  if (!replay.ok()) return std::nullopt;
+
+  auto fail = [&mutant](const std::string& detail) {
+    return OracleFailure{"wal-mutant-accept",
+                         "mutant '" + mutant.kind + "': " + detail, 0};
+  };
+
+  if (replay->valid_bytes < serve::kWalHeaderSize ||
+      replay->valid_bytes > mutant.blob.size()) {
+    return fail("replay claims a valid prefix of " +
+                std::to_string(replay->valid_bytes) + " bytes in a " +
+                std::to_string(mutant.blob.size()) + " byte image");
+  }
+  if (replay->clean != (replay->valid_bytes == mutant.blob.size())) {
+    return fail("clean flag disagrees with the valid prefix length");
+  }
+
+  // Bit-exact round trip: the header plus the re-encoded records must
+  // reproduce the valid prefix, byte for byte — anything else means the
+  // parser accepted a record it could not have been handed.
+  std::vector<uint8_t> rebuilt(mutant.blob.begin(),
+                               mutant.blob.begin() + serve::kWalHeaderSize);
+  for (const serve::WalRecord& record : replay->records) {
+    const std::vector<uint8_t> frame = serve::EncodeWalRecord(record);
+    rebuilt.insert(rebuilt.end(), frame.begin(), frame.end());
+  }
+  if (rebuilt.size() != replay->valid_bytes ||
+      std::memcmp(rebuilt.data(), mutant.blob.data(), rebuilt.size()) != 0) {
+    return fail("re-encoding the replayed records does not reproduce the "
+                "valid prefix");
+  }
+  return std::nullopt;
 }
 
 std::optional<OracleFailure> CheckStoreMutant(const Mutant& mutant) {

@@ -60,6 +60,26 @@ std::vector<Mutant> GenerateStoreMutants(const std::vector<uint8_t>& image,
 /// a silently inconsistent answer is a failure.
 std::optional<OracleFailure> CheckStoreMutant(const Mutant& mutant);
 
+/// Derives the mutation battery for one serve WAL image (the on-disk format
+/// of serve/wal.h), structure-aware against its framing:
+///  - truncations inside the header, at the first record's structural
+///    boundaries and mid-payload (torn-write shapes),
+///  - single-bit flips across the header and the first record's framing,
+///    payload edges and CRC,
+///  - u32 splices of the first record's payload-size field,
+///  - `random_bit_flips` seeded random bit flips and byte splices anywhere.
+/// The image should be a valid WAL; deterministic in
+/// (image, seed, random_bit_flips).
+std::vector<Mutant> GenerateWalMutants(const std::vector<uint8_t>& image,
+                                       uint64_t seed, int random_bit_flips);
+
+/// Replays one mutated WAL image. The replay contract: Corruption passes
+/// (an unreadable header), but an OK replay must be exactly the longest
+/// valid prefix — valid_bytes within the image, `clean` iff nothing was
+/// dropped, and the header plus the re-encoded records byte-identical to
+/// that prefix. A crash or any deviation is a failure.
+std::optional<OracleFailure> CheckWalMutant(const Mutant& mutant);
+
 }  // namespace lossyts::conform
 
 #endif  // LOSSYTS_CONFORM_MUTATE_H_

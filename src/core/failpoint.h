@@ -25,6 +25,16 @@ namespace lossyts {
 ///                   the index/footer epilogue; on fire the writer leaves a
 ///                   genuinely torn half-frame on disk, the scenario the
 ///                   reader's salvage scan recovers from
+///   "wal_write"   — serve::WalWriter::Append, before each record frame; on
+///                   fire half the frame reaches the log and the writer is
+///                   dead, the torn tail WAL replay must drop
+///   "wal_fsync"   — serve::WalWriter::Sync, before the fsync that makes a
+///                   batch of acked appends durable
+///   "shard_flush" — serve::Shard checkpoint, before each per-series store
+///                   rewrite and before the WAL reset, modelling a crash in
+///                   the middle of a checkpoint (replay must stay idempotent)
+///   "socket_write"— serve::WriteFrame, before the socket send, modelling a
+///                   peer that dies between request and reply
 ///   "autodiff_backward_perturb" — nn::MatMul's backward; corrupts dA so the
 ///                   numcheck gradient oracle's seeded-fault drill has a
 ///                   real bug to catch (used as a trigger, not a Status)

@@ -19,6 +19,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kUnavailable,
 };
 
 /// Lightweight status object in the RocksDB style: a code plus a
@@ -49,6 +50,11 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  /// Transient overload: the caller should back off and retry (the serve
+  /// daemon's admission-control and deadline replies map to this code).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

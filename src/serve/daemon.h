@@ -1,0 +1,139 @@
+#ifndef LOSSYTS_SERVE_DAEMON_H_
+#define LOSSYTS_SERVE_DAEMON_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "serve/protocol.h"
+#include "serve/shard.h"
+
+namespace lossyts::serve {
+
+struct DaemonOptions {
+  /// Catalog root: one `shard-<i>` subdirectory per shard plus a `shards`
+  /// file persisting the shard count (a catalog reopened with a different
+  /// --shards keeps its original layout — series→shard placement must never
+  /// move, or recovery would look for WALs in the wrong place).
+  std::string dir;
+  /// Unix-domain socket path; defaults to `<dir>/serve.sock`. Socket paths
+  /// have a ~100-byte OS limit, so deep catalog paths may need an explicit
+  /// short one.
+  std::string socket_path;
+  /// Shard count used when the catalog is first created.
+  uint32_t shards = 4;
+  /// Worker threads of the ingest pool (0 = hardware concurrency).
+  int jobs = 0;
+  ShardOptions shard;
+  /// Admission control: appends queued (not yet applied) per shard beyond
+  /// this are refused with a kRetry reply instead of queuing unboundedly.
+  size_t max_queue_ops = 1024;
+  /// Backoff hint carried by kRetry replies.
+  uint32_t retry_after_ms = 50;
+  /// Per-request deadline for appends: a client waiting longer than this on
+  /// its ack gets kRetry with a commit-unknown note (the op stays queued —
+  /// durability is never rolled back, only the ack is abandoned).
+  int append_deadline_ms = 5000;
+  /// Slow-client eviction: a peer that cannot produce or drain one frame
+  /// within this window has its connection dropped.
+  int client_timeout_ms = 2000;
+};
+
+/// The `lossyts serve` daemon: a sharded catalog of WAL-backed series
+/// stores behind a Unix-socket front end.
+///
+/// Threading: one accept thread, one thread per client connection, and the
+/// shared ThreadPool for per-shard ingest drains. Each shard has a bounded
+/// append queue drained by at most one pool task at a time (a `scheduled`
+/// flag re-arms the drain when new work lands), which serializes all WAL and
+/// checkpoint I/O per shard without dedicating a thread to it. Reads bypass
+/// the queue entirely — they only take the shard's snapshot mutex.
+///
+/// Shutdown: Stop() closes the listener, lets in-flight connections finish
+/// their current request, drains every shard queue (queued appends still
+/// commit — they were WAL-bound already), checkpoints all shards, and joins
+/// every thread. A client kShutdown request is acked first and then behaves
+/// like Stop() — see Wait().
+class Daemon {
+ public:
+  static Result<std::unique_ptr<Daemon>> Start(const DaemonOptions& options);
+
+  /// Calls Stop() if it has not run yet.
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Blocks until a client requests shutdown or `interrupted` (polled a few
+  /// times a second, may be empty) returns true. Does not stop the daemon —
+  /// the owner calls Stop() after Wait() returns, keeping the stop path on
+  /// one thread.
+  void Wait(std::function<bool()> interrupted = {});
+
+  /// Graceful drain as described above. Idempotent.
+  Status Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// Daemon-wide counters (shard stats summed + front-end admission book).
+  ServeStats Stats() const;
+
+ private:
+  Daemon() = default;
+
+  /// One queued append waiting for its durable ack.
+  struct PendingAppend {
+    AppendOp op;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+  };
+
+  struct ShardQueue {
+    std::mutex mu;
+    std::vector<std::shared_ptr<PendingAppend>> pending;
+    bool scheduled = false;  ///< A drain task is live on the pool.
+  };
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  void DrainShard(size_t index);
+  /// Admission gate + enqueue + deadline wait; the reply for one append.
+  Reply HandleAppend(Request request);
+  Reply Handle(Request request);
+  size_t ShardFor(const std::string& series) const;
+
+  DaemonOptions options_;
+  std::string socket_path_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<ShardQueue>> queues_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stop_requested_{false};  ///< Client kShutdown arrived.
+  bool stopped_ = false;  ///< Stop() completed (guarded by stop_mu_).
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> deadline_misses_{0};
+  std::atomic<uint64_t> evicted_clients_{0};
+};
+
+}  // namespace lossyts::serve
+
+#endif  // LOSSYTS_SERVE_DAEMON_H_

@@ -1,0 +1,129 @@
+#ifndef LOSSYTS_SERVE_PROTOCOL_H_
+#define LOSSYTS_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lossyts::serve {
+
+// Wire protocol of the serve daemon, over a Unix-domain stream socket.
+//
+// Every message travels in one CRC-framed envelope (little-endian via
+// compress::ByteWriter, gzip-polynomial CRC32 — the same framing as the
+// chunk store and the WAL):
+//
+//   Frame := u32 kFrameMagic, u32 payload_size, payload, u32 crc32(payload)
+//
+// A client sends one request frame and reads exactly one reply frame; the
+// connection is otherwise stateless, so either side may drop it at any
+// point without corrupting the other (a torn frame fails its CRC and the
+// peer treats the connection as dead). Replies are one of three kinds:
+// kOk (result payload follows), kError (terminal: status code + message),
+// kRetry (transient overload: back off retry_after_ms and resend — the
+// admission-control path, never an error bit on the data).
+
+inline constexpr uint32_t kFrameMagic = 0x4D53544Cu;  // "LTSM"
+/// Frames larger than this are rejected before allocation; bounds both a
+/// corrupt length field and a hostile client.
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;
+inline constexpr size_t kFrameOverhead = 12;  // magic + size + crc.
+
+enum class RequestType : uint8_t {
+  kPing = 1,
+  kAppend = 2,
+  kReadRange = 3,
+  kStats = 4,
+  kShutdown = 5,
+  kListSeries = 6,
+};
+
+enum class ReplyKind : uint8_t {
+  kOk = 0,
+  kError = 1,
+  kRetry = 2,
+};
+
+/// One client request; which fields matter depends on `type`.
+struct Request {
+  RequestType type = RequestType::kPing;
+  std::string series;           ///< kAppend, kReadRange.
+  int64_t first_timestamp = 0;  ///< kAppend.
+  int32_t interval_seconds = 0; ///< kAppend.
+  std::vector<double> values;   ///< kAppend.
+  int64_t t0 = 0;               ///< kReadRange (inclusive).
+  int64_t t1 = 0;               ///< kReadRange (inclusive).
+};
+
+/// Daemon-wide counters: per-shard stats summed, plus the front-end's
+/// admission/eviction book-keeping.
+struct ServeStats {
+  uint64_t shards = 0;
+  uint64_t series = 0;
+  uint64_t points = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t appended_ops = 0;
+  uint64_t flushes = 0;
+  uint64_t flush_failures = 0;
+  uint64_t salvaged_stores = 0;
+  uint64_t replayed_records = 0;
+  uint64_t failed_shards = 0;
+  uint64_t accepted = 0;         ///< Requests admitted past the queue gate.
+  uint64_t rejected = 0;         ///< kRetry replies sent (queue full).
+  uint64_t deadline_misses = 0;  ///< Requests that blew their deadline.
+  uint64_t evicted_clients = 0;  ///< Connections dropped for slow frame I/O.
+};
+
+/// One reply; which fields matter depends on `kind` and the request type.
+struct Reply {
+  ReplyKind kind = ReplyKind::kOk;
+  uint8_t code = 0;             ///< kError: the StatusCode.
+  std::string message;          ///< kError / kRetry.
+  uint32_t retry_after_ms = 0;  ///< kRetry.
+  int64_t start_timestamp = 0;  ///< kOk + kReadRange.
+  int32_t interval_seconds = 0; ///< kOk + kReadRange.
+  std::vector<double> values;   ///< kOk + kReadRange.
+  ServeStats stats;             ///< kOk + kStats.
+  std::vector<std::string> names;  ///< kOk + kListSeries.
+};
+
+std::vector<uint8_t> EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(const std::vector<uint8_t>& payload);
+
+/// Reply encoding is positional on the request type (the payload layout of
+/// kOk differs per request), so both sides pass the type they exchanged.
+std::vector<uint8_t> EncodeReply(RequestType type, const Reply& reply);
+Result<Reply> DecodeReply(RequestType type,
+                          const std::vector<uint8_t>& payload);
+
+/// Builds a kError (or kRetry for kUnavailable) reply from a Status.
+Reply ReplyFromStatus(const Status& status, uint32_t retry_after_ms);
+/// Inverse of ReplyFromStatus: OK for kOk, the carried Status otherwise
+/// (kRetry maps back to Unavailable).
+Status StatusFromReply(const Reply& reply);
+
+/// Writes one frame, honouring `timeout_ms` per poll (the slow-client
+/// eviction clock: a peer that cannot drain a frame in time gets the
+/// connection dropped). Carries the "socket_write" failpoint — on fire, half
+/// the frame is sent and the error returns, modelling a daemon killed
+/// mid-reply. Unavailable on timeout.
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload,
+                  int timeout_ms);
+
+/// Reads one frame (same timeout discipline). NotFound on a clean EOF at a
+/// frame boundary (the peer hung up between requests); Corruption on a torn
+/// or CRC-invalid frame; Unavailable on timeout.
+Result<std::vector<uint8_t>> ReadFrame(int fd, int timeout_ms);
+
+/// Binds and listens on a Unix-domain socket at `path`, replacing a stale
+/// socket file from a previous (killed) daemon.
+Result<int> ListenUnix(const std::string& path);
+
+/// Connects to the daemon's socket.
+Result<int> ConnectUnix(const std::string& path);
+
+}  // namespace lossyts::serve
+
+#endif  // LOSSYTS_SERVE_PROTOCOL_H_

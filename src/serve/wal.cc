@@ -1,0 +1,312 @@
+#include "serve/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "compress/serde.h"
+#include "core/failpoint.h"
+#include "zip/crc32.h"
+
+namespace lossyts::serve {
+
+namespace {
+
+Status WriteFully(int fd, const uint8_t* data, size_t size,
+                  const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write to " + path + " failed: " +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeWalHeader() {
+  compress::ByteWriter writer;
+  writer.PutU32(kWalMagic);
+  writer.PutU8(kWalVersion);
+  const uint8_t version = kWalVersion;
+  writer.PutU32(zip::ComputeCrc32(&version, 1));
+  return writer.Finish();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeWalRecord(const WalRecord& record) {
+  compress::ByteWriter payload;
+  payload.PutU8(static_cast<uint8_t>(record.series.size()));
+  for (const char c : record.series) {
+    payload.PutU8(static_cast<uint8_t>(c));
+  }
+  payload.PutI64(record.first_timestamp);
+  payload.PutI32(record.interval_seconds);
+  payload.PutU64(record.first_index);
+  payload.PutU32(static_cast<uint32_t>(record.values.size()));
+  for (const double v : record.values) payload.PutDouble(v);
+  std::vector<uint8_t> body = payload.Finish();
+
+  compress::ByteWriter frame;
+  frame.PutU32(kWalRecordMagic);
+  frame.PutU32(static_cast<uint32_t>(body.size()));
+  frame.PutBytes(body);
+  frame.PutU32(zip::ComputeCrc32(body.data(), body.size()));
+  return frame.Finish();
+}
+
+namespace {
+
+/// Parses the record frame at `offset`; any defect (bad magic, bad CRC,
+/// truncation, inconsistent counts) returns Corruption, which the caller
+/// treats as "the valid prefix ends here".
+Result<WalRecord> ParseRecordAt(const std::vector<uint8_t>& bytes,
+                                size_t offset) {
+  compress::ByteReader frame(bytes.data() + offset, bytes.size() - offset);
+  Result<uint32_t> magic = frame.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kWalRecordMagic) {
+    return Status::Corruption("wal record has a bad magic");
+  }
+  Result<uint32_t> size = frame.GetU32();
+  if (!size.ok()) return size.status();
+  if (*size == 0 || *size > kWalMaxPayload) {
+    return Status::Corruption("wal record size field is implausible");
+  }
+  if (static_cast<uint64_t>(*size) + 4 > frame.remaining()) {
+    return Status::Corruption("wal record truncated");
+  }
+  const uint8_t* payload = frame.current();
+  if (Status s = frame.Skip(*size); !s.ok()) return s;
+  Result<uint32_t> crc = frame.GetU32();
+  if (!crc.ok()) return crc.status();
+  if (*crc != zip::ComputeCrc32(payload, *size)) {
+    return Status::Corruption("wal record checksum mismatch");
+  }
+
+  compress::ByteReader body(payload, *size);
+  WalRecord record;
+  Result<uint8_t> id_len = body.GetU8();
+  if (!id_len.ok()) return id_len.status();
+  if (*id_len == 0) return Status::Corruption("wal record with an empty id");
+  for (uint8_t i = 0; i < *id_len; ++i) {
+    Result<uint8_t> c = body.GetU8();
+    if (!c.ok()) return c.status();
+    record.series.push_back(static_cast<char>(*c));
+  }
+  Result<int64_t> ts = body.GetI64();
+  if (!ts.ok()) return ts.status();
+  record.first_timestamp = *ts;
+  Result<int32_t> interval = body.GetI32();
+  if (!interval.ok()) return interval.status();
+  if (*interval <= 0) {
+    return Status::Corruption("wal record with a non-positive interval");
+  }
+  record.interval_seconds = *interval;
+  Result<uint64_t> first_index = body.GetU64();
+  if (!first_index.ok()) return first_index.status();
+  record.first_index = *first_index;
+  Result<uint32_t> count = body.GetU32();
+  if (!count.ok()) return count.status();
+  // The count must account for the remaining payload exactly; anything else
+  // is a corrupt or spliced length field.
+  if (*count == 0 ||
+      body.remaining() != static_cast<uint64_t>(*count) * sizeof(double)) {
+    return Status::Corruption("wal record count disagrees with its payload");
+  }
+  record.values.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    Result<double> v = body.GetDouble();
+    if (!v.ok()) return v.status();
+    record.values.push_back(*v);
+  }
+  return record;
+}
+
+}  // namespace
+
+Result<WalReplay> ReplayWalBytes(const std::vector<uint8_t>& bytes) {
+  compress::ByteReader reader(bytes);
+  Result<uint32_t> magic = reader.GetU32();
+  if (!magic.ok() || *magic != kWalMagic) {
+    return Status::Corruption("wal header has a bad magic");
+  }
+  Result<uint8_t> version = reader.GetU8();
+  if (!version.ok()) return version.status();
+  if (*version != kWalVersion) {
+    return Status::Corruption("wal version " + std::to_string(*version) +
+                              " is not supported");
+  }
+  Result<uint32_t> crc = reader.GetU32();
+  if (!crc.ok()) return crc.status();
+  const uint8_t v = *version;
+  if (*crc != zip::ComputeCrc32(&v, 1)) {
+    return Status::Corruption("wal header checksum mismatch");
+  }
+
+  WalReplay replay;
+  size_t pos = kWalHeaderSize;
+  while (pos + kWalFrameOverhead <= bytes.size()) {
+    Result<WalRecord> record = ParseRecordAt(bytes, pos);
+    if (!record.ok()) break;
+    pos += kWalFrameOverhead + record->values.size() * sizeof(double) +
+           record->series.size() + 25;  // id_len + ts + interval + index + n.
+    replay.records.push_back(std::move(*record));
+  }
+  replay.valid_bytes = pos;
+  replay.clean = pos == bytes.size();
+  return replay;
+}
+
+Result<WalReplay> ReplayWalFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return Status::NotFound("no wal file at " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                             std::istreambuf_iterator<char>());
+  if (file.bad()) return Status::IoError("reading " + path + " failed");
+  return ReplayWalBytes(bytes);
+}
+
+Status ResetWalFile(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  const std::vector<uint8_t> header = EncodeWalHeader();
+  Status s = WriteFully(fd, header.data(), header.size(), tmp);
+  if (s.ok() && ::fsync(fd) != 0) {
+    s = Status::IoError("fsync of " + tmp + " failed: " +
+                        std::strerror(errno));
+  }
+  ::close(fd);
+  if (!s.ok()) return s;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + " -> " + path + " failed: " +
+                           std::strerror(errno));
+  }
+  const size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    return SyncDirectory(path.substr(0, slash == 0 ? 1 : slash));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   uint64_t valid_bytes) {
+  std::unique_ptr<WalWriter> writer(new WalWriter());
+  writer->path_ = path;
+
+  struct stat st;
+  const bool exists = ::stat(path.c_str(), &st) == 0;
+  if (!exists) {
+    if (Status s = ResetWalFile(path); !s.ok()) return s;
+    valid_bytes = kWalHeaderSize;
+  }
+  writer->fd_ = ::open(path.c_str(), O_WRONLY);
+  if (writer->fd_ < 0) {
+    return Status::IoError("cannot open " + path + " for appending: " +
+                           std::strerror(errno));
+  }
+  if (valid_bytes < kWalHeaderSize) {
+    return Status::Corruption("wal valid prefix shorter than its header");
+  }
+  // Drop the torn tail before appending: everything after the valid prefix
+  // is garbage a previous kill left behind.
+  if (::ftruncate(writer->fd_, static_cast<off_t>(valid_bytes)) != 0) {
+    return Status::IoError("truncate of " + path + " failed: " +
+                           std::strerror(errno));
+  }
+  if (::lseek(writer->fd_, 0, SEEK_END) < 0) {
+    return Status::IoError("seek in " + path + " failed: " +
+                           std::strerror(errno));
+  }
+  writer->bytes_ = valid_bytes;
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (failed_) {
+    return Status::FailedPrecondition("wal writer failed earlier");
+  }
+  if (record.series.empty() || record.series.size() > 255) {
+    return Status::InvalidArgument("wal series id must be 1..255 bytes");
+  }
+  if (record.values.empty()) {
+    return Status::InvalidArgument("wal record must carry at least 1 point");
+  }
+  const std::vector<uint8_t> frame = EncodeWalRecord(record);
+
+  // Crash injection: half the frame reaches the log and the writer is dead —
+  // the torn tail replay must drop, with every prior record intact.
+  Status crash = FailPoints::Hit("wal_write");
+  if (!crash.ok()) {
+    failed_ = true;
+    WriteFully(fd_, frame.data(), frame.size() / 2, path_);
+    return crash;
+  }
+
+  if (Status s = WriteFully(fd_, frame.data(), frame.size(), path_);
+      !s.ok()) {
+    failed_ = true;
+    return s;
+  }
+  bytes_ += frame.size();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (failed_) {
+    return Status::FailedPrecondition("wal writer failed earlier");
+  }
+  Status crash = FailPoints::Hit("wal_fsync");
+  if (!crash.ok()) {
+    failed_ = true;
+    return crash;
+  }
+  if (::fsync(fd_) != 0) {
+    failed_ = true;
+    return Status::IoError("fsync of " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::IoError("cannot create directory " + path + ": " +
+                         std::strerror(errno));
+}
+
+Status SyncDirectory(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory " + path + " for fsync: " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync of directory " + path + " failed: " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace lossyts::serve

@@ -1,0 +1,123 @@
+#ifndef LOSSYTS_SERVE_WAL_H_
+#define LOSSYTS_SERVE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lossyts::serve {
+
+// Per-shard write-ahead log (all integers little-endian through
+// compress::ByteWriter, CRC32-framed with the gzip polynomial — the same
+// framing discipline as the store chunk frames and checkpoint rows):
+//
+//   WalFile   := WalHeader WalRecord*
+//   WalHeader := u32 kWalMagic, u8 version, u32 crc32(version)
+//   WalRecord := u32 kWalRecordMagic, u32 payload_size, payload,
+//                u32 crc32(payload)
+//   payload   := u8 id_len, id bytes, i64 first_timestamp,
+//                i32 interval_seconds, u64 first_index, u32 count,
+//                count x f64 values
+//
+// `first_index` is the series' point count before the append, which makes
+// replay idempotent: a record whose points are already covered by a
+// checkpointed store is skipped (or suffix-applied) instead of re-applied,
+// so a crash between "stores checkpointed" and "WAL reset" double-applies
+// nothing. The durability contract is fsync-before-ack: a record is only
+// acknowledged after WalWriter::Sync returns, and a process killed at any
+// instruction leaves the log as a valid prefix of complete records plus at
+// most one torn tail that ReplayWal drops — exactly the store salvage
+// semantics, applied to the log.
+
+inline constexpr uint32_t kWalMagic = 0x5753544Cu;        // "LTSW"
+inline constexpr uint32_t kWalRecordMagic = 0x5253544Cu;  // "LTSR"
+inline constexpr uint8_t kWalVersion = 1;
+inline constexpr size_t kWalHeaderSize = 9;
+inline constexpr size_t kWalFrameOverhead = 12;  // magic + size + crc.
+/// Upper bound on one record's payload; a corrupt length field past this is
+/// rejected before any allocation.
+inline constexpr uint32_t kWalMaxPayload = 64u << 20;
+
+/// One logical append, as logged and replayed.
+struct WalRecord {
+  std::string series;
+  int64_t first_timestamp = 0;
+  int32_t interval_seconds = 0;
+  uint64_t first_index = 0;  ///< Series point count before this append.
+  std::vector<double> values;
+};
+
+/// Serializes one record frame (magic + size + payload + CRC).
+std::vector<uint8_t> EncodeWalRecord(const WalRecord& record);
+
+/// Outcome of scanning a log: the longest valid prefix of records, whether a
+/// torn tail was dropped, and the byte length of the valid prefix (the
+/// offset a reopening writer truncates to before appending).
+struct WalReplay {
+  std::vector<WalRecord> records;
+  bool clean = true;
+  uint64_t valid_bytes = 0;
+};
+
+/// Salvage-scans a log image. Corruption only when the header itself is
+/// unreadable (an empty or alien file); torn or corrupt records merely end
+/// the valid prefix.
+Result<WalReplay> ReplayWalBytes(const std::vector<uint8_t>& bytes);
+
+/// ReplayWalBytes over a file. NotFound when the file does not exist.
+Result<WalReplay> ReplayWalFile(const std::string& path);
+
+/// Creates `path` (atomically, via a .tmp sibling and rename) as an empty
+/// log with a fresh header, fsync'd along with its directory — the WAL reset
+/// step of a shard checkpoint.
+Status ResetWalFile(const std::string& path);
+
+/// Append side of the log; single writer per file (the shard's drain task).
+///
+/// Append buffers nothing: each record is written to the file immediately
+/// (so a kill leaves at most one torn frame), but it is NOT durable — and
+/// must not be acknowledged — until the next Sync returns OK. Either call
+/// failing marks the writer dead: every later call refuses, mirroring
+/// StoreWriter's crash semantics.
+class WalWriter {
+ public:
+  /// Opens `path` for appending, truncating it to `valid_bytes` first (the
+  /// prefix ReplayWalFile validated); creates the file with a fresh header
+  /// when it does not exist.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t valid_bytes);
+
+  ~WalWriter();
+
+  /// Writes one record frame. Carries the "wal_write" failpoint: on fire,
+  /// half the frame reaches the file and the writer is dead.
+  Status Append(const WalRecord& record);
+
+  /// fsyncs everything appended so far. Carries the "wal_fsync" failpoint
+  /// (fires before the fsync: nothing since the last Sync may be acked).
+  Status Sync();
+
+  /// Bytes in the log (header + all appended record frames).
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  WalWriter() = default;
+
+  std::string path_;
+  int fd_ = -1;
+  bool failed_ = false;
+  uint64_t bytes_ = 0;
+};
+
+/// Creates `path` as a directory if missing (parents must exist).
+Status EnsureDirectory(const std::string& path);
+
+/// fsyncs the directory itself, making renames/creates within it durable.
+Status SyncDirectory(const std::string& path);
+
+}  // namespace lossyts::serve
+
+#endif  // LOSSYTS_SERVE_WAL_H_

@@ -65,6 +65,12 @@ struct StoreOptions {
   /// size break toward the earlier name, so the list order is part of the
   /// store's determinism contract. Empty selects PMC, SWING, SZ, GORILLA.
   std::vector<std::string> codecs;
+  /// Power-loss durability: fsync the containing directory after the file is
+  /// created, fsync the data region before the footer is written (so a file
+  /// can never be footer-valid but data-torn), and fsync again after the
+  /// footer. Off by default so tests and benches stay fast; the serve
+  /// daemon's checkpoints turn it on.
+  bool sync = false;
 };
 
 /// Identity of one chunk, as recorded in the sparse index: where its frame

@@ -254,6 +254,28 @@ std::vector<uint8_t> StoreReader::ChunkPayload(size_t index) const {
   return std::vector<uint8_t>(begin, begin + chunk.payload_size);
 }
 
+void StoreReader::TouchLocked(std::map<size_t, CacheEntry>::iterator it)
+    const {
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+}
+
+std::shared_ptr<const std::vector<double>> StoreReader::InsertLocked(
+    size_t index, std::shared_ptr<const std::vector<double>> values) const {
+  auto it = cache_.find(index);
+  if (it != cache_.end()) {
+    // A racing decode got here first; keep its entry (identical values).
+    TouchLocked(it);
+    return it->second.values;
+  }
+  lru_.push_front(index);
+  cache_.emplace(index, CacheEntry{values, lru_.begin()});
+  while (cache_.size() > cache_capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return values;
+}
+
 Result<std::shared_ptr<const std::vector<double>>>
 StoreReader::DecodeChunkValues(size_t index) const {
   if (index >= chunks_.size()) {
@@ -265,7 +287,8 @@ StoreReader::DecodeChunkValues(size_t index) const {
     auto it = cache_.find(index);
     if (it != cache_.end()) {
       ++cache_hits_;
-      return it->second;
+      TouchLocked(it);
+      return it->second.values;
     }
   }
   // Decode outside the lock so parallel range scans overlap; two threads
@@ -280,8 +303,7 @@ StoreReader::DecodeChunkValues(size_t index) const {
       std::move(decoded->mutable_values()));
   std::lock_guard<std::mutex> lock(cache_mu_);
   ++cache_misses_;
-  auto [it, inserted] = cache_.emplace(index, values);
-  return it->second;
+  return InsertLocked(index, std::move(values));
 }
 
 Result<StoreReader::Selection> StoreReader::Select(int64_t t0,
@@ -350,7 +372,8 @@ Result<double> StoreReader::ReadPoint(int64_t timestamp) const {
     auto cached = cache_.find(chunk_index);
     if (cached != cache_.end()) {
       ++cache_hits_;
-      return (*cached->second)[k];
+      TouchLocked(cached);
+      return (*cached->second.values)[k];
     }
   }
 
@@ -453,6 +476,26 @@ uint64_t StoreReader::cache_misses() const {
 void StoreReader::ClearChunkCache() {
   std::lock_guard<std::mutex> lock(cache_mu_);
   cache_.clear();
+  lru_.clear();
+}
+
+size_t StoreReader::cached_chunks() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.size();
+}
+
+size_t StoreReader::chunk_cache_capacity() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_capacity_;
+}
+
+void StoreReader::SetChunkCacheCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_capacity_ = capacity < 1 ? 1 : capacity;
+  while (cache_.size() > cache_capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
 }
 
 }  // namespace lossyts::store

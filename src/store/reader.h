@@ -2,6 +2,7 @@
 #define LOSSYTS_STORE_READER_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,7 +31,9 @@ namespace lossyts::store {
 ///    distinguish recovered data from a finished ingestion.
 ///
 /// Point and range reads are served through a mutex-guarded decoded-chunk
-/// cache with hit/miss counters. Point reads on model chunks (PMC/Swing)
+/// LRU cache with hit/miss counters, bounded to chunk_cache_capacity()
+/// entries so a long-lived process (the serve daemon) cannot grow a reader
+/// without limit. Point reads on model chunks (PMC/Swing)
 /// walk the segment list without materializing the chunk; on Gorilla/Chimp
 /// chunks they early-stop via DecompressPrefix. Range reads fan the chunk
 /// decodes out on core/thread_pool and concatenate in chunk order, so the
@@ -95,6 +98,16 @@ class StoreReader {
   uint64_t cache_misses() const;
   void ClearChunkCache();
 
+  /// Decoded chunks currently cached (always <= chunk_cache_capacity()).
+  size_t cached_chunks() const;
+  /// LRU bound on the decoded-chunk cache. Defaults to
+  /// kDefaultChunkCacheCapacity; setting a smaller capacity evicts
+  /// least-recently-used entries immediately. Must be >= 1.
+  size_t chunk_cache_capacity() const;
+  void SetChunkCacheCapacity(size_t capacity);
+
+  static constexpr size_t kDefaultChunkCacheCapacity = 64;
+
  private:
   StoreReader() = default;
 
@@ -113,8 +126,22 @@ class StoreReader {
   int64_t start_timestamp_ = 0;
   int32_t interval_ = 1;
 
+  /// One cached decode, threaded into the recency list; `lru` points at this
+  /// entry's position in lru_ (front = most recent).
+  struct CacheEntry {
+    std::shared_ptr<const std::vector<double>> values;
+    std::list<size_t>::iterator lru;
+  };
+  /// Callers hold cache_mu_. Moves `it` to the recency front / inserts a new
+  /// entry and evicts past the capacity.
+  void TouchLocked(std::map<size_t, CacheEntry>::iterator it) const;
+  std::shared_ptr<const std::vector<double>> InsertLocked(
+      size_t index, std::shared_ptr<const std::vector<double>> values) const;
+
   mutable std::mutex cache_mu_;
-  mutable std::map<size_t, std::shared_ptr<const std::vector<double>>> cache_;
+  mutable std::map<size_t, CacheEntry> cache_;
+  mutable std::list<size_t> lru_;  ///< Chunk indices, most recent first.
+  mutable size_t cache_capacity_ = kDefaultChunkCacheCapacity;
   mutable uint64_t cache_hits_ = 0;
   mutable uint64_t cache_misses_ = 0;
 };

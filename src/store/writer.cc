@@ -1,6 +1,11 @@
 #include "store/writer.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "compress/pipeline.h"
@@ -11,6 +16,27 @@
 namespace lossyts::store {
 
 namespace {
+
+/// fsyncs the directory containing `path` so a freshly created file's
+/// directory entry survives power loss (the classic create-then-crash hole).
+Status SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory " + dir + " for fsync: " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync of directory " + dir + " failed: " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
 
 const std::vector<std::string>& DefaultCodecs() {
   // The paper's three PEBLC methods plus one lossless fallback so chunks
@@ -64,9 +90,15 @@ Result<std::unique_ptr<StoreWriter>> StoreWriter::Create(
   }
 
   writer->path_ = path;
-  writer->file_.open(path, std::ios::binary | std::ios::trunc);
-  if (!writer->file_.is_open()) {
-    return Status::IoError("cannot open " + path + " for writing");
+  writer->fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (writer->fd_ < 0) {
+    return Status::IoError("cannot open " + path + " for writing: " +
+                           std::strerror(errno));
+  }
+  if (options.sync) {
+    // Make the directory entry itself durable; without this a power loss
+    // after Finish could forget the file ever existed.
+    if (Status s = SyncParentDirectory(path); !s.ok()) return s;
   }
 
   StoreHeader header;
@@ -79,15 +111,47 @@ Result<std::unique_ptr<StoreWriter>> StoreWriter::Create(
   return writer;
 }
 
+StoreWriter::~StoreWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
 Status StoreWriter::WriteAll(const std::vector<uint8_t>& bytes) {
-  file_.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-  file_.flush();
-  if (!file_.good()) {
-    failed_ = true;
-    return Status::IoError("write to " + path_ + " failed");
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + written,
+                              bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      failed_ = true;
+      return Status::IoError("write to " + path_ + " failed: " +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
   }
   offset_ += bytes.size();
+  return Status::OK();
+}
+
+void StoreWriter::WriteTorn(const std::vector<uint8_t>& bytes) {
+  size_t written = 0;
+  const size_t half = bytes.size() / 2;
+  while (written < half) {
+    const ssize_t n = ::write(fd_, bytes.data() + written, half - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // The writer is dead anyway; best-effort torn tail.
+    }
+    written += static_cast<size_t>(n);
+  }
+}
+
+Status StoreWriter::SyncFile() {
+  if (!options_.sync) return Status::OK();
+  if (::fsync(fd_) != 0) {
+    failed_ = true;
+    return Status::IoError("fsync of " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
   return Status::OK();
 }
 
@@ -147,9 +211,7 @@ Status StoreWriter::WriteChunk(const std::vector<double>& values,
   Status crash = FailPoints::Hit("store_write");
   if (!crash.ok()) {
     failed_ = true;
-    file_.write(reinterpret_cast<const char*>(bytes.data()),
-                static_cast<std::streamsize>(bytes.size() / 2));
-    file_.flush();
+    WriteTorn(bytes);
     return crash;
   }
 
@@ -222,6 +284,12 @@ Status StoreWriter::Finish() {
     points_buffered_ = 0;
   }
 
+  // Durability barrier: every chunk frame must be on stable storage before
+  // the footer that declares the file complete goes out, otherwise a power
+  // loss could leave a footer-valid file whose data region is torn — the one
+  // state the strict open trusts without a salvage scan.
+  if (Status s = SyncFile(); !s.ok()) return s;
+
   const uint64_t index_offset = offset_;
   compress::ByteWriter entries;
   for (const ChunkInfo& chunk : chunks_) {
@@ -259,11 +327,14 @@ Status StoreWriter::Finish() {
   }
 
   if (Status s = WriteAll(tail.Finish()); !s.ok()) return s;
-  file_.close();
-  if (!file_.good()) {
+  if (Status s = SyncFile(); !s.ok()) return s;
+  if (::close(fd_) != 0) {
+    fd_ = -1;
     failed_ = true;
-    return Status::IoError("closing " + path_ + " failed");
+    return Status::IoError("closing " + path_ + " failed: " +
+                           std::strerror(errno));
   }
+  fd_ = -1;
   finished_ = true;
   return Status::OK();
 }

@@ -2,7 +2,6 @@
 #define LOSSYTS_STORE_WRITER_H_
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +25,12 @@ namespace lossyts::store {
 /// reader's CRC scan drops. Finish() writes the tail chunk, the sparse time
 /// index and the footer that marks the file complete.
 ///
+/// With StoreOptions::sync the writer also carries a power-loss contract:
+/// the directory entry is fsync'd at creation, the data region is fsync'd
+/// before the footer goes out, and the footer is fsync'd before Finish
+/// returns — so a machine that loses power after a clean close can never
+/// reopen the file as footer-valid-but-data-torn.
+///
 /// Not thread-safe; one writer per file.
 class StoreWriter {
  public:
@@ -33,6 +38,10 @@ class StoreWriter {
   /// codec name through compress::MakeCompressor, and writes the file header.
   static Result<std::unique_ptr<StoreWriter>> Create(
       const std::string& path, const StoreOptions& options);
+
+  /// Closes the file descriptor if Finish was never reached (an abandoned or
+  /// crashed ingestion leaves a salvageable frame prefix behind).
+  ~StoreWriter();
 
   /// Appends `series` to the stream. The first call fixes the start
   /// timestamp and sampling interval; every later call must continue the
@@ -58,9 +67,14 @@ class StoreWriter {
   Status WriteChunk(const std::vector<double>& values,
                     int64_t first_timestamp);
   Status WriteAll(const std::vector<uint8_t>& bytes);
+  /// Writes a prefix of `bytes` without error handling (the torn-frame
+  /// crash model of the "store_write" failpoint).
+  void WriteTorn(const std::vector<uint8_t>& bytes);
+  /// fsyncs the file when options_.sync is set; a no-op otherwise.
+  Status SyncFile();
 
   std::string path_;
-  std::ofstream file_;
+  int fd_ = -1;
   StoreOptions options_;
   std::vector<std::unique_ptr<compress::Compressor>> codecs_;
 

@@ -1,0 +1,382 @@
+// End-to-end daemon tests over a real Unix socket: protocol framing, the
+// full request surface, admission control, slow-client eviction, restart
+// recovery, and shard-count persistence (src/serve/{protocol,daemon,client}).
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/failpoint.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+
+namespace lossyts::serve {
+namespace {
+
+class ServeDaemonTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPoints::DisarmAll(); }
+};
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::string cmd = "rm -rf '" + dir + "'";
+  [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  return dir;
+}
+
+DaemonOptions TestOptions(const std::string& dir) {
+  DaemonOptions options;
+  options.dir = dir;
+  options.shards = 2;
+  options.jobs = 1;
+  options.shard.codecs = {"GORILLA"};
+  options.shard.sync = false;  // In-process tests need no real fsync.
+  return options;
+}
+
+// --- Protocol framing -----------------------------------------------------
+
+TEST_F(ServeDaemonTest, RequestEncodingRoundTrips) {
+  Request request;
+  request.type = RequestType::kAppend;
+  request.series = "node-7.cpu";
+  request.first_timestamp = -1234567890123;
+  request.interval_seconds = 15;
+  request.values = {0.0, -1.5, 3.25e300, 1e-300};
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, request.type);
+  EXPECT_EQ(decoded->series, request.series);
+  EXPECT_EQ(decoded->first_timestamp, request.first_timestamp);
+  EXPECT_EQ(decoded->interval_seconds, request.interval_seconds);
+  EXPECT_EQ(decoded->values, request.values);
+
+  Request read;
+  read.type = RequestType::kReadRange;
+  read.series = "x";
+  read.t0 = -5;
+  read.t1 = 1LL << 40;
+  auto decoded_read = DecodeRequest(EncodeRequest(read));
+  ASSERT_TRUE(decoded_read.ok());
+  EXPECT_EQ(decoded_read->t0, read.t0);
+  EXPECT_EQ(decoded_read->t1, read.t1);
+}
+
+TEST_F(ServeDaemonTest, ReplyEncodingRoundTrips) {
+  Reply reply;
+  reply.kind = ReplyKind::kOk;
+  reply.start_timestamp = 777;
+  reply.interval_seconds = 60;
+  reply.values = {1.0, 2.0, 3.0};
+  auto decoded = DecodeReply(RequestType::kReadRange,
+                             EncodeReply(RequestType::kReadRange, reply));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->start_timestamp, 777);
+  EXPECT_EQ(decoded->values, reply.values);
+
+  Reply retry;
+  retry.kind = ReplyKind::kRetry;
+  retry.message = "queue full";
+  retry.retry_after_ms = 75;
+  auto decoded_retry = DecodeReply(RequestType::kAppend,
+                                   EncodeReply(RequestType::kAppend, retry));
+  ASSERT_TRUE(decoded_retry.ok());
+  EXPECT_EQ(decoded_retry->kind, ReplyKind::kRetry);
+  EXPECT_EQ(decoded_retry->retry_after_ms, 75u);
+  EXPECT_EQ(StatusFromReply(*decoded_retry).code(), StatusCode::kUnavailable);
+
+  const Status lost = Status::Corruption("chunk 3 failed its crc");
+  auto decoded_error =
+      DecodeReply(RequestType::kPing,
+                  EncodeReply(RequestType::kPing, ReplyFromStatus(lost, 0)));
+  ASSERT_TRUE(decoded_error.ok());
+  const Status back = StatusFromReply(*decoded_error);
+  EXPECT_EQ(back.code(), StatusCode::kCorruption);
+  EXPECT_EQ(back.message(), lost.message());
+}
+
+TEST_F(ServeDaemonTest, FramesSurviveTheWireAndRejectCorruption) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  ASSERT_TRUE(WriteFrame(fds[0], payload, 1000).ok());
+  auto read = ReadFrame(fds[1], 1000);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, payload);
+
+  // A flipped payload bit must fail the CRC, not hand back garbage.
+  std::vector<uint8_t> frame_bytes;
+  {
+    int raw[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, raw), 0);
+    ASSERT_TRUE(WriteFrame(raw[0], payload, 1000).ok());
+    frame_bytes.resize(payload.size() + kFrameOverhead);
+    ASSERT_EQ(::recv(raw[1], frame_bytes.data(), frame_bytes.size(), 0),
+              static_cast<ssize_t>(frame_bytes.size()));
+    ::close(raw[0]);
+    ::close(raw[1]);
+  }
+  frame_bytes[9] ^= 0x40;
+  ASSERT_EQ(::send(fds[0], frame_bytes.data(), frame_bytes.size(), 0),
+            static_cast<ssize_t>(frame_bytes.size()));
+  EXPECT_EQ(ReadFrame(fds[1], 1000).status().code(), StatusCode::kCorruption);
+
+  // Clean EOF at a frame boundary is NotFound, not an error.
+  ::close(fds[0]);
+  EXPECT_EQ(ReadFrame(fds[1], 1000).status().code(), StatusCode::kNotFound);
+  ::close(fds[1]);
+}
+
+// --- The daemon itself ----------------------------------------------------
+
+TEST_F(ServeDaemonTest, EndToEndAppendReadListStats) {
+  const std::string dir = TempDir("daemon_e2e");
+  auto daemon = Daemon::Start(TestOptions(dir));
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+  auto client = Client::Connect((*daemon)->socket_path());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE((*client)->Ping().ok());
+
+  ASSERT_TRUE((*client)->Append("cpu", 0, 60, {1.0, 2.0, 3.0}).ok());
+  ASSERT_TRUE((*client)->Append("mem", 100, 30, {-5.5}).ok());
+  ASSERT_TRUE((*client)->Append("cpu", 180, 60, {4.0}).ok());
+  // A grid break is a terminal error, surfaced with the daemon's message.
+  const Status broken = (*client)->Append("cpu", 999, 60, {9.0});
+  EXPECT_EQ(broken.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(broken.message().find("grid"), std::string::npos);
+
+  auto cpu = (*client)->ReadRange("cpu", 0, 100000);
+  ASSERT_TRUE(cpu.ok());
+  EXPECT_EQ(cpu->values(), (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  auto clamped = (*client)->ReadRange("cpu", 60, 120);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped->values(), (std::vector<double>{2.0, 3.0}));
+  EXPECT_EQ((*client)->ReadRange("nope", 0, 1).status().code(),
+            StatusCode::kNotFound);
+
+  auto names = (*client)->ListSeries();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"cpu", "mem"}));
+
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->shards, 2u);
+  EXPECT_EQ(stats->series, 2u);
+  EXPECT_EQ(stats->points, 5u);
+  EXPECT_EQ(stats->appended_ops, 3u);
+  EXPECT_EQ(stats->failed_shards, 0u);
+  EXPECT_GE(stats->accepted, 3u);
+
+  // A second concurrent client works (connection-per-thread model).
+  auto other = Client::Connect((*daemon)->socket_path());
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE((*other)->Ping().ok());
+
+  EXPECT_TRUE((*client)->Shutdown().ok());
+  (*daemon)->Wait();
+  EXPECT_TRUE((*daemon)->Stop().ok());
+}
+
+TEST_F(ServeDaemonTest, GracefulRestartRecoversEverythingAcked) {
+  const std::string dir = TempDir("daemon_restart");
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(i * 0.73 - 11.0);
+  {
+    auto daemon = Daemon::Start(TestOptions(dir));
+    ASSERT_TRUE(daemon.ok());
+    auto client = Client::Connect((*daemon)->socket_path());
+    ASSERT_TRUE(client.ok());
+    for (size_t at = 0; at < values.size(); at += 50) {
+      std::vector<double> slice(values.begin() + static_cast<long>(at),
+                                values.begin() + static_cast<long>(at + 50));
+      ASSERT_TRUE(
+          (*client)->Append("walk", static_cast<int64_t>(at) * 60, 60, slice)
+              .ok());
+    }
+    ASSERT_TRUE((*daemon)->Stop().ok());
+  }
+  // Reopen with a DIFFERENT --shards: the persisted count must win, or the
+  // series would hash to the wrong shard and "vanish".
+  DaemonOptions reopened_options = TestOptions(dir);
+  reopened_options.shards = 7;
+  auto daemon = Daemon::Start(reopened_options);
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+  auto client = Client::Connect((*daemon)->socket_path());
+  ASSERT_TRUE(client.ok());
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->shards, 2u);  // Not 7.
+  EXPECT_EQ(stats->points, values.size());
+  auto read = (*client)->ReadRange("walk", 0, 1LL << 40);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->values(), values);
+  ASSERT_TRUE((*daemon)->Stop().ok());
+}
+
+TEST_F(ServeDaemonTest, FullQueueRefusesWithRetryNotAnError) {
+  const std::string dir = TempDir("daemon_admission");
+  DaemonOptions options = TestOptions(dir);
+  options.max_queue_ops = 0;  // Admit nothing: every append must bounce.
+  options.retry_after_ms = 5;
+  auto daemon = Daemon::Start(options);
+  ASSERT_TRUE(daemon.ok());
+
+  ClientOptions client_options;
+  client_options.max_retries = 2;  // Give up fast; the queue never opens.
+  auto client = Client::Connect((*daemon)->socket_path(), client_options);
+  ASSERT_TRUE(client.ok());
+
+  const Status status = (*client)->Append("s", 0, 60, {1.0});
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  // The connection survives backpressure, and reads are not gated.
+  EXPECT_TRUE((*client)->Ping().ok());
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->rejected, 3u);  // Initial try + 2 retries.
+  EXPECT_EQ(stats->points, 0u);
+  ASSERT_TRUE((*daemon)->Stop().ok());
+}
+
+TEST_F(ServeDaemonTest, SlowClientsAreEvicted) {
+  const std::string dir = TempDir("daemon_evict");
+  DaemonOptions options = TestOptions(dir);
+  options.client_timeout_ms = 100;
+  auto daemon = Daemon::Start(options);
+  ASSERT_TRUE(daemon.ok());
+
+  // A half-sent frame header stalls the daemon's read; after
+  // client_timeout_ms it must drop us rather than hold the thread hostage.
+  auto fd = ConnectUnix((*daemon)->socket_path());
+  ASSERT_TRUE(fd.ok());
+  const uint8_t half_header[4] = {0x4C, 0x54, 0x53, 0x4D};
+  ASSERT_EQ(::send(*fd, half_header, sizeof(half_header), MSG_NOSIGNAL), 4);
+  char byte = 0;
+  // recv blocks until the daemon closes the connection; EOF is the eviction.
+  EXPECT_EQ(::recv(*fd, &byte, 1, 0), 0);
+  ::close(*fd);
+
+  auto client = Client::Connect((*daemon)->socket_path());
+  ASSERT_TRUE(client.ok());
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->evicted_clients, 1u);
+  ASSERT_TRUE((*daemon)->Stop().ok());
+}
+
+TEST_F(ServeDaemonTest, GarbageFramesDropTheConnectionWithoutReply) {
+  const std::string dir = TempDir("daemon_garbage");
+  auto daemon = Daemon::Start(TestOptions(dir));
+  ASSERT_TRUE(daemon.ok());
+  auto fd = ConnectUnix((*daemon)->socket_path());
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> garbage(64, 0xA5);  // Wrong magic.
+  ASSERT_EQ(::send(*fd, garbage.data(), garbage.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(garbage.size()));
+  char byte = 0;
+  // Closed without a reply: EOF, or ECONNRESET when the daemon hangs up
+  // with part of our garbage still unread.
+  EXPECT_LE(::recv(*fd, &byte, 1, 0), 0);
+  ::close(*fd);
+  // The daemon is still healthy for well-formed clients.
+  auto client = Client::Connect((*daemon)->socket_path());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Ping().ok());
+  ASSERT_TRUE((*daemon)->Stop().ok());
+}
+
+// Mixed concurrent clients against one daemon; named *ConcurrencyTest so the
+// TSan CI leg picks it up.
+TEST(ServeDaemonConcurrencyTest, ParallelWritersAndReadersStayConsistent) {
+  const std::string dir = ::testing::TempDir() + "daemon_parallel";
+  std::string cmd = "rm -rf '" + dir + "'";
+  [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  DaemonOptions options;
+  options.dir = dir;
+  options.shards = 2;
+  options.jobs = 2;
+  options.shard.codecs = {"GORILLA"};
+  options.shard.sync = false;
+  auto daemon = Daemon::Start(options);
+  ASSERT_TRUE(daemon.ok());
+
+  constexpr int kWriters = 3;
+  constexpr int kBatches = 20;
+  constexpr int kPerBatch = 4;
+  auto value_at = [](int writer, size_t i) {
+    return static_cast<double>(writer * 1000) + static_cast<double>(i) * 0.5;
+  };
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      auto client = Client::Connect((*daemon)->socket_path());
+      ASSERT_TRUE(client.ok());
+      const std::string series = "writer-" + std::to_string(w);
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<double> values;
+        for (int i = 0; i < kPerBatch; ++i) {
+          values.push_back(value_at(w, b * kPerBatch + i));
+        }
+        ASSERT_TRUE((*client)
+                        ->Append(series,
+                                 static_cast<int64_t>(b) * kPerBatch * 60, 60,
+                                 values)
+                        .ok());
+        // Read-your-writes: everything acked so far must be visible, exact,
+        // and a clean op-granular prefix.
+        auto read = (*client)->ReadRange(series, 0, 1LL << 40);
+        ASSERT_TRUE(read.ok());
+        ASSERT_EQ(read->values().size(),
+                  static_cast<size_t>((b + 1) * kPerBatch));
+        for (size_t i = 0; i < read->values().size(); ++i) {
+          ASSERT_EQ(read->values()[i], value_at(w, i));
+        }
+      }
+    });
+  }
+  // A roaming reader hammers foreign series and stats while writers run.
+  threads.emplace_back([&] {
+    auto client = Client::Connect((*daemon)->socket_path());
+    ASSERT_TRUE(client.ok());
+    for (int round = 0; round < 40; ++round) {
+      for (int w = 0; w < kWriters; ++w) {
+        auto read =
+            (*client)->ReadRange("writer-" + std::to_string(w), 0, 1LL << 40);
+        if (read.ok()) {
+          ASSERT_EQ(read->values().size() % kPerBatch, 0u);
+          for (size_t i = 0; i < read->values().size(); ++i) {
+            ASSERT_EQ(read->values()[i], value_at(w, i));
+          }
+        } else {
+          ASSERT_EQ(read.status().code(), StatusCode::kNotFound);
+        }
+      }
+      ASSERT_TRUE((*client)->Stats().ok());
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  auto client = Client::Connect((*daemon)->socket_path());
+  ASSERT_TRUE(client.ok());
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->points,
+            static_cast<uint64_t>(kWriters * kBatches * kPerBatch));
+  EXPECT_EQ(stats->appended_ops,
+            static_cast<uint64_t>(kWriters * kBatches));
+  EXPECT_EQ(stats->failed_shards, 0u);
+  ASSERT_TRUE((*daemon)->Stop().ok());
+}
+
+}  // namespace
+}  // namespace lossyts::serve

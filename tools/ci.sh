@@ -12,6 +12,110 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_ROOT="${1:-ci-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+# Serve-daemon crash smoke, run in every leg (so the WAL replay and socket
+# paths are also sanitizer-checked): start `lossyts serve`, drive mixed
+# traffic, SIGKILL the daemon mid-ingest, reopen the catalog and verify that
+# every acked append survived and only whole ops are visible. Iterations via
+# LOSSYTS_SERVE_ITERS (default 1). Fails fast if a leg leaves a daemon
+# process behind.
+serve_smoke() {
+  local dir="$1"
+  local bin="${dir}/tools/lossyts"
+  local iters="${LOSSYTS_SERVE_ITERS:-1}"
+  local i
+  for ((i = 0; i < iters; ++i)); do
+    local catalog="${dir}/serve_smoke_${i}"
+    local sock="${catalog}.sock"
+    local log="${catalog}.log"
+    rm -rf "${catalog}" "${sock}"
+
+    # Phase 1: daemon up, mixed traffic, then SIGKILL mid-ingest.
+    "${bin}" serve "${catalog}" --socket "${sock}" --shards 2 \
+      --codecs GORILLA >"${log}" 2>&1 &
+    local pid=$!
+    local up=0 t
+    for ((t = 0; t < 150; ++t)); do
+      if [[ -S "${sock}" ]]; then up=1; break; fi
+      sleep 0.1
+    done
+    if [[ "${up}" != 1 ]]; then
+      echo "serve_smoke: daemon never came up"; cat "${log}"; return 1
+    fi
+    "${bin}" client "${sock}" ping >/dev/null
+    local b
+    for b in 0 1 2 3; do
+      "${bin}" client "${sock}" append smoke $((b * 180)) 60 \
+        1.5,2.5,-3.5 >/dev/null
+      "${bin}" client "${sock}" read smoke 0 100000 >/dev/null
+    done
+    "${bin}" client "${sock}" stats >/dev/null
+    # Burst feeder: one point per op, value == index; it records every ack,
+    # and the daemon is killed -9 while the stream is live.
+    local acked_file="${catalog}.acked"
+    echo 0 >"${acked_file}"
+    (
+      n=0
+      while "${bin}" client "${sock}" append burst $((n * 60)) 60 "${n}" \
+          >/dev/null 2>&1; do
+        n=$((n + 1))
+        echo "${n}" >"${acked_file}"
+      done
+    ) &
+    local feeder=$!
+    sleep 1
+    kill -9 "${pid}" 2>/dev/null || true
+    wait "${pid}" 2>/dev/null || true
+    wait "${feeder}" 2>/dev/null || true
+    local acked
+    acked="$(cat "${acked_file}")"
+
+    # Phase 2: reopen the catalog; the durability contract must hold.
+    rm -f "${sock}"
+    "${bin}" serve "${catalog}" --socket "${sock}" --shards 2 \
+      --codecs GORILLA >"${log}" 2>&1 &
+    pid=$!
+    up=0
+    for ((t = 0; t < 150; ++t)); do
+      if [[ -S "${sock}" ]]; then up=1; break; fi
+      sleep 0.1
+    done
+    if [[ "${up}" != 1 ]]; then
+      echo "serve_smoke: reopened daemon never came up"; cat "${log}"
+      return 1
+    fi
+    local smoke_lines
+    smoke_lines="$("${bin}" client "${sock}" read smoke 0 1000000 | wc -l)"
+    if [[ "${smoke_lines}" -ne 12 ]]; then
+      echo "serve_smoke: smoke series has ${smoke_lines} points, wanted 12"
+      return 1
+    fi
+    local burst
+    burst="$({ "${bin}" client "${sock}" read burst 0 100000000 \
+      || true; } 2>/dev/null | wc -l)"
+    if [[ "${burst}" -lt "${acked}" ]]; then
+      echo "serve_smoke: lost acked writes (${burst} recovered < ${acked})"
+      return 1
+    fi
+    if [[ "${burst}" -gt 0 ]]; then
+      local last expected_last
+      last="$("${bin}" client "${sock}" read burst 0 100000000 | tail -1)"
+      expected_last="$(((burst - 1) * 60)),$((burst - 1))"
+      if [[ "${last}" != "${expected_last}" ]]; then
+        echo "serve_smoke: burst tail '${last}' != '${expected_last}'"
+        return 1
+      fi
+    fi
+    "${bin}" client "${sock}" shutdown >/dev/null
+    wait "${pid}"
+    echo "serve_smoke[${i}]: acked ${acked} burst ops, recovered ${burst}"
+  done
+  if pgrep -f "${bin} serve" >/dev/null 2>&1; then
+    echo "serve_smoke: daemon process left behind after the leg"
+    pkill -9 -f "${bin} serve" || true
+    return 1
+  fi
+}
+
 run_config() {
   local name="$1" sanitize="$2" filter="${3:-}"
   local dir="${BUILD_ROOT}/${name}"
@@ -55,16 +159,18 @@ run_config() {
       "${dir}/tools/lossyts" store verify "${lts}" Solar
     done
   fi
+  serve_smoke "${dir}"
 }
 
 run_config plain ""
 ASAN_OPTIONS=detect_leaks=0 run_config asan address
 UBSAN_OPTIONS=halt_on_error=1 run_config ubsan undefined
 # TSan is restricted to the concurrency suite: the pool, the progress
-# reporter, the artifact store and the parallel-vs-sequential grid tests
-# exercise every cross-thread edge, and a full TSan run of the NN training
-# tests would dominate CI time without touching more shared state.
+# reporter, the artifact store, the parallel-vs-sequential grid tests, and
+# the serve-daemon/store reader-vs-writer races exercise every cross-thread
+# edge, and a full TSan run of the NN training tests would dominate CI time
+# without touching more shared state.
 TSAN_OPTIONS=halt_on_error=1 run_config tsan thread \
-  'ThreadPoolTest|ProgressTest|SeedTest|GridConcurrencyTest|ArtifactStoreTest|StoreConcurrencyTest'
+  'ThreadPoolTest|ProgressTest|SeedTest|GridConcurrencyTest|ArtifactStoreTest|StoreConcurrencyTest|ServeConcurrencyTest|ServeDaemonConcurrencyTest|StoreRaceConcurrencyTest'
 
 echo "=== ci.sh: all configurations passed ==="

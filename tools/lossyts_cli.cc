@@ -14,6 +14,8 @@
 // `store` files are the chunk store format from src/store/ — CRC-framed
 // chunk records plus a sparse time index, queryable without full decode.
 
+#include <csignal>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -32,6 +34,8 @@
 #include "eval/store_source.h"
 #include "features/registry.h"
 #include "numcheck/harness.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
 #include "store/format.h"
 #include "store/query.h"
 #include "store/reader.h"
@@ -69,6 +73,13 @@ int Usage() {
       "  lossyts store verify <in.lts> <in.csv | dataset>\n"
       "  lossyts store ingest-grid <dir> [--datasets a,b]\n"
       "               [--compressors a,b] [--error-bounds 0.05,0.4]\n"
+      "  lossyts serve <dir> [--socket <path>] [--shards N] [--jobs N]\n"
+      "               [--eb E] [--span N] [--codecs a,b] [--no-sync]\n"
+      "               [--flush-wal-bytes N] [--max-queue N]\n"
+      "               [--deadline-ms N] [--client-timeout-ms N]\n"
+      "  lossyts client <socket> ping | list | stats | shutdown\n"
+      "  lossyts client <socket> append <series> <t0> <interval> <v1,v2,..>\n"
+      "  lossyts client <socket> read <series> <t0> <t1>\n"
       "  (grid also takes --store-dir <dir> to source transforms from\n"
       "   store files, and --build-stores to build them first)\n"
       "dataset names: ETTm1 ETTm2 Solar Weather ElecDem Wind\n");
@@ -734,6 +745,187 @@ int StoreIngestGrid(int argc, char** argv) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleSignal(int) { g_interrupted = 1; }
+
+// Runs the serve daemon in the foreground until a client shutdown request
+// or SIGINT/SIGTERM arrives, then drains gracefully (queued appends still
+// commit, every shard checkpoints). A SIGKILL instead is the crash the WAL
+// recovers from on the next start.
+int Serve(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  serve::DaemonOptions options;
+  options.dir = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--socket" && (v = next())) {
+      options.socket_path = v;
+    } else if (arg == "--shards" && (v = next())) {
+      options.shards = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--jobs" && (v = next())) {
+      options.jobs = std::atoi(v);
+    } else if (arg == "--eb" && (v = next())) {
+      options.shard.error_bound = std::strtod(v, nullptr);
+    } else if (arg == "--span" && (v = next())) {
+      options.shard.chunk_span = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--codecs" && (v = next())) {
+      options.shard.codecs = SplitList(v);
+    } else if (arg == "--no-sync") {
+      options.shard.sync = false;
+    } else if (arg == "--flush-wal-bytes" && (v = next())) {
+      options.shard.flush_wal_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-queue" && (v = next())) {
+      options.max_queue_ops = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--deadline-ms" && (v = next())) {
+      options.append_deadline_ms = std::atoi(v);
+    } else if (arg == "--client-timeout-ms" && (v = next())) {
+      options.client_timeout_ms = std::atoi(v);
+    } else {
+      return Usage();
+    }
+  }
+  Result<std::unique_ptr<serve::Daemon>> daemon =
+      serve::Daemon::Start(options);
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "%s\n", daemon.status().ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  const serve::ServeStats boot = (*daemon)->Stats();
+  std::printf("serving %s on %s (%llu shards, %llu series, %llu points",
+              options.dir.c_str(), (*daemon)->socket_path().c_str(),
+              static_cast<unsigned long long>(boot.shards),
+              static_cast<unsigned long long>(boot.series),
+              static_cast<unsigned long long>(boot.points));
+  if (boot.replayed_records > 0 || boot.salvaged_stores > 0) {
+    std::printf("; recovered %llu wal records, %llu salvaged stores",
+                static_cast<unsigned long long>(boot.replayed_records),
+                static_cast<unsigned long long>(boot.salvaged_stores));
+  }
+  std::printf(")\n");
+  std::fflush(stdout);
+  (*daemon)->Wait([] { return g_interrupted != 0; });
+  if (Status s = (*daemon)->Stop(); !s.ok()) {
+    std::fprintf(stderr, "drain: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const serve::ServeStats stats = (*daemon)->Stats();
+  std::printf("drained: %llu appends acked, %llu rejected, %llu flushes, "
+              "%llu evicted clients\n",
+              static_cast<unsigned long long>(stats.appended_ops),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.flushes),
+              static_cast<unsigned long long>(stats.evicted_clients));
+  return stats.failed_shards == 0 ? 0 : 1;
+}
+
+int ClientCmd(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string socket_path = argv[2];
+  const std::string sub = argv[3];
+  Result<std::unique_ptr<serve::Client>> client =
+      serve::Client::Connect(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  if (sub == "ping" && argc == 4) {
+    if (Status s = (*client)->Ping(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (sub == "append" && argc == 8) {
+    std::vector<double> values;
+    for (const std::string& v : SplitList(argv[7])) {
+      values.push_back(std::strtod(v.c_str(), nullptr));
+    }
+    Status s = (*client)->Append(argv[4], std::strtoll(argv[5], nullptr, 10),
+                                 std::atoi(argv[6]), values);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("acked %zu points\n", values.size());
+    return 0;
+  }
+  if (sub == "read" && argc == 7) {
+    Result<TimeSeries> series =
+        (*client)->ReadRange(argv[4], std::strtoll(argv[5], nullptr, 10),
+                             std::strtoll(argv[6], nullptr, 10));
+    if (!series.ok()) {
+      std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < series->size(); ++i) {
+      std::printf("%lld,%.17g\n",
+                  static_cast<long long>(
+                      series->start_timestamp() +
+                      static_cast<int64_t>(i) * series->interval_seconds()),
+                  series->values()[i]);
+    }
+    return 0;
+  }
+  if (sub == "list" && argc == 4) {
+    Result<std::vector<std::string>> names = (*client)->ListSeries();
+    if (!names.ok()) {
+      std::fprintf(stderr, "%s\n", names.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& name : *names) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (sub == "stats" && argc == 4) {
+    Result<serve::ServeStats> stats = (*client)->Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("shards:          %llu (%llu failed)\n",
+                static_cast<unsigned long long>(stats->shards),
+                static_cast<unsigned long long>(stats->failed_shards));
+    std::printf("series:          %llu\n",
+                static_cast<unsigned long long>(stats->series));
+    std::printf("points:          %llu\n",
+                static_cast<unsigned long long>(stats->points));
+    std::printf("wal bytes:       %llu\n",
+                static_cast<unsigned long long>(stats->wal_bytes));
+    std::printf("appends acked:   %llu\n",
+                static_cast<unsigned long long>(stats->appended_ops));
+    std::printf("flushes:         %llu (%llu failed)\n",
+                static_cast<unsigned long long>(stats->flushes),
+                static_cast<unsigned long long>(stats->flush_failures));
+    std::printf("recovery:        %llu wal records, %llu salvaged stores\n",
+                static_cast<unsigned long long>(stats->replayed_records),
+                static_cast<unsigned long long>(stats->salvaged_stores));
+    std::printf("admission:       %llu accepted, %llu rejected, %llu "
+                "deadline misses\n",
+                static_cast<unsigned long long>(stats->accepted),
+                static_cast<unsigned long long>(stats->rejected),
+                static_cast<unsigned long long>(stats->deadline_misses));
+    std::printf("evicted clients: %llu\n",
+                static_cast<unsigned long long>(stats->evicted_clients));
+    return 0;
+  }
+  if (sub == "shutdown" && argc == 4) {
+    if (Status s = (*client)->Shutdown(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("shutdown requested\n");
+    return 0;
+  }
+  return Usage();
+}
+
 int StoreCmd(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string sub = argv[2];
@@ -762,5 +954,7 @@ int main(int argc, char** argv) {
   if (command == "conform") return Conform(argc, argv);
   if (command == "numcheck") return Numcheck(argc, argv);
   if (command == "store") return StoreCmd(argc, argv);
+  if (command == "serve") return Serve(argc, argv);
+  if (command == "client") return ClientCmd(argc, argv);
   return Usage();
 }
