@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   std::map<std::string, std::map<std::string, std::vector<double>>> baseline;
   for (const eval::GridRecord& r : *grid) {
     if (r.compressor == "NONE") {
-      baseline[r.dataset][r.model].push_back(r.nrmse);
+      baseline[r.dataset][r.model].push_back(r.nrmse());
     }
   }
   std::printf("\n=== Table 7: best models based on NRMSE and TFE ===\n\n");

@@ -48,29 +48,31 @@ int main() {
           !s.ok()) {
         return 1;
       }
-      Result<MetricSet> baseline = eval::EvaluateOnTest(
+      Result<std::vector<double>> baseline = eval::EvaluateOnTest(
           **baseline_model, split->test, nullptr, config.input_length,
           config.horizon);
       if (!baseline.ok()) return 1;
+      const double baseline_nrmse = (*baseline)[kMetricNrmse];
 
       for (const std::string& method : compress::LossyCompressorNames()) {
         for (double eb : error_bounds) {
           std::fprintf(stderr, "[retrain] %s/%s/%s eb=%.2f\n",
                        dataset_name.c_str(), model_name.c_str(),
                        method.c_str(), eb);
-          Result<MetricSet> retrained = eval::EvaluateRetrainOnDecompressed(
-              model_name, config, split->train, split->val, split->test,
-              method, eb);
+          Result<std::vector<double>> retrained =
+              eval::EvaluateRetrainOnDecompressed(
+                  model_name, config, split->train, split->val, split->test,
+                  method, eb);
           if (!retrained.ok()) {
             std::fprintf(stderr, "retrain failed: %s\n",
                          retrained.status().ToString().c_str());
             return 1;
           }
+          const double retrained_nrmse = (*retrained)[kMetricNrmse];
           table.AddRow({model_name, method, eval::FormatDouble(eb, 2),
-                        eval::FormatDouble(retrained->nrmse, 4),
+                        eval::FormatDouble(retrained_nrmse, 4),
                         eval::FormatDouble(
-                            eval::Tfe(retrained->nrmse, baseline->nrmse),
-                            3)});
+                            eval::Tfe(retrained_nrmse, baseline_nrmse), 3)});
         }
       }
     }

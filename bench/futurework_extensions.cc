@@ -59,21 +59,22 @@ int main() {
        {static_cast<forecast::Forecaster*>(nbeats.get()),
         static_cast<forecast::Forecaster*>(arima.get()),
         static_cast<forecast::Forecaster*>(&ensemble)}) {
-    Result<MetricSet> baseline = eval::EvaluateOnTest(
+    Result<std::vector<double>> baseline = eval::EvaluateOnTest(
         *m, split->test, nullptr, config.input_length, config.horizon);
     if (!baseline.ok()) return 1;
+    const double baseline_nrmse = (*baseline)[kMetricNrmse];
     std::vector<std::string> row = {std::string(m->name()),
-                                    eval::FormatDouble(baseline->nrmse, 4)};
+                                    eval::FormatDouble(baseline_nrmse, 4)};
     for (double eb : {0.2, 0.4}) {
       Result<compress::PipelineResult> run =
           compress::RunPipeline(**pmc, split->test, eb);
       if (!run.ok()) return 1;
-      Result<MetricSet> lossy = eval::EvaluateOnTest(
+      Result<std::vector<double>> lossy = eval::EvaluateOnTest(
           *m, split->test, &run->decompressed, config.input_length,
           config.horizon);
       if (!lossy.ok()) return 1;
-      row.push_back(
-          eval::FormatDouble(eval::Tfe(lossy->nrmse, baseline->nrmse), 3));
+      row.push_back(eval::FormatDouble(
+          eval::Tfe((*lossy)[kMetricNrmse], baseline_nrmse), 3));
     }
     ensemble_table.AddRow(std::move(row));
   }
@@ -84,9 +85,10 @@ int main() {
   std::vector<eval::TfePredictor::Example> examples;
   auto gboost = std::move(*forecast::MakeForecaster("GBoost", config));
   if (Status s = gboost->Fit(split->train, split->val); !s.ok()) return 1;
-  Result<MetricSet> gboost_base = eval::EvaluateOnTest(
+  Result<std::vector<double>> gboost_base = eval::EvaluateOnTest(
       *gboost, split->test, nullptr, config.input_length, config.horizon);
   if (!gboost_base.ok()) return 1;
+  const double gboost_base_nrmse = (*gboost_base)[kMetricNrmse];
   for (const std::string& method : compress::LossyCompressorNames()) {
     Result<std::unique_ptr<compress::Compressor>> codec =
         compress::MakeCompressor(method);
@@ -95,7 +97,7 @@ int main() {
       Result<compress::PipelineResult> run =
           compress::RunPipeline(**codec, split->test, eb);
       if (!run.ok()) return 1;
-      Result<MetricSet> lossy = eval::EvaluateOnTest(
+      Result<std::vector<double>> lossy = eval::EvaluateOnTest(
           *gboost, split->test, &run->decompressed, config.input_length,
           config.horizon);
       if (!lossy.ok()) return 1;
@@ -104,7 +106,8 @@ int main() {
           run->te_nrmse, run->compression_ratio);
       if (!features.ok()) return 1;
       examples.push_back(
-          {*features, eval::Tfe(lossy->nrmse, gboost_base->nrmse)});
+          {*features,
+           eval::Tfe((*lossy)[kMetricNrmse], gboost_base_nrmse)});
     }
   }
   eval::TfePredictor predictor;

@@ -75,10 +75,11 @@ int main() {
         if (Status s = (*model)->Fit(split->train, split->val); !s.ok()) {
           return 1;
         }
-        Result<MetricSet> baseline = eval::EvaluateOnTest(
+        Result<std::vector<double>> baseline = eval::EvaluateOnTest(
             **model, split->test, nullptr, config.input_length,
             config.horizon);
         if (!baseline.ok()) return 1;
+        const double baseline_nrmse = (*baseline)[kMetricNrmse];
 
         Result<std::unique_ptr<compress::Compressor>> pmc =
             compress::MakeCompressor("PMC");
@@ -86,10 +87,11 @@ int main() {
         Result<compress::PipelineResult> run =
             compress::RunPipeline(**pmc, split->test, 0.3);
         if (!run.ok()) return 1;
-        Result<MetricSet> lossy = eval::EvaluateOnTest(
+        Result<std::vector<double>> lossy = eval::EvaluateOnTest(
             **model, split->test, &run->decompressed, config.input_length,
             config.horizon);
         if (!lossy.ok()) return 1;
+        const double lossy_nrmse = (*lossy)[kMetricNrmse];
 
         Result<features::FeatureMap> characteristics =
             features::ComputeAllFeatures(split->test, 24);
@@ -100,11 +102,10 @@ int main() {
              eval::FormatDouble(shift, 1),
              eval::FormatDouble(characteristics->at("seas_strength"), 2),
              eval::FormatDouble(characteristics->at("max_kl_shift"), 1),
-             eval::FormatDouble(baseline->nrmse, 4),
-             eval::FormatDouble(lossy->nrmse, 4),
-             eval::FormatDouble(lossy->nrmse - baseline->nrmse, 4),
-             eval::FormatDouble(eval::Tfe(lossy->nrmse, baseline->nrmse),
-                                3)});
+             eval::FormatDouble(baseline_nrmse, 4),
+             eval::FormatDouble(lossy_nrmse, 4),
+             eval::FormatDouble(lossy_nrmse - baseline_nrmse, 4),
+             eval::FormatDouble(eval::Tfe(lossy_nrmse, baseline_nrmse), 3)});
       }
     }
   }

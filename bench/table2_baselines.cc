@@ -26,10 +26,10 @@ int main(int argc, char** argv) {
   for (const eval::GridRecord& rec : *grid) {
     if (rec.compressor != "NONE") continue;
     Cell& c = cells[rec.model][rec.dataset];
-    c.r.push_back(rec.r);
-    c.rse.push_back(rec.rse);
-    c.rmse.push_back(rec.rmse);
-    c.nrmse.push_back(rec.nrmse);
+    c.r.push_back(rec.r());
+    c.rse.push_back(rec.rse());
+    c.rmse.push_back(rec.rmse());
+    c.nrmse.push_back(rec.nrmse());
   }
 
   // Best NRMSE per dataset.

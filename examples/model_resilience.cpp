@@ -66,18 +66,19 @@ int main(int argc, char** argv) {
                    s.ToString().c_str());
       return 1;
     }
-    Result<MetricSet> baseline = eval::EvaluateOnTest(
+    Result<std::vector<double>> baseline = eval::EvaluateOnTest(
         **model, split->test, nullptr, config.input_length, config.horizon);
     if (!baseline.ok()) return 1;
+    const double baseline_nrmse = (*baseline)[kMetricNrmse];
 
     std::vector<std::string> row = {name,
-                                    eval::FormatDouble(baseline->nrmse, 4)};
+                                    eval::FormatDouble(baseline_nrmse, 4)};
     for (const TimeSeries& t : transformed) {
-      Result<MetricSet> lossy = eval::EvaluateOnTest(
+      Result<std::vector<double>> lossy = eval::EvaluateOnTest(
           **model, split->test, &t, config.input_length, config.horizon);
       if (!lossy.ok()) return 1;
-      row.push_back(
-          eval::FormatDouble(eval::Tfe(lossy->nrmse, baseline->nrmse), 3));
+      row.push_back(eval::FormatDouble(
+          eval::Tfe((*lossy)[kMetricNrmse], baseline_nrmse), 3));
     }
     table.AddRow(std::move(row));
   }

@@ -63,17 +63,21 @@ int main() {
   }
 
   // 4. Forecast with raw vs. decompressed inputs; targets are always raw.
-  Result<MetricSet> baseline = eval::EvaluateOnTest(
+  // EvaluateOnTest returns one value per requested metric — the default
+  // request is the paper's pinned four (r, rse, rmse, nrmse).
+  Result<std::vector<double>> baseline = eval::EvaluateOnTest(
       **model, split->test, nullptr, config.input_length, config.horizon);
-  Result<MetricSet> lossy = eval::EvaluateOnTest(
+  Result<std::vector<double>> lossy = eval::EvaluateOnTest(
       **model, split->test, &compressed->decompressed, config.input_length,
       config.horizon);
   if (!baseline.ok() || !lossy.ok()) return 1;
 
-  const double tfe = eval::Tfe(lossy->nrmse, baseline->nrmse);
+  const double tfe =
+      eval::Tfe((*lossy)[kMetricNrmse], (*baseline)[kMetricNrmse]);
   std::printf("Forecast NRMSE on raw inputs:          %.4f\n",
-              baseline->nrmse);
-  std::printf("Forecast NRMSE on decompressed inputs: %.4f\n", lossy->nrmse);
+              (*baseline)[kMetricNrmse]);
+  std::printf("Forecast NRMSE on decompressed inputs: %.4f\n",
+              (*lossy)[kMetricNrmse]);
   std::printf("TFE = %+.2f%% (%s)\n", 100.0 * tfe,
               tfe <= 0.0 ? "compression even helped"
                          : "accuracy cost of compression");

@@ -39,11 +39,12 @@ int main() {
   if (!model.ok()) return 1;
   if (Status s = (*model)->Fit(split->train, split->val); !s.ok()) return 1;
 
-  Result<MetricSet> baseline = eval::EvaluateOnTest(
+  Result<std::vector<double>> baseline = eval::EvaluateOnTest(
       **model, split->test, nullptr, config.input_length, config.horizon);
   if (!baseline.ok()) return 1;
+  const double baseline_nrmse = (*baseline)[kMetricNrmse];
   std::printf("Baseline forecast NRMSE on raw telemetry: %.4f\n\n",
-              baseline->nrmse);
+              baseline_nrmse);
 
   // Edge side: candidate compression settings.
   const double required_cr = 8.0;      // Bandwidth budget: at least 8x.
@@ -61,11 +62,12 @@ int main() {
       Result<compress::PipelineResult> result =
           compress::RunPipeline(**compressor, split->test, eb);
       if (!result.ok()) return 1;
-      Result<MetricSet> lossy = eval::EvaluateOnTest(
+      Result<std::vector<double>> lossy = eval::EvaluateOnTest(
           **model, split->test, &result->decompressed, config.input_length,
           config.horizon);
       if (!lossy.ok()) return 1;
-      const double tfe = eval::Tfe(lossy->nrmse, baseline->nrmse);
+      const double tfe =
+          eval::Tfe((*lossy)[kMetricNrmse], baseline_nrmse);
       const bool meets_cr = result->compression_ratio >= required_cr;
       const bool meets_tfe = tfe <= tfe_tolerance;
       const char* verdict = meets_cr && meets_tfe ? "OK"

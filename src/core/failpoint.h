@@ -35,6 +35,9 @@ namespace lossyts {
 ///                   the middle of a checkpoint (replay must stay idempotent)
 ///   "socket_write"— serve::WriteFrame, before the socket send, modelling a
 ///                   peer that dies between request and reply
+///   "query_fetch" — query::QueryStoreDir, at the head of each per-series
+///                   fetch task, modelling a store that dies mid-query (the
+///                   first failure in canonical series order is surfaced)
 ///   "autodiff_backward_perturb" — nn::MatMul's backward; corrupts dA so the
 ///                   numcheck gradient oracle's seeded-fault drill has a
 ///                   real bug to catch (used as a trigger, not a Status)

@@ -1,0 +1,439 @@
+#include "core/metric_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "core/metrics.h"
+
+namespace lossyts {
+
+namespace {
+
+Status CheckSameNonEmpty(const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  if (x.empty()) return Status::InvalidArgument("metric input is empty");
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument(
+        "metric inputs have different lengths: " + std::to_string(x.size()) +
+        " vs " + std::to_string(y.size()));
+  }
+  return Status::OK();
+}
+
+std::string SeriesLabel(const MetricContext& ctx) {
+  return ctx.series.empty() ? std::string("<unnamed>") : ctx.series;
+}
+
+/// Small-denominator guard shared with MaxRelError (core/metrics.cc): a
+/// reference magnitude below this clamps to it instead of dividing by ~0.
+constexpr double kRelDenomFloor = 1e-12;
+
+std::string FormatParam(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+double PinballSum(const std::vector<double>& actual,
+                  const std::vector<double>& predicted, double q) {
+  double sum = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const double d = actual[i] - predicted[i];
+    sum += d >= 0.0 ? q * d : (q - 1.0) * d;
+  }
+  return sum;
+}
+
+Result<double> MseKernel(const MetricContext& ctx,
+                         const std::vector<double>&) {
+  const std::vector<double>& x = *ctx.actual;
+  const std::vector<double>& y = *ctx.predicted;
+  if (Status s = CheckSameNonEmpty(x, y); !s.ok()) return s;
+  double ss = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    ss += d * d;
+  }
+  return ss / static_cast<double>(x.size());
+}
+
+Result<double> MapeKernel(const MetricContext& ctx,
+                          const std::vector<double>&) {
+  const std::vector<double>& x = *ctx.actual;
+  const std::vector<double>& y = *ctx.predicted;
+  if (Status s = CheckSameNonEmpty(x, y); !s.ok()) return s;
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double denom = std::max(std::abs(x[i]), kRelDenomFloor);
+    sum += std::abs(x[i] - y[i]) / denom;
+  }
+  return sum / static_cast<double>(x.size());
+}
+
+Result<double> SmapeKernel(const MetricContext& ctx,
+                           const std::vector<double>&) {
+  const std::vector<double>& x = *ctx.actual;
+  const std::vector<double>& y = *ctx.predicted;
+  if (Status s = CheckSameNonEmpty(x, y); !s.ok()) return s;
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double denom =
+        std::max((std::abs(x[i]) + std::abs(y[i])) / 2.0, kRelDenomFloor);
+    sum += std::abs(x[i] - y[i]) / denom;
+  }
+  return sum / static_cast<double>(x.size());
+}
+
+Result<double> BiasKernel(const MetricContext& ctx,
+                          const std::vector<double>&) {
+  const std::vector<double>& x = *ctx.actual;
+  const std::vector<double>& y = *ctx.predicted;
+  if (Status s = CheckSameNonEmpty(x, y); !s.ok()) return s;
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) sum += y[i] - x[i];
+  return sum / static_cast<double>(x.size());
+}
+
+Result<double> MaseKernel(const MetricContext& ctx,
+                          const std::vector<double>&) {
+  if (Status s = CheckSameNonEmpty(*ctx.actual, *ctx.predicted); !s.ok()) {
+    return s;
+  }
+  const std::vector<double>& ins = *ctx.insample;
+  const size_t lag =
+      static_cast<size_t>(std::max(1, ctx.season_length));
+  if (ins.size() <= lag) {
+    return Status::InvalidArgument(
+        "MASE undefined: in-sample series '" + SeriesLabel(ctx) + "' has " +
+        std::to_string(ins.size()) + " points, need more than " +
+        std::to_string(lag));
+  }
+  double scale = 0.0;
+  for (size_t t = lag; t < ins.size(); ++t) {
+    scale += std::abs(ins[t] - ins[t - lag]);
+  }
+  scale /= static_cast<double>(ins.size() - lag);
+  if (!(scale > 0.0)) {
+    return Status::InvalidArgument(
+        "MASE undefined: constant in-sample series '" + SeriesLabel(ctx) +
+        "'");
+  }
+  Result<double> mae = Mae(*ctx.actual, *ctx.predicted);
+  if (!mae.ok()) return mae.status();
+  return *mae / scale;
+}
+
+Result<double> PinballKernel(const MetricContext& ctx,
+                             const std::vector<double>& params) {
+  const std::vector<double>& x = *ctx.actual;
+  const std::vector<double>& y = *ctx.predicted;
+  if (Status s = CheckSameNonEmpty(x, y); !s.ok()) return s;
+  return PinballSum(x, y, params[0]) / static_cast<double>(x.size());
+}
+
+Result<double> CrpsKernel(const MetricContext& ctx,
+                          const std::vector<double>& params) {
+  const std::vector<double>& x = *ctx.actual;
+  const std::vector<double>& y = *ctx.predicted;
+  if (Status s = CheckSameNonEmpty(x, y); !s.ok()) return s;
+  double sum = 0.0;
+  for (double q : params) sum += PinballSum(x, y, q);
+  // The quantile-averaged pinball approximation of CRPS, scaled by 2 so a
+  // dense grid recovers the closed form (for a point forecast it converges
+  // to MAE, which numcheck's oracle pins).
+  return 2.0 * sum /
+         (static_cast<double>(params.size()) *
+          static_cast<double>(x.size()));
+}
+
+Result<double> CoverageKernel(const MetricContext& ctx,
+                              const std::vector<double>&) {
+  const std::vector<double>& x = *ctx.actual;
+  const std::vector<double>& lo = *ctx.lower;
+  const std::vector<double>& hi = *ctx.upper;
+  if (x.empty()) return Status::InvalidArgument("metric input is empty");
+  if (lo.size() != x.size() || hi.size() != x.size()) {
+    return Status::InvalidArgument(
+        "coverage interval lengths (" + std::to_string(lo.size()) + ", " +
+        std::to_string(hi.size()) + ") do not match actual length " +
+        std::to_string(x.size()));
+  }
+  size_t inside = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (lo[i] <= x[i] && x[i] <= hi[i]) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(x.size());
+}
+
+/// Wraps a `Result<double>(x, y)` free function from core/metrics.h.
+MetricKernel PairKernel(Result<double> (*fn)(const std::vector<double>&,
+                                             const std::vector<double>&)) {
+  MetricKernel kernel;
+  kernel.fn = [fn](const MetricContext& ctx, const std::vector<double>&) {
+    return fn(*ctx.actual, *ctx.predicted);
+  };
+  return kernel;
+}
+
+Result<double> ParseQuantile(const std::string& token,
+                             const std::string& name) {
+  if (token.empty()) {
+    return Status::InvalidArgument("metric '" + name +
+                                   "' has an empty parameter");
+  }
+  char* end = nullptr;
+  const double q = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || !std::isfinite(q) || q <= 0.0 ||
+      q >= 1.0) {
+    return Status::InvalidArgument("metric parameter '" + token + "' in '" +
+                                   name + "' is not a quantile in (0, 1)");
+  }
+  return q;
+}
+
+Status CheckFinite(const std::vector<double>& values, const char* label,
+                   const MetricContext& ctx) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      std::string message = "non-finite value at index " + std::to_string(i) +
+                            " in " + label + " input";
+      if (!ctx.series.empty()) message += " for series '" + ctx.series + "'";
+      return Status::InvalidArgument(message);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+MetricRegistry::MetricRegistry() {
+  kernels_["r"] = PairKernel(&PearsonR);
+  kernels_["rse"] = PairKernel(&Rse);
+  kernels_["rmse"] = PairKernel(&Rmse);
+  kernels_["nrmse"] = PairKernel(&Nrmse);
+  kernels_["mae"] = PairKernel(&Mae);
+
+  MetricKernel mse;
+  mse.fn = &MseKernel;
+  kernels_["mse"] = std::move(mse);
+
+  MetricKernel mape;
+  mape.fn = &MapeKernel;
+  kernels_["mape"] = std::move(mape);
+
+  MetricKernel smape;
+  smape.fn = &SmapeKernel;
+  kernels_["smape"] = std::move(smape);
+
+  MetricKernel bias;
+  bias.fn = &BiasKernel;
+  kernels_["bias"] = std::move(bias);
+
+  MetricKernel mase;
+  mase.fn = &MaseKernel;
+  mase.needs_insample = true;
+  kernels_["mase"] = std::move(mase);
+
+  MetricKernel pinball;
+  pinball.fn = &PinballKernel;
+  pinball.min_params = 1;
+  pinball.max_params = 1;
+  pinball.default_params = {0.5};
+  kernels_["pinball"] = std::move(pinball);
+
+  MetricKernel crps;
+  crps.fn = &CrpsKernel;
+  crps.min_params = 1;
+  crps.max_params = 64;
+  // Dense default grid 0.05, 0.10, ..., 0.95.
+  for (int k = 1; k <= 19; ++k) {
+    crps.default_params.push_back(static_cast<double>(k) / 20.0);
+  }
+  kernels_["crps"] = std::move(crps);
+
+  MetricKernel coverage;
+  coverage.fn = &CoverageKernel;
+  coverage.needs_interval = true;
+  kernels_["coverage"] = std::move(coverage);
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Status MetricRegistry::Register(const std::string& base, MetricKernel kernel) {
+  if (base.empty() || base.find('@') != std::string::npos) {
+    return Status::InvalidArgument("invalid metric base name '" + base + "'");
+  }
+  if (!kernel.fn) {
+    return Status::InvalidArgument("metric '" + base + "' has no kernel");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (kernels_.count(base) != 0) {
+    return Status::FailedPrecondition("metric '" + base +
+                                      "' is already registered");
+  }
+  kernels_[base] = std::move(kernel);
+  return Status::OK();
+}
+
+Result<MetricSpec> MetricRegistry::Parse(const std::string& name) const {
+  if (name.empty()) return Status::InvalidArgument("empty metric name");
+  const size_t at = name.find('@');
+  MetricSpec spec;
+  spec.base = name.substr(0, at);
+  Result<MetricKernel> kernel = Find(spec.base);
+  if (!kernel.ok()) return kernel.status();
+  spec.needs_insample = kernel->needs_insample;
+  spec.needs_interval = kernel->needs_interval;
+  if (at == std::string::npos) {
+    spec.name = spec.base;
+    spec.params = kernel->default_params;
+    return spec;
+  }
+  if (kernel->max_params == 0) {
+    return Status::InvalidArgument("metric '" + spec.base +
+                                   "' takes no parameters");
+  }
+  std::string rest = name.substr(at + 1);
+  size_t pos = 0;
+  while (true) {
+    const size_t plus = rest.find('+', pos);
+    const std::string token =
+        rest.substr(pos, plus == std::string::npos ? plus : plus - pos);
+    Result<double> q = ParseQuantile(token, name);
+    if (!q.ok()) return q.status();
+    spec.params.push_back(*q);
+    if (plus == std::string::npos) break;
+    pos = plus + 1;
+  }
+  if (spec.params.size() < kernel->min_params ||
+      spec.params.size() > kernel->max_params) {
+    return Status::InvalidArgument(
+        "metric '" + spec.base + "' takes between " +
+        std::to_string(kernel->min_params) + " and " +
+        std::to_string(kernel->max_params) + " parameters, got " +
+        std::to_string(spec.params.size()));
+  }
+  spec.name = spec.base + "@";
+  for (size_t i = 0; i < spec.params.size(); ++i) {
+    if (i > 0) spec.name += '+';
+    spec.name += FormatParam(spec.params[i]);
+  }
+  return spec;
+}
+
+Result<MetricKernel> MetricRegistry::Find(const std::string& base) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = kernels_.find(base);
+  if (it == kernels_.end()) {
+    return Status::NotFound("unknown metric '" + base + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> MetricRegistry::BaseNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(kernels_.size());
+  for (const auto& [name, kernel] : kernels_) names.push_back(name);
+  return names;
+}
+
+const std::vector<std::string>& PinnedForecastMetrics() {
+  static const std::vector<std::string>* pinned =
+      new std::vector<std::string>{"r", "rse", "rmse", "nrmse"};
+  return *pinned;
+}
+
+Result<std::vector<std::string>> CanonicalMetricNames(
+    const std::vector<std::string>& names) {
+  if (names.empty()) return Status::InvalidArgument("metric list is empty");
+  std::vector<std::string> canonical;
+  std::set<std::string> seen;
+  for (const std::string& name : names) {
+    Result<MetricSpec> spec = MetricRegistry::Global().Parse(name);
+    if (!spec.ok()) return spec.status();
+    if (seen.insert(spec->name).second) canonical.push_back(spec->name);
+  }
+  return canonical;
+}
+
+Result<std::vector<std::string>> ResolveMetricNames(
+    const std::vector<std::string>& extra) {
+  std::vector<std::string> resolved = PinnedForecastMetrics();
+  std::set<std::string> seen(resolved.begin(), resolved.end());
+  for (const std::string& name : extra) {
+    Result<MetricSpec> spec = MetricRegistry::Global().Parse(name);
+    if (!spec.ok()) return spec.status();
+    if (seen.insert(spec->name).second) resolved.push_back(spec->name);
+  }
+  return resolved;
+}
+
+Result<std::vector<double>> EvaluateMetrics(
+    const std::vector<std::string>& names, const MetricContext& ctx) {
+  if (names.empty()) return Status::InvalidArgument("no metrics requested");
+  if (ctx.actual == nullptr || ctx.predicted == nullptr) {
+    return Status::InvalidArgument(
+        "metric context is missing actual/predicted input");
+  }
+  std::vector<MetricSpec> specs;
+  specs.reserve(names.size());
+  bool needs_insample = false;
+  bool needs_interval = false;
+  for (const std::string& name : names) {
+    Result<MetricSpec> spec = MetricRegistry::Global().Parse(name);
+    if (!spec.ok()) return spec.status();
+    needs_insample = needs_insample || spec->needs_insample;
+    needs_interval = needs_interval || spec->needs_interval;
+    specs.push_back(std::move(*spec));
+  }
+  // Non-finite inputs are rejected once up front (not per kernel), so every
+  // metric sees the same contract regardless of evaluation order.
+  if (Status s = CheckFinite(*ctx.actual, "actual", ctx); !s.ok()) return s;
+  if (Status s = CheckFinite(*ctx.predicted, "predicted", ctx); !s.ok()) {
+    return s;
+  }
+  if (needs_insample) {
+    if (ctx.insample == nullptr || ctx.insample->empty()) {
+      return Status::InvalidArgument(
+          "metric requires an in-sample series, none provided for series '" +
+          SeriesLabel(ctx) + "'");
+    }
+    if (Status s = CheckFinite(*ctx.insample, "in-sample", ctx); !s.ok()) {
+      return s;
+    }
+  }
+  if (needs_interval) {
+    if (ctx.lower == nullptr || ctx.upper == nullptr) {
+      return Status::InvalidArgument(
+          "metric requires prediction-interval bounds, none provided for "
+          "series '" +
+          SeriesLabel(ctx) + "'");
+    }
+    if (Status s = CheckFinite(*ctx.lower, "lower-bound", ctx); !s.ok()) {
+      return s;
+    }
+    if (Status s = CheckFinite(*ctx.upper, "upper-bound", ctx); !s.ok()) {
+      return s;
+    }
+  }
+  std::vector<double> values;
+  values.reserve(specs.size());
+  for (const MetricSpec& spec : specs) {
+    Result<MetricKernel> kernel = MetricRegistry::Global().Find(spec.base);
+    if (!kernel.ok()) return kernel.status();
+    Result<double> value = kernel->fn(ctx, spec.params);
+    if (!value.ok()) return value.status();
+    values.push_back(*value);
+  }
+  return values;
+}
+
+}  // namespace lossyts

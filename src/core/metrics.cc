@@ -116,22 +116,4 @@ Result<double> MaxRelError(const std::vector<double>& x,
   return mx;
 }
 
-Result<MetricSet> CalculateMetrics(const std::vector<double>& actual,
-                                   const std::vector<double>& predicted) {
-  MetricSet m;
-  Result<double> r = PearsonR(actual, predicted);
-  if (!r.ok()) return r.status();
-  m.r = *r;
-  Result<double> rse = Rse(actual, predicted);
-  if (!rse.ok()) return rse.status();
-  m.rse = *rse;
-  Result<double> rmse = Rmse(actual, predicted);
-  if (!rmse.ok()) return rmse.status();
-  m.rmse = *rmse;
-  Result<double> nrmse = Nrmse(actual, predicted);
-  if (!nrmse.ok()) return nrmse.status();
-  m.nrmse = *nrmse;
-  return m;
-}
-
 }  // namespace lossyts

@@ -38,17 +38,9 @@ Result<double> MaxAbsError(const std::vector<double>& x,
 Result<double> MaxRelError(const std::vector<double>& x,
                            const std::vector<double>& y);
 
-/// Bundle of the four accuracy metrics reported in Table 2.
-struct MetricSet {
-  double r = 0.0;
-  double rse = 0.0;
-  double rmse = 0.0;
-  double nrmse = 0.0;
-};
-
-/// Computes R, RSE, RMSE and NRMSE in one pass-friendly call.
-Result<MetricSet> CalculateMetrics(const std::vector<double>& actual,
-                                   const std::vector<double>& predicted);
+/// The four paper metrics (and everything beyond them) are evaluated by name
+/// through the pluggable registry in core/metric_registry.h; the fixed
+/// MetricSet bundle this header used to define is gone.
 
 }  // namespace lossyts
 

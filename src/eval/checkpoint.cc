@@ -13,7 +13,9 @@ namespace lossyts::eval {
 
 namespace {
 
-constexpr char kManifestPrefix[] = "#lossyts-grid-checkpoint v1 options=";
+constexpr char kManifestPrefixV2[] = "#lossyts-grid-checkpoint v2 options=";
+constexpr char kManifestPrefixV1[] = "#lossyts-grid-checkpoint v1 options=";
+constexpr char kMetricsField[] = " metrics=";
 constexpr char kCompleteFooter[] = "#complete";
 
 std::string RowCrcHex(const std::string& row) {
@@ -24,10 +26,22 @@ std::string RowCrcHex(const std::string& row) {
   return hex;
 }
 
-std::string HeaderLine() {
-  return "dataset,model,compressor,error_bound,seed,r,rse,rmse,nrmse,tfe,"
-         "te_nrmse,te_rmse,compression_ratio,segment_count,error_code,"
-         "attempts,error";
+std::string JoinMetricNames(const std::vector<std::string>& names) {
+  std::string joined;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) joined += ';';
+    joined += names[i];
+  }
+  return joined;
+}
+
+std::string HeaderLine(const std::vector<std::string>& metric_names) {
+  std::string header = "dataset,model,compressor,error_bound,seed";
+  for (const std::string& name : metric_names) header += ',' + name;
+  header +=
+      ",tfe,te_nrmse,te_rmse,compression_ratio,segment_count,error_code,"
+      "attempts,error";
+  return header;
 }
 
 void AppendDouble(std::string& out, double v) {
@@ -38,9 +52,11 @@ void AppendDouble(std::string& out, double v) {
 }
 
 // Parses one "crc,row" line into checkpoint.records. Returns false when the
-// scan must stop: the complete footer, a torn or malformed line, or a CRC
-// mismatch — everything salvaged so far stays valid.
-bool ParseLine(const std::string& line, GridCheckpoint& checkpoint) {
+// scan must stop: the complete footer, a torn or malformed line, a CRC
+// mismatch, or a row whose metric arity differs from the resuming sweep's —
+// everything salvaged so far stays valid.
+bool ParseLine(const std::string& line, size_t metric_arity,
+               GridCheckpoint& checkpoint) {
   if (line == kCompleteFooter) {
     checkpoint.complete = true;
     return false;
@@ -57,6 +73,7 @@ bool ParseLine(const std::string& line, GridCheckpoint& checkpoint) {
   }
   Result<GridRecord> record = ParseGridRow(row);
   if (!record.ok()) return false;
+  if (record->metrics.size() != metric_arity) return false;
   checkpoint.records.push_back(std::move(*record));
   return true;
 }
@@ -100,12 +117,26 @@ uint32_t GridOptionsHash(const GridOptions& options) {
   // with recompression sweeps. Appended only when set so every pre-existing
   // cache keeps its hash.
   if (!options.store_dir.empty()) repr += "|store=" + options.store_dir;
+  // Extra metrics change every record's arity; appended only when the
+  // resolved list goes beyond the pinned four so every pre-existing cache
+  // keeps its hash. An unresolvable list (unknown metric name) hashes the
+  // raw spelling — the sweep itself rejects it before any cell runs.
+  if (!options.metrics.empty()) {
+    Result<std::vector<std::string>> resolved =
+        ResolveMetricNames(options.metrics);
+    const std::vector<std::string>& names =
+        resolved.ok() ? *resolved : options.metrics;
+    if (names != PinnedForecastMetrics()) {
+      repr += "|metrics=" + JoinMetricNames(names);
+    }
+  }
   return zip::ComputeCrc32(reinterpret_cast<const uint8_t*>(repr.data()),
                            repr.size());
 }
 
-Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path,
-                                          uint32_t options_hash) {
+Result<GridCheckpoint> LoadGridCheckpoint(
+    const std::string& path, uint32_t options_hash,
+    const std::vector<std::string>& metric_names) {
   std::ifstream file(path);
   if (!file.is_open()) {
     return Status::NotFound("no grid checkpoint at " + path);
@@ -114,12 +145,24 @@ Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path,
   if (!std::getline(file, line)) {
     return Status::Corruption(path + " is empty");
   }
+  const bool pinned_only = metric_names == PinnedForecastMetrics();
 
   GridCheckpoint checkpoint;
-  if (line.rfind(kManifestPrefix, 0) != 0) {
+  const bool v2 = line.rfind(kManifestPrefixV2, 0) == 0;
+  const bool v1 = !v2 && line.rfind(kManifestPrefixV1, 0) == 0;
+  if (!v2 && !v1) {
     // Pre-checkpoint cache: a plain CSV written by SaveGridCsv. Treat a
-    // clean parse as a complete sweep so existing caches keep working.
+    // clean parse as a complete sweep so existing caches keep working —
+    // but only for the four metrics its columns can carry.
     file.close();
+    if (!pinned_only) {
+      checkpoint.compatible = false;
+      checkpoint.reason =
+          "legacy CSV cache carries only r/rse/rmse/nrmse and cannot serve "
+          "a sweep with extra metrics (" +
+          JoinMetricNames(metric_names) + ")";
+      return checkpoint;
+    }
     Result<std::vector<GridRecord>> legacy = LoadGridCsv(path);
     if (!legacy.ok()) return legacy.status();
     checkpoint.records = std::move(*legacy);
@@ -128,33 +171,64 @@ Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path,
     return checkpoint;
   }
 
+  const size_t prefix_len =
+      v2 ? std::strlen(kManifestPrefixV2) : std::strlen(kManifestPrefixV1);
   char* end = nullptr;
-  const std::string hex = line.substr(std::strlen(kManifestPrefix));
-  const unsigned long stored = std::strtoul(hex.c_str(), &end, 16);
-  if (end == hex.c_str() || static_cast<uint32_t>(stored) != options_hash) {
+  const std::string rest = line.substr(prefix_len);
+  const unsigned long stored = std::strtoul(rest.c_str(), &end, 16);
+  if (end == rest.c_str() || static_cast<uint32_t>(stored) != options_hash) {
     checkpoint.compatible = false;
+    checkpoint.reason = "manifest options hash does not match this sweep";
     return checkpoint;
+  }
+  if (v1) {
+    // v1 checkpoints carry exactly the pinned four metric columns. They
+    // resume cleanly for a pinned-four sweep and are rejected with a clear
+    // reason otherwise — never silently misparsed.
+    if (!pinned_only) {
+      checkpoint.compatible = false;
+      checkpoint.reason =
+          "v1 checkpoint carries only r/rse/rmse/nrmse and cannot serve a "
+          "sweep with extra metrics (" +
+          JoinMetricNames(metric_names) + ")";
+      return checkpoint;
+    }
+  } else {
+    const size_t at = rest.find(kMetricsField);
+    const std::string stored_metrics =
+        at == std::string::npos
+            ? std::string()
+            : rest.substr(at + std::strlen(kMetricsField));
+    if (stored_metrics != JoinMetricNames(metric_names)) {
+      checkpoint.compatible = false;
+      checkpoint.reason = "checkpoint computes metrics [" + stored_metrics +
+                          "]; this sweep needs [" +
+                          JoinMetricNames(metric_names) + "]";
+      return checkpoint;
+    }
   }
 
   while (std::getline(file, line)) {
     if (line.rfind("dataset,", 0) == 0) continue;  // Human-readable header.
-    if (!ParseLine(line, checkpoint)) break;
+    if (!ParseLine(line, metric_names.size(), checkpoint)) break;
   }
   return checkpoint;
 }
 
 Status GridCheckpointWriter::Open(const std::string& path,
                                   uint32_t options_hash,
-                                  const std::vector<GridRecord>& salvaged) {
+                                  const std::vector<GridRecord>& salvaged,
+                                  const std::vector<std::string>& metric_names) {
   path_ = path;
   file_.open(path, std::ios::trunc);
   if (!file_.is_open()) {
     return Status::IoError("cannot open " + path + " for writing");
   }
   char manifest[64];
-  std::snprintf(manifest, sizeof(manifest), "%s%08x", kManifestPrefix,
+  std::snprintf(manifest, sizeof(manifest), "%s%08x", kManifestPrefixV2,
                 options_hash);
-  file_ << manifest << '\n' << HeaderLine() << '\n';
+  file_ << manifest << kMetricsField << JoinMetricNames(metric_names) << '\n'
+        << HeaderLine(metric_names) << '\n';
   for (const GridRecord& record : salvaged) {
     const std::string row = FormatGridRow(record);
     file_ << RowCrcHex(row) << ',' << row << '\n';

@@ -16,7 +16,7 @@ namespace lossyts::eval {
 //
 // File layout (text, one record per line):
 //
-//   #lossyts-grid-checkpoint v1 options=<8-hex GridOptionsHash>
+//   #lossyts-grid-checkpoint v2 options=<8-hex> metrics=<name;name;...>
 //   dataset,model,compressor,...          <- human-readable column header
 //   <8-hex CRC32 of the row text>,<row>   <- one line per GridRecord
 //   ...
@@ -27,33 +27,48 @@ namespace lossyts::eval {
 // sweep mid-write — is detected and dropped while every earlier row is
 // salvaged. The manifest hash ties the file to the exact GridOptions that
 // produced it; resuming under different options would silently mix
-// incompatible sweeps.
+// incompatible sweeps. The v2 manifest additionally records the sweep's
+// resolved metric-name list, so rows are only salvaged into a sweep that
+// computes the same metric vector.
+//
+// Compatibility: v1 manifests ("#lossyts-grid-checkpoint v1 options=<hex>",
+// fixed r/rse/rmse/nrmse columns) resume cleanly when the requested metrics
+// are exactly the pinned four, and are rejected with a clear reason — never
+// silently misparsed — when the sweep asks for more. Plain pre-checkpoint
+// CSV caches behave the same way.
 
 /// Hash over every GridOptions field that affects the produced records
 /// (resolved dataset/model/compressor/error-bound/seed lists plus the data,
-/// forecast and scenario configs). Retry and verbosity knobs are excluded:
-/// they change how failures are handled, not what a completed cell contains.
+/// forecast and scenario configs, and — when beyond the pinned four — the
+/// resolved metric list). Retry and verbosity knobs are excluded: they
+/// change how failures are handled, not what a completed cell contains.
 uint32_t GridOptionsHash(const GridOptions& options);
 
 /// What LoadGridCheckpoint salvaged from disk.
 struct GridCheckpoint {
   std::vector<GridRecord> records;  ///< Valid rows, in file order.
   bool complete = false;            ///< The "#complete" footer was present.
-  bool compatible = true;           ///< Manifest hash matched options_hash.
-  bool legacy = false;              ///< Plain pre-checkpoint CSV cache.
+  bool compatible = true;  ///< Manifest hash and metric list both matched.
+  bool legacy = false;     ///< Plain pre-checkpoint CSV cache.
+  std::string reason;      ///< Why `compatible` is false, for the user.
 };
 
 /// Reads a checkpoint, salvaging every row whose CRC frame verifies; the
-/// first torn or corrupt row ends the scan and everything before it
-/// survives. Plain CSV caches (no manifest line) are parsed with
-/// LoadGridCsv and reported as complete legacy sweeps. NotFound when the
-/// file does not exist.
-Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path,
-                                          uint32_t options_hash);
+/// first torn or corrupt row — or a row whose metric arity does not match
+/// `metric_names` — ends the scan and everything before it survives.
+/// `metric_names` is the resuming sweep's resolved metric list
+/// (ResolveMetricNames). Plain CSV caches (no manifest line) are parsed
+/// with LoadGridCsv and reported as complete legacy sweeps, provided the
+/// sweep requests exactly the pinned four metrics. NotFound when the file
+/// does not exist.
+Result<GridCheckpoint> LoadGridCheckpoint(
+    const std::string& path, uint32_t options_hash,
+    const std::vector<std::string>& metric_names = PinnedForecastMetrics());
 
-/// Append-mode checkpoint writer. Open() rewrites the file with the manifest
-/// and the salvaged rows of a resumed sweep; Append() writes one CRC-framed
-/// row and flushes, so a crash loses at most the row being written.
+/// Append-mode checkpoint writer. Open() rewrites the file with the v2
+/// manifest (carrying `metric_names`) and the salvaged rows of a resumed
+/// sweep; Append() writes one CRC-framed row and flushes, so a crash loses
+/// at most the row being written.
 ///
 /// Append() and MarkComplete() are mutex-guarded, so the writer doubles as
 /// the single-writer end of the grid's record channel: concurrent cells
@@ -63,7 +78,9 @@ Result<GridCheckpoint> LoadGridCheckpoint(const std::string& path,
 class GridCheckpointWriter {
  public:
   Status Open(const std::string& path, uint32_t options_hash,
-              const std::vector<GridRecord>& salvaged);
+              const std::vector<GridRecord>& salvaged,
+              const std::vector<std::string>& metric_names =
+                  PinnedForecastMetrics());
   Status Append(const GridRecord& record);
   Status MarkComplete();
 

@@ -169,6 +169,23 @@ Result<std::vector<GridRecord>> RunGridResumable(
         compress::MakeCompressor(name);
     if (!compressor.ok()) return compressor.status();
   }
+  // Same for the metric list: every cell evaluates the same resolved names,
+  // so an unknown metric — or one the grid cannot feed (coverage needs
+  // prediction intervals; cells produce point forecasts) — is a
+  // configuration error, not a per-cell failure.
+  Result<std::vector<std::string>> resolved_metrics =
+      ResolveMetricNames(options.metrics);
+  if (!resolved_metrics.ok()) return resolved_metrics.status();
+  const std::vector<std::string> metric_names = std::move(*resolved_metrics);
+  for (const std::string& name : metric_names) {
+    Result<MetricSpec> spec = MetricRegistry::Global().Parse(name);
+    if (!spec.ok()) return spec.status();
+    if (spec->needs_interval) {
+      return Status::InvalidArgument(
+          "metric '" + name +
+          "' needs prediction intervals; the grid evaluates point forecasts");
+    }
+  }
 
   std::unordered_map<std::string, size_t> done;
   done.reserve(existing.size());
@@ -306,7 +323,7 @@ Result<std::vector<GridRecord>> RunGridResumable(
             ? nullptr
             : transform_store.Lookup(transforms[cell.transform].key);
     GridRecord record = EvaluateCellStage(cell.spec, options, *dataset, *fit,
-                                          transform.get());
+                                          transform.get(), metric_names);
     channel.Emit(record);
     results[cell_slot[ci]] = std::move(record);
   };
@@ -356,7 +373,8 @@ Result<std::vector<GridRecord>> RunGridResumable(
                 return FitModelStage(
                     fnode.model,
                     *dataset_store.Lookup(dataset_nodes[fnode.dataset].name),
-                    options, fnode.seed, fnode.salvaged_baseline);
+                    options, fnode.seed, fnode.salvaged_baseline,
+                    metric_names);
               });
           if (fit->config_error) {
             // Unknown model: configuration error; dependent cells are left
@@ -403,13 +421,13 @@ std::string FormatGridRow(const GridRecord& r) {
   std::string row = r.dataset + ',' + r.model + ',' + r.compressor + ',';
   AppendG17(row, r.error_bound);
   row += ',' + std::to_string(r.seed) + ',';
-  AppendG17(row, r.r);
-  row += ',';
-  AppendG17(row, r.rse);
-  row += ',';
-  AppendG17(row, r.rmse);
-  row += ',';
-  AppendG17(row, r.nrmse);
+  // v2 marker: the row self-describes its metric arity, so parsers never
+  // have to guess where the fixed tail columns start.
+  row += 'm' + std::to_string(r.metrics.size());
+  for (double value : r.metrics) {
+    row += ',';
+    AppendG17(row, value);
+  }
   row += ',';
   AppendG17(row, r.tfe);
   row += ',';
@@ -433,44 +451,60 @@ Result<GridRecord> ParseGridRow(const std::string& row) {
   std::vector<std::string> fields;
   while (std::getline(stream, field, ',')) fields.push_back(field);
   // A trailing empty error field is eaten by getline; restore it.
-  if (fields.size() == 16 && !row.empty() && row.back() == ',') {
-    fields.emplace_back();
-  }
-  if (fields.size() != 14 && fields.size() != 17) {
+  if (!row.empty() && row.back() == ',') fields.emplace_back();
+
+  GridRecord r;
+  // v2 rows carry an explicit metric-arity marker after the seed; without
+  // it the row is one of the two fixed v1 layouts (r/rse/rmse/nrmse
+  // columns), with or without the fault-tolerance tail.
+  uint64_t arity = 0;
+  const bool v2 = fields.size() > 5 && fields[5].size() > 1 &&
+                  fields[5][0] == 'm' &&
+                  ParseU64Field(fields[5].substr(1), &arity);
+  if (v2) {
+    if (arity == 0 || fields.size() != 14 + arity) {
+      return Status::Corruption("malformed grid row: " + row);
+    }
+  } else if (fields.size() != 14 && fields.size() != 17) {
     return Status::Corruption("malformed grid row: " + row);
   }
-  GridRecord r;
+
   r.dataset = fields[0];
   r.model = fields[1];
   r.compressor = fields[2];
   bool ok = ParseDoubleField(fields[3], &r.error_bound) &&
-            ParseU64Field(fields[4], &r.seed) &&
-            ParseDoubleField(fields[5], &r.r) &&
-            ParseDoubleField(fields[6], &r.rse) &&
-            ParseDoubleField(fields[7], &r.rmse) &&
-            ParseDoubleField(fields[8], &r.nrmse) &&
-            ParseDoubleField(fields[9], &r.tfe) &&
-            ParseDoubleField(fields[10], &r.te_nrmse) &&
-            ParseDoubleField(fields[11], &r.te_rmse) &&
-            ParseDoubleField(fields[12], &r.compression_ratio) &&
-            ParseDoubleField(fields[13], &r.segment_count);
-  if (ok && fields.size() == 17) {
-    ok = ParseI32Field(fields[14], &r.error_code) &&
-         ParseI32Field(fields[15], &r.attempts);
-    r.error = fields[16];
+            ParseU64Field(fields[4], &r.seed);
+  const size_t metric_count = v2 ? static_cast<size_t>(arity) : 4;
+  const size_t metrics_at = v2 ? 6 : 5;
+  r.metrics.assign(metric_count, 0.0);
+  for (size_t i = 0; ok && i < metric_count; ++i) {
+    ok = ParseDoubleField(fields[metrics_at + i], &r.metrics[i]);
+  }
+  const size_t tail = metrics_at + metric_count;
+  ok = ok && ParseDoubleField(fields[tail], &r.tfe) &&
+       ParseDoubleField(fields[tail + 1], &r.te_nrmse) &&
+       ParseDoubleField(fields[tail + 2], &r.te_rmse) &&
+       ParseDoubleField(fields[tail + 3], &r.compression_ratio) &&
+       ParseDoubleField(fields[tail + 4], &r.segment_count);
+  if (ok && (v2 || fields.size() == 17)) {
+    ok = ParseI32Field(fields[tail + 5], &r.error_code) &&
+         ParseI32Field(fields[tail + 6], &r.attempts);
+    r.error = fields[tail + 7];
   }
   if (!ok) return Status::Corruption("malformed grid row: " + row);
   return r;
 }
 
 Status SaveGridCsv(const std::vector<GridRecord>& records,
-                   const std::string& path) {
+                   const std::string& path,
+                   const std::vector<std::string>& metric_names) {
   std::ofstream file(path);
   if (!file.is_open()) {
     return Status::IoError("cannot open " + path + " for writing");
   }
-  file << "dataset,model,compressor,error_bound,seed,r,rse,rmse,nrmse,tfe,"
-          "te_nrmse,te_rmse,compression_ratio,segment_count,error_code,"
+  file << "dataset,model,compressor,error_bound,seed";
+  for (const std::string& name : metric_names) file << ',' << name;
+  file << ",tfe,te_nrmse,te_rmse,compression_ratio,segment_count,error_code,"
           "attempts,error\n";
   for (const GridRecord& r : records) {
     file << FormatGridRow(r) << '\n';
@@ -500,9 +534,13 @@ Result<std::vector<GridRecord>> LoadGridCsv(const std::string& path) {
 
 Result<std::vector<GridRecord>> LoadOrRunGrid(const GridOptions& options,
                                               const std::string& path) {
+  Result<std::vector<std::string>> metric_names =
+      ResolveMetricNames(options.metrics);
+  if (!metric_names.ok()) return metric_names.status();
   const uint32_t options_hash = GridOptionsHash(options);
   std::vector<GridRecord> salvaged;
-  Result<GridCheckpoint> loaded = LoadGridCheckpoint(path, options_hash);
+  Result<GridCheckpoint> loaded =
+      LoadGridCheckpoint(path, options_hash, *metric_names);
   if (loaded.ok() && loaded->compatible) {
     if (loaded->complete) return std::move(loaded->records);
     salvaged = std::move(loaded->records);
@@ -512,11 +550,14 @@ Result<std::vector<GridRecord>> LoadOrRunGrid(const GridOptions& options,
     }
   } else if (loaded.ok() && !loaded->compatible && options.verbose) {
     Progress::Printf(
-        "[grid] cache %s was built for different options; rerunning\n",
-        path.c_str());
+        "[grid] cache %s was built for different options; rerunning (%s)\n",
+        path.c_str(), loaded->reason.c_str());
   }
   GridCheckpointWriter writer;
-  if (Status s = writer.Open(path, options_hash, salvaged); !s.ok()) return s;
+  if (Status s = writer.Open(path, options_hash, salvaged, *metric_names);
+      !s.ok()) {
+    return s;
+  }
   Result<std::vector<GridRecord>> records = RunGridResumable(
       options, salvaged,
       [&writer](const GridRecord& r) { return writer.Append(r); });

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/metric_registry.h"
 #include "core/status.h"
 #include "data/datasets.h"
 #include "eval/scenario.h"
@@ -29,11 +30,22 @@ struct GridRecord {
   double error_bound = 0.0;
   uint64_t seed = 0;
 
-  // Forecasting accuracy (predictions vs. raw targets, §3.5).
-  double r = 0.0;
-  double rse = 0.0;
-  double rmse = 0.0;
-  double nrmse = 0.0;
+  /// Forecasting accuracy (predictions vs. raw targets), one value per
+  /// resolved metric name of the sweep (ResolveMetricNames: the pinned
+  /// R/RSE/RMSE/NRMSE first, then any extras). Failed cells keep the
+  /// sweep's arity, zero-filled.
+  std::vector<double> metrics = std::vector<double>(4, 0.0);
+
+  /// Value at a metric index, 0 when the record predates that metric.
+  double metric(size_t index) const {
+    return index < metrics.size() ? metrics[index] : 0.0;
+  }
+  // The pinned paper metrics by their fixed indices.
+  double r() const { return metric(kMetricR); }
+  double rse() const { return metric(kMetricRse); }
+  double rmse() const { return metric(kMetricRmse); }
+  double nrmse() const { return metric(kMetricNrmse); }
+
   /// TFE computed on NRMSE (Definition 9); 0 for baseline rows.
   double tfe = 0.0;
 
@@ -60,6 +72,14 @@ struct GridOptions {
   std::vector<std::string> compressors;  // Empty = PMC, SWING, SZ.
   std::vector<double> error_bounds;      // Empty = the paper's 13 bounds.
   std::vector<uint64_t> seeds = {1};
+  /// Extra metric names computed per cell beyond the pinned four (registry
+  /// names, e.g. "mae", "smape", "pinball@0.9"; see core/metric_registry.h).
+  /// Resolved through ResolveMetricNames, so duplicates of the pinned four
+  /// are dropped. Metrics needing prediction intervals (coverage) are
+  /// rejected — the grid produces point forecasts only. Participates in
+  /// GridOptionsHash only when non-empty, so pre-existing caches keep their
+  /// hashes.
+  std::vector<std::string> metrics;
   data::DatasetOptions data;
   forecast::ForecastConfig forecast;
   ScenarioOptions scenario;
@@ -129,15 +149,21 @@ Result<std::vector<GridRecord>> RunGridResumable(
 std::vector<const GridRecord*> FailedRecords(
     const std::vector<GridRecord>& records);
 
-/// CSV persistence so the bench binaries share one expensive sweep.
+/// CSV persistence so the bench binaries share one expensive sweep. The
+/// header names each metric column after `metric_names` (which must match
+/// the records' arity); the default is the pinned four.
 Status SaveGridCsv(const std::vector<GridRecord>& records,
-                   const std::string& path);
+                   const std::string& path,
+                   const std::vector<std::string>& metric_names =
+                       PinnedForecastMetrics());
 Result<std::vector<GridRecord>> LoadGridCsv(const std::string& path);
 
 /// One record as a CSV row (no newline) in SaveGridCsv column order, and its
-/// inverse. Shared by the CSV cache and the CRC-framed checkpoint. Parsing
-/// accepts both the 17-column format and the legacy 14-column format from
-/// caches written before fault-tolerance bookkeeping existed.
+/// inverse. Shared by the CSV cache and the CRC-framed checkpoint. The v2
+/// row self-describes its metric arity with an `m<N>` marker field after the
+/// seed, followed by the N metric values. Parsing also accepts the two v1
+/// layouts (fixed r/rse/rmse/nrmse columns): 17 columns, and the legacy
+/// 14-column format from before fault-tolerance bookkeeping existed.
 std::string FormatGridRow(const GridRecord& record);
 Result<GridRecord> ParseGridRow(const std::string& row);
 

@@ -1,5 +1,6 @@
 #include "eval/grid_stages.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -14,23 +15,42 @@ namespace lossyts::eval {
 
 namespace {
 
-bool MetricsFinite(const MetricSet& m) {
-  return std::isfinite(m.r) && std::isfinite(m.rse) && std::isfinite(m.rmse) &&
-         std::isfinite(m.nrmse);
+bool MetricsFinite(const std::vector<double>& values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
 }
 
 GridRecord FailedCell(const CellSpec& spec, const Status& status,
-                      int attempts) {
+                      int attempts, size_t metric_arity) {
   GridRecord record;
   record.dataset = spec.dataset;
   record.model = spec.model;
   record.compressor = spec.compressor;
   record.error_bound = spec.error_bound;
   record.seed = spec.seed;
+  record.metrics.assign(metric_arity, 0.0);
   record.error_code = static_cast<int32_t>(status.code());
   record.error = status.message();
   record.attempts = attempts;
   return record;
+}
+
+/// The metric request every grid evaluation shares: scaled metrics (MASE)
+/// see the raw train split as their in-sample series, labeled with the
+/// dataset name for error messages.
+MetricRequest CellMetricRequest(const std::vector<std::string>& metric_names,
+                                const DatasetArtifact& dataset) {
+  MetricRequest request;
+  request.names = metric_names;
+  request.insample = &dataset.split.train.values();
+  // season_length 0 means "no dominant season"; MASE then scales by the
+  // lag-1 naive forecast.
+  request.season_length =
+      std::max(1, static_cast<int>(dataset.dataset.season_length));
+  request.series = dataset.dataset.name;
+  return request;
 }
 
 }  // namespace
@@ -117,7 +137,8 @@ TransformArtifact CompressAtBoundStage(const std::string& dataset_name,
 FitArtifact FitModelStage(const std::string& model_name,
                           const DatasetArtifact& dataset,
                           const GridOptions& options, uint64_t seed,
-                          const GridRecord* salvaged_baseline) {
+                          const GridRecord* salvaged_baseline,
+                          const std::vector<std::string>& metric_names) {
   FitArtifact artifact;
   const int max_attempts = 1 + std::max(0, options.max_cell_retries);
 
@@ -161,22 +182,22 @@ FitArtifact FitModelStage(const std::string& model_name,
   if (salvaged_baseline != nullptr) {
     artifact.baseline_salvaged = true;
     artifact.baseline_ok = !salvaged_baseline->failed();
-    artifact.baseline_nrmse = salvaged_baseline->nrmse;
+    artifact.baseline_nrmse = salvaged_baseline->nrmse();
     return artifact;
   }
-  Result<MetricSet> baseline = EvaluateOnTest(
+  Result<std::vector<double>> baseline = EvaluateOnTest(
       *artifact.model, dataset.split.test, nullptr,
       options.forecast.input_length, options.forecast.horizon,
-      options.scenario);
+      CellMetricRequest(metric_names, dataset), options.scenario);
   artifact.baseline_status =
       baseline.ok() ? (MetricsFinite(*baseline)
                            ? Status::OK()
                            : Status::Internal("non-finite baseline metrics"))
                     : baseline.status();
   if (artifact.baseline_status.ok()) {
-    artifact.baseline = *baseline;
+    artifact.baseline_metrics = *baseline;
     artifact.baseline_ok = true;
-    artifact.baseline_nrmse = baseline->nrmse;
+    artifact.baseline_nrmse = (*baseline)[kMetricNrmse];
   }
   return artifact;
 }
@@ -184,25 +205,24 @@ FitArtifact FitModelStage(const std::string& model_name,
 GridRecord EvaluateCellStage(const CellSpec& spec, const GridOptions& options,
                              const DatasetArtifact& dataset,
                              const FitArtifact& fit,
-                             const TransformArtifact* transform) {
+                             const TransformArtifact* transform,
+                             const std::vector<std::string>& metric_names) {
+  const size_t arity = metric_names.size();
   // A failed fit poisons every cell of its (dataset, model, seed) group.
   if (!fit.fit_status.ok()) {
-    return FailedCell(spec, fit.fit_status, fit.fit_attempts);
+    return FailedCell(spec, fit.fit_status, fit.fit_attempts, arity);
   }
 
   if (spec.is_baseline()) {
     if (!fit.baseline_status.ok()) {
-      return FailedCell(spec, fit.baseline_status, fit.fit_attempts);
+      return FailedCell(spec, fit.baseline_status, fit.fit_attempts, arity);
     }
     GridRecord record;
     record.dataset = spec.dataset;
     record.model = spec.model;
     record.compressor = "NONE";
     record.seed = spec.seed;
-    record.r = fit.baseline.r;
-    record.rse = fit.baseline.rse;
-    record.rmse = fit.baseline.rmse;
-    record.nrmse = fit.baseline.nrmse;
+    record.metrics = fit.baseline_metrics;
     record.attempts = fit.fit_attempts;
     return record;
   }
@@ -214,21 +234,23 @@ GridRecord EvaluateCellStage(const CellSpec& spec, const GridOptions& options,
                                              spec.model);
     cell_attempts = 1;
   }
-  MetricSet metrics;
+  std::vector<double> metrics;
   if (cell_status.ok()) {
-    Result<MetricSet> evaluated = EvaluateOnTest(
+    Result<std::vector<double>> evaluated = EvaluateOnTest(
         *fit.model, dataset.split.test, &transform->series,
         options.forecast.input_length, options.forecast.horizon,
-        options.scenario);
+        CellMetricRequest(metric_names, dataset), options.scenario);
     if (!evaluated.ok()) {
       cell_status = evaluated.status();
     } else if (!MetricsFinite(*evaluated)) {
       cell_status = Status::Internal("non-finite cell metrics");
     } else {
-      metrics = *evaluated;
+      metrics = std::move(*evaluated);
     }
   }
-  if (!cell_status.ok()) return FailedCell(spec, cell_status, cell_attempts);
+  if (!cell_status.ok()) {
+    return FailedCell(spec, cell_status, cell_attempts, arity);
+  }
 
   GridRecord record;
   record.dataset = spec.dataset;
@@ -236,11 +258,8 @@ GridRecord EvaluateCellStage(const CellSpec& spec, const GridOptions& options,
   record.compressor = spec.compressor;
   record.error_bound = spec.error_bound;
   record.seed = spec.seed;
-  record.r = metrics.r;
-  record.rse = metrics.rse;
-  record.rmse = metrics.rmse;
-  record.nrmse = metrics.nrmse;
-  record.tfe = Tfe(metrics.nrmse, fit.baseline_nrmse);
+  record.tfe = Tfe(metrics[kMetricNrmse], fit.baseline_nrmse);
+  record.metrics = std::move(metrics);
   record.te_nrmse = transform->te_nrmse;
   record.te_rmse = transform->te_rmse;
   record.compression_ratio = transform->compression_ratio;

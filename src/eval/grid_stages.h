@@ -4,7 +4,7 @@
 #include <memory>
 #include <string>
 
-#include "core/metrics.h"
+#include "core/metric_registry.h"
 #include "core/split.h"
 #include "core/status.h"
 #include "data/datasets.h"
@@ -81,9 +81,10 @@ struct FitArtifact {
   /// configuration error that aborts the sweep rather than failing cells.
   bool config_error = false;
 
-  // Baseline evaluation (compressor = "NONE").
+  // Baseline evaluation (compressor = "NONE"): one value per resolved
+  // metric name of the sweep.
   Status baseline_status;
-  MetricSet baseline;
+  std::vector<double> baseline_metrics;
   bool baseline_ok = false;
   double baseline_nrmse = 0.0;
   bool baseline_salvaged = false;
@@ -119,22 +120,29 @@ TransformArtifact CompressAtBoundStage(const std::string& dataset_name,
                                        int max_attempts, bool verbose);
 
 /// Stage 3: fit `model_name` on the raw splits with per-attempt reseeding
-/// (RetrySeed), then evaluate the baseline — unless `salvaged_baseline` (a
-/// checkpointed "NONE" row for this group) already carries its metrics.
+/// (RetrySeed), then evaluate the baseline over `metric_names` (the sweep's
+/// resolved metric list) — unless `salvaged_baseline` (a checkpointed
+/// "NONE" row for this group) already carries its metrics.
 FitArtifact FitModelStage(const std::string& model_name,
                           const DatasetArtifact& dataset,
                           const GridOptions& options, uint64_t seed,
-                          const GridRecord* salvaged_baseline);
+                          const GridRecord* salvaged_baseline,
+                          const std::vector<std::string>& metric_names =
+                              PinnedForecastMetrics());
 
-/// Stage 4: produce `spec`'s GridRecord from its input artifacts. Baseline
-/// cells pass transform = nullptr. Failure precedence matches the
-/// monolithic implementation: fit failure poisons the whole group, then a
-/// failed transform, then a failed baseline (FailedPrecondition), and only
-/// a clean set of inputs reaches EvaluateOnTest.
+/// Stage 4: produce `spec`'s GridRecord from its input artifacts, with one
+/// metric value per `metric_names` entry. Baseline cells pass transform =
+/// nullptr. Failure precedence matches the monolithic implementation: fit
+/// failure poisons the whole group, then a failed transform, then a failed
+/// baseline (FailedPrecondition), and only a clean set of inputs reaches
+/// EvaluateOnTest. Scaled metrics (MASE) see the dataset's raw train split
+/// as their in-sample series.
 GridRecord EvaluateCellStage(const CellSpec& spec, const GridOptions& options,
                              const DatasetArtifact& dataset,
                              const FitArtifact& fit,
-                             const TransformArtifact* transform);
+                             const TransformArtifact* transform,
+                             const std::vector<std::string>& metric_names =
+                                 PinnedForecastMetrics());
 
 }  // namespace lossyts::eval
 

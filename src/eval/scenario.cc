@@ -8,11 +8,12 @@
 
 namespace lossyts::eval {
 
-Result<MetricSet> EvaluateOnTest(const forecast::Forecaster& model,
-                                 const TimeSeries& test,
-                                 const TimeSeries* transformed_test,
-                                 size_t input_length, size_t horizon,
-                                 const ScenarioOptions& options) {
+Result<std::vector<double>> EvaluateOnTest(const forecast::Forecaster& model,
+                                           const TimeSeries& test,
+                                           const TimeSeries* transformed_test,
+                                           size_t input_length, size_t horizon,
+                                           const MetricRequest& metrics,
+                                           const ScenarioOptions& options) {
   if (transformed_test != nullptr &&
       transformed_test->size() != test.size()) {
     return Status::InvalidArgument(
@@ -50,18 +51,20 @@ Result<MetricSet> EvaluateOnTest(const forecast::Forecaster& model,
       break;
     }
   }
-  return CalculateMetrics(actual, predicted);
+  MetricContext ctx;
+  ctx.actual = &actual;
+  ctx.predicted = &predicted;
+  ctx.insample = metrics.insample;
+  ctx.season_length = metrics.season_length;
+  ctx.series = metrics.series;
+  return EvaluateMetrics(metrics.names, ctx);
 }
 
-}  // namespace lossyts::eval
-
-namespace lossyts::eval {
-
-Result<MetricSet> EvaluateRetrainOnDecompressed(
+Result<std::vector<double>> EvaluateRetrainOnDecompressed(
     const std::string& model_name, const forecast::ForecastConfig& config,
     const TimeSeries& train, const TimeSeries& val, const TimeSeries& test,
     const std::string& compressor_name, double error_bound,
-    const ScenarioOptions& options) {
+    const MetricRequest& metrics, const ScenarioOptions& options) {
   Result<std::unique_ptr<compress::Compressor>> compressor =
       compress::MakeCompressor(compressor_name);
   if (!compressor.ok()) return compressor.status();
@@ -86,7 +89,7 @@ Result<MetricSet> EvaluateRetrainOnDecompressed(
   if (Status s = (*model)->Fit(*train_t, *val_t); !s.ok()) return s;
 
   return EvaluateOnTest(**model, test, &*test_t, config.input_length,
-                        config.horizon, options);
+                        config.horizon, metrics, options);
 }
 
 }  // namespace lossyts::eval

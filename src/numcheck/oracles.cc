@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "analysis/correlation.h"
+#include "core/metric_registry.h"
 #include "analysis/gbm.h"
 #include "analysis/linreg.h"
 #include "analysis/tree.h"
@@ -453,11 +454,172 @@ CheckReport RunTreeShapOracle(uint64_t seed) {
   return report;
 }
 
+// ---- Metric registry ----
+
+/// Long-double pinball sum — the one shared building block of the pinball
+/// and CRPS references, re-derived here with no code shared with
+/// core/metric_registry.cc.
+long double RefPinballSum(const std::vector<double>& x,
+                          const std::vector<double>& y, long double q) {
+  long double sum = 0.0L;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const long double d =
+        static_cast<long double>(x[i]) - static_cast<long double>(y[i]);
+    sum += d >= 0.0L ? q * d : (q - 1.0L) * d;
+  }
+  return sum;
+}
+
+/// Expects an error whose text contains `needle`; a success or a different
+/// message both count as oracle failures.
+void ExpectMetricError(CheckReport& report, const std::string& check,
+                       const Result<std::vector<double>>& r,
+                       const char* needle) {
+  ++report.checks;
+  if (r.ok()) {
+    report.failures.push_back({check, "unexpectedly succeeded"});
+    return;
+  }
+  if (r.status().ToString().find(needle) == std::string::npos) {
+    report.failures.push_back(
+        {check, "error lacks '" + std::string(needle) +
+                    "': " + r.status().ToString()});
+  }
+}
+
+/// Pins every registry metric against an independent long-double reference,
+/// plus the two metric edge contracts (constant in-sample MASE and
+/// non-finite rejection with the offending index).
+CheckReport RunMetricsOracle(uint64_t seed) {
+  CheckReport report;
+  Rng rng(seed);
+
+  // Values are kept away from zero so the 1e-12 denominator floors of
+  // MAPE/sMAPE never fire here (the floor behaviour gets its own check).
+  const size_t n = 64;
+  std::vector<double> actual(n), predicted(n), insample(48);
+  for (size_t i = 0; i < n; ++i) {
+    actual[i] = rng.Uniform(0.5, 3.0);
+    predicted[i] = actual[i] + rng.Uniform(-0.4, 0.4);
+  }
+  for (double& v : insample) v = rng.Uniform(0.5, 3.0);
+  std::vector<double> lower(n), upper(n);
+  for (size_t i = 0; i < n; ++i) {
+    lower[i] = actual[i] - rng.Uniform(0.0, 0.5);
+    upper[i] = actual[i] + rng.Uniform(-0.2, 0.5);
+  }
+
+  MetricContext ctx;
+  ctx.actual = &actual;
+  ctx.predicted = &predicted;
+  ctx.insample = &insample;
+  ctx.season_length = 4;
+  ctx.lower = &lower;
+  ctx.upper = &upper;
+  ctx.series = "oracle";
+
+  const std::vector<std::string> names = {
+      "mae",  "mse",         "mape",        "smape",
+      "bias", "mase",        "pinball@0.1", "pinball@0.5",
+      "pinball@0.9", "crps", "crps@0.5",    "coverage"};
+  Result<std::vector<double>> got = EvaluateMetrics(names, ctx);
+  ReportStatus(report, "metrics/evaluate", got.status());
+  if (got.ok()) {
+    const long double ld_n = static_cast<long double>(n);
+    long double mae = 0.0L, mse = 0.0L, mape = 0.0L, smape = 0.0L,
+                bias = 0.0L;
+    for (size_t i = 0; i < n; ++i) {
+      const long double x = actual[i];
+      const long double y = predicted[i];
+      mae += std::abs(x - y);
+      mse += (x - y) * (x - y);
+      mape += std::abs(x - y) / std::abs(x);
+      smape += std::abs(x - y) / ((std::abs(x) + std::abs(y)) / 2.0L);
+      bias += y - x;
+    }
+    const size_t lag = 4;
+    long double scale = 0.0L;
+    for (size_t t = lag; t < insample.size(); ++t) {
+      scale += std::abs(static_cast<long double>(insample[t]) -
+                        static_cast<long double>(insample[t - lag]));
+    }
+    scale /= static_cast<long double>(insample.size() - lag);
+    size_t inside = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (lower[i] <= actual[i] && actual[i] <= upper[i]) ++inside;
+    }
+    const auto pin = [&](long double q) {
+      return static_cast<double>(RefPinballSum(actual, predicted, q) / ld_n);
+    };
+    const double want[] = {
+        static_cast<double>(mae / ld_n),
+        static_cast<double>(mse / ld_n),
+        static_cast<double>(mape / ld_n),
+        static_cast<double>(smape / ld_n),
+        static_cast<double>(bias / ld_n),
+        static_cast<double>(mae / ld_n / scale),
+        pin(0.1L),
+        pin(0.5L),
+        pin(0.9L),
+        // Bare crps uses the symmetric k/20 quantile grid, on which the
+        // 2x-scaled pinball average collapses exactly to MAE for a point
+        // forecast — the closed-form identity this oracle pins.
+        static_cast<double>(mae / ld_n),
+        2.0 * pin(0.5L),
+        static_cast<double>(inside) / static_cast<double>(n),
+    };
+    for (size_t i = 0; i < names.size(); ++i) {
+      Compare(report, "metrics/" + names[i], names[i].c_str(), (*got)[i],
+              want[i], 1e-12);
+    }
+  }
+
+  // Denominator floor: a zero actual must leave MAPE finite (floored), not
+  // infinite.
+  std::vector<double> with_zero = actual;
+  with_zero[0] = 0.0;
+  MetricContext zero_ctx = ctx;
+  zero_ctx.actual = &with_zero;
+  Result<std::vector<double>> floored = EvaluateMetrics({"mape"}, zero_ctx);
+  ReportStatus(report, "metrics/mape-floor", floored.status());
+  if (floored.ok()) {
+    ++report.checks;
+    if (!std::isfinite((*floored)[0])) {
+      report.failures.push_back(
+          {"metrics/mape-floor", "MAPE with a zero actual is not finite"});
+    }
+  }
+
+  // Contract drills: the edge cases must fail loudly with their pinned
+  // wording, never return a number.
+  std::vector<double> constant(32, 1.25);
+  MetricContext const_ctx = ctx;
+  const_ctx.insample = &constant;
+  ExpectMetricError(report, "metrics/mase-constant",
+                    EvaluateMetrics({"mase"}, const_ctx),
+                    "constant in-sample");
+  std::vector<double> short_insample(3, 1.0);
+  MetricContext short_ctx = ctx;
+  short_ctx.insample = &short_insample;
+  ExpectMetricError(report, "metrics/mase-short",
+                    EvaluateMetrics({"mase"}, short_ctx), "need more than");
+  std::vector<double> poisoned = predicted;
+  poisoned[3] = std::nan("");
+  MetricContext nan_ctx = ctx;
+  nan_ctx.predicted = &poisoned;
+  ExpectMetricError(report, "metrics/non-finite",
+                    EvaluateMetrics({"mae"}, nan_ctx),
+                    "non-finite value at index 3");
+  ExpectMetricError(report, "metrics/unknown-name",
+                    EvaluateMetrics({"madeup"}, ctx), "madeup");
+  return report;
+}
+
 }  // namespace
 
 const std::vector<std::string>& AnalysisOracleNames() {
-  static const std::vector<std::string> kNames = {"ols", "correlation",
-                                                  "treeshap", "determinism"};
+  static const std::vector<std::string> kNames = {
+      "ols", "correlation", "treeshap", "determinism", "metrics"};
   return kNames;
 }
 
@@ -467,6 +629,7 @@ Result<CheckReport> RunAnalysisOracle(const std::string& oracle,
   if (oracle == "correlation") return RunCorrelationOracle(seed);
   if (oracle == "treeshap") return RunTreeShapOracle(seed);
   if (oracle == "determinism") return RunTrainingDeterminismChecks(seed);
+  if (oracle == "metrics") return RunMetricsOracle(seed);
   return Status::NotFound("unknown numcheck oracle: " + oracle);
 }
 

@@ -16,9 +16,12 @@ namespace lossyts::numcheck {
 /// "correlation" (long-double Pearson reference; Spearman vs the no-tie
 /// closed form and vs independently computed average ranks on tie-heavy
 /// input), "treeshap" (brute-force subset-enumeration Shapley on fitted
-/// trees; efficiency, symmetry and null-player axioms), and "determinism"
+/// trees; efficiency, symmetry and null-player axioms), "determinism"
 /// (same seed => bit-identical fits across jobs values and repeated runs,
-/// see numcheck/determinism.h).
+/// see numcheck/determinism.h), and "metrics" (every registry metric vs an
+/// independent long-double reference — the bare-crps/MAE grid identity
+/// included — plus the constant-in-sample MASE and non-finite-input
+/// contract drills).
 const std::vector<std::string>& AnalysisOracleNames();
 
 /// Runs one oracle's seeded case. Fails with NotFound for names outside

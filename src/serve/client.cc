@@ -98,6 +98,16 @@ Result<std::vector<std::string>> Client::ListSeries() {
   return std::move(reply->names);
 }
 
+Result<query::QueryResult> Client::Query(const QuerySpec& spec) {
+  Request request;
+  request.type = RequestType::kQuery;
+  request.query = spec;
+  Result<Reply> reply = RoundTrip(request);
+  if (!reply.ok()) return reply.status();
+  if (Status s = StatusFromReply(*reply); !s.ok()) return s;
+  return std::move(reply->query);
+}
+
 Status Client::Shutdown() {
   Request request;
   request.type = RequestType::kShutdown;

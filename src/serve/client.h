@@ -49,6 +49,9 @@ class Client {
                                int64_t t1);
   Result<ServeStats> Stats();
   Result<std::vector<std::string>> ListSeries();
+  /// Grouped-metric query over the daemon's whole catalog; semantics are
+  /// query::EvaluateGroupedSeries' (pooled pairs in canonical order).
+  Result<query::QueryResult> Query(const QuerySpec& spec);
   /// Asks the daemon to drain and exit; acked before the drain starts.
   Status Shutdown();
 

@@ -304,9 +304,84 @@ Reply Daemon::Handle(Request request) {
       std::sort(reply.names.begin(), reply.names.end());
       return reply;
     }
+    case RequestType::kQuery:
+      return HandleQuery(request.query);
   }
   return ReplyFromStatus(Status::Internal("unhandled request type"),
                          options_.retry_after_ms);
+}
+
+Reply Daemon::HandleQuery(const QuerySpec& spec) {
+  const auto fail = [&](const Status& status) {
+    return ReplyFromStatus(status, options_.retry_after_ms);
+  };
+  if (spec.metrics.empty()) {
+    return fail(Status::InvalidArgument("query requests no metrics"));
+  }
+  if (spec.pred_suffix.empty()) {
+    return fail(Status::InvalidArgument(
+        "metric queries need a non-empty pred suffix to pair series"));
+  }
+  query::QueryOptions qopts;
+  qopts.metrics = spec.metrics;
+  Result<query::GroupMode> mode = query::ParseGroupMode(spec.group_by);
+  if (!mode.ok()) return fail(mode.status());
+  qopts.group_by = *mode;
+  qopts.delimiter = spec.delimiter;
+  qopts.t0 = spec.t0;
+  qopts.t1 = spec.t1;
+  qopts.pred_suffix = spec.pred_suffix;
+  qopts.season_length = spec.season_length;
+
+  // Every catalog series `<name>` (minus the forecast pairs themselves)
+  // joins the query; each series' snapshot is consistent under its shard
+  // mutex, so a query never sees half of an append.
+  std::vector<std::string> names;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::vector<std::string> shard_names = shard->ListSeries();
+    names.insert(names.end(), std::make_move_iterator(shard_names.begin()),
+                 std::make_move_iterator(shard_names.end()));
+  }
+  std::sort(names.begin(), names.end());
+
+  const auto ends_with = [](const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  std::vector<std::pair<TimeSeries, TimeSeries>> snapshots;
+  std::vector<std::string> selected;
+  for (const std::string& name : names) {
+    if (ends_with(name, spec.pred_suffix)) continue;
+    if (!spec.match.empty() &&
+        name.find(spec.match) == std::string::npos) {
+      continue;
+    }
+    Result<TimeSeries> actual =
+        shards_[ShardFor(name)]->ReadRange(name, spec.t0, spec.t1);
+    if (!actual.ok()) return fail(actual.status());
+    const std::string pred_name = name + spec.pred_suffix;
+    Result<TimeSeries> predicted =
+        shards_[ShardFor(pred_name)]->ReadRange(pred_name, spec.t0, spec.t1);
+    if (!predicted.ok()) {
+      return fail(Status::NotFound("series '" + name +
+                                   "' has no forecast series '" + pred_name +
+                                   "'"));
+    }
+    snapshots.emplace_back(std::move(*actual), std::move(*predicted));
+    selected.push_back(name);
+  }
+  std::vector<query::SeriesInput> inputs;
+  inputs.reserve(selected.size());
+  for (size_t i = 0; i < selected.size(); ++i) {
+    inputs.push_back(
+        {selected[i], &snapshots[i].first, &snapshots[i].second});
+  }
+  Result<query::QueryResult> result =
+      query::EvaluateGroupedSeries(inputs, qopts);
+  if (!result.ok()) return fail(result.status());
+  Reply reply;
+  reply.query = std::move(*result);
+  return reply;
 }
 
 void Daemon::DrainShard(size_t index) {

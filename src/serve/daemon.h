@@ -108,6 +108,8 @@ class Daemon {
   void DrainShard(size_t index);
   /// Admission gate + enqueue + deadline wait; the reply for one append.
   Reply HandleAppend(Request request);
+  /// Grouped-metric query over the whole catalog (kQuery).
+  Reply HandleQuery(const QuerySpec& spec);
   Reply Handle(Request request);
   size_t ShardFor(const std::string& series) const;
 

@@ -80,6 +80,104 @@ Result<std::vector<double>> GetValues(compress::ByteReader& reader) {
   return values;
 }
 
+void PutStringList(compress::ByteWriter& writer,
+                   const std::vector<std::string>& names) {
+  writer.PutU32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) PutShortString(writer, name);
+}
+
+Result<std::vector<std::string>> GetStringList(compress::ByteReader& reader) {
+  Result<uint32_t> count = reader.GetU32();
+  if (!count.ok()) return count.status();
+  // Each entry costs at least its length byte; a count past the payload is
+  // corrupt, not a huge allocation.
+  if (*count > reader.remaining()) {
+    return Status::Corruption("string list count is implausible");
+  }
+  std::vector<std::string> names;
+  names.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    Result<std::string> name = GetShortString(reader);
+    if (!name.ok()) return name.status();
+    names.push_back(std::move(*name));
+  }
+  return names;
+}
+
+/// Doubles inside a larger payload: count-prefixed, without GetValues'
+/// payload-exhaustion check (query rows are not the final field).
+void PutDoubleList(compress::ByteWriter& writer,
+                   const std::vector<double>& values) {
+  writer.PutU32(static_cast<uint32_t>(values.size()));
+  for (const double v : values) writer.PutDouble(v);
+}
+
+Result<std::vector<double>> GetDoubleList(compress::ByteReader& reader) {
+  Result<uint32_t> count = reader.GetU32();
+  if (!count.ok()) return count.status();
+  if (reader.remaining() < static_cast<uint64_t>(*count) * sizeof(double)) {
+    return Status::Corruption("double list count is implausible");
+  }
+  std::vector<double> values;
+  values.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    Result<double> v = reader.GetDouble();
+    if (!v.ok()) return v.status();
+    values.push_back(*v);
+  }
+  return values;
+}
+
+void PutQueryResult(compress::ByteWriter& writer,
+                    const query::QueryResult& result) {
+  PutStringList(writer, result.metric_names);
+  PutStringList(writer, result.aggregate_names);
+  writer.PutU32(static_cast<uint32_t>(result.rows.size()));
+  for (const query::GroupRow& row : result.rows) {
+    PutShortString(writer, row.group);
+    writer.PutU64(row.series_count);
+    writer.PutU64(row.points);
+    PutDoubleList(writer, row.aggregates);
+    PutDoubleList(writer, row.metrics);
+  }
+}
+
+Result<query::QueryResult> GetQueryResult(compress::ByteReader& reader) {
+  query::QueryResult result;
+  Result<std::vector<std::string>> metric_names = GetStringList(reader);
+  if (!metric_names.ok()) return metric_names.status();
+  result.metric_names = std::move(*metric_names);
+  Result<std::vector<std::string>> aggregate_names = GetStringList(reader);
+  if (!aggregate_names.ok()) return aggregate_names.status();
+  result.aggregate_names = std::move(*aggregate_names);
+  Result<uint32_t> count = reader.GetU32();
+  if (!count.ok()) return count.status();
+  if (*count > reader.remaining()) {
+    return Status::Corruption("group row count is implausible");
+  }
+  result.rows.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    query::GroupRow row;
+    Result<std::string> group = GetShortString(reader);
+    if (!group.ok()) return group.status();
+    row.group = std::move(*group);
+    Result<uint64_t> series_count = reader.GetU64();
+    if (!series_count.ok()) return series_count.status();
+    row.series_count = *series_count;
+    Result<uint64_t> points = reader.GetU64();
+    if (!points.ok()) return points.status();
+    row.points = *points;
+    Result<std::vector<double>> aggregates = GetDoubleList(reader);
+    if (!aggregates.ok()) return aggregates.status();
+    row.aggregates = std::move(*aggregates);
+    Result<std::vector<double>> metrics = GetDoubleList(reader);
+    if (!metrics.ok()) return metrics.status();
+    row.metrics = std::move(*metrics);
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
 StatusCode CodeFromWire(uint8_t code) {
   switch (code) {
     case static_cast<uint8_t>(StatusCode::kInvalidArgument):
@@ -178,6 +276,16 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
       writer.PutI64(request.t0);
       writer.PutI64(request.t1);
       break;
+    case RequestType::kQuery:
+      PutStringList(writer, request.query.metrics);
+      PutShortString(writer, request.query.group_by);
+      PutShortString(writer, request.query.delimiter);
+      writer.PutI64(request.query.t0);
+      writer.PutI64(request.query.t1);
+      PutShortString(writer, request.query.match);
+      PutShortString(writer, request.query.pred_suffix);
+      writer.PutI32(request.query.season_length);
+      break;
     case RequestType::kPing:
     case RequestType::kStats:
     case RequestType::kShutdown:
@@ -222,6 +330,37 @@ Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
       request.t1 = *t1;
       return request;
     }
+    case static_cast<uint8_t>(RequestType::kQuery): {
+      request.type = RequestType::kQuery;
+      Result<std::vector<std::string>> metrics = GetStringList(reader);
+      if (!metrics.ok()) return metrics.status();
+      request.query.metrics = std::move(*metrics);
+      Result<std::string> group_by = GetShortString(reader);
+      if (!group_by.ok()) return group_by.status();
+      request.query.group_by = std::move(*group_by);
+      Result<std::string> delimiter = GetShortString(reader);
+      if (!delimiter.ok()) return delimiter.status();
+      request.query.delimiter = std::move(*delimiter);
+      Result<int64_t> t0 = reader.GetI64();
+      if (!t0.ok()) return t0.status();
+      request.query.t0 = *t0;
+      Result<int64_t> t1 = reader.GetI64();
+      if (!t1.ok()) return t1.status();
+      request.query.t1 = *t1;
+      Result<std::string> match = GetShortString(reader);
+      if (!match.ok()) return match.status();
+      request.query.match = std::move(*match);
+      Result<std::string> pred_suffix = GetShortString(reader);
+      if (!pred_suffix.ok()) return pred_suffix.status();
+      request.query.pred_suffix = std::move(*pred_suffix);
+      Result<int32_t> season_length = reader.GetI32();
+      if (!season_length.ok()) return season_length.status();
+      request.query.season_length = *season_length;
+      if (reader.remaining() != 0) {
+        return Status::Corruption("request carries unexpected trailing bytes");
+      }
+      return request;
+    }
     case static_cast<uint8_t>(RequestType::kPing):
     case static_cast<uint8_t>(RequestType::kStats):
     case static_cast<uint8_t>(RequestType::kShutdown):
@@ -264,6 +403,9 @@ std::vector<uint8_t> EncodeReply(RequestType type, const Reply& reply) {
       for (const std::string& name : reply.names) {
         PutShortString(writer, name);
       }
+      break;
+    case RequestType::kQuery:
+      PutQueryResult(writer, reply.query);
       break;
     case RequestType::kPing:
     case RequestType::kAppend:
@@ -320,6 +462,15 @@ Result<Reply> DecodeReply(RequestType type,
       Result<ServeStats> stats = GetStats(reader);
       if (!stats.ok()) return stats.status();
       reply.stats = *stats;
+      return reply;
+    }
+    case RequestType::kQuery: {
+      Result<query::QueryResult> result = GetQueryResult(reader);
+      if (!result.ok()) return result.status();
+      reply.query = std::move(*result);
+      if (reader.remaining() != 0) {
+        return Status::Corruption("reply carries unexpected trailing bytes");
+      }
       return reply;
     }
     case RequestType::kListSeries: {

@@ -2,10 +2,12 @@
 #define LOSSYTS_SERVE_PROTOCOL_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "core/status.h"
+#include "query/query.h"
 
 namespace lossyts::serve {
 
@@ -38,6 +40,24 @@ enum class RequestType : uint8_t {
   kStats = 4,
   kShutdown = 5,
   kListSeries = 6,
+  kQuery = 7,
+};
+
+/// Parameters of a kQuery request: a grouped-metric evaluation over the
+/// daemon's whole catalog, pairing each series `<name>` with its forecast
+/// series `<name><pred_suffix>`. Group modes and semantics are
+/// query::EvaluateGroupedSeries' (pooled pairs in canonical series order).
+/// `group_by` travels as its CLI spelling ("series"/"prefix"/"all") and is
+/// parsed server-side so unknown modes fail with a clear message.
+struct QuerySpec {
+  std::vector<std::string> metrics;
+  std::string group_by = "series";
+  std::string delimiter = "_";
+  int64_t t0 = std::numeric_limits<int64_t>::min();
+  int64_t t1 = std::numeric_limits<int64_t>::max();
+  std::string match;
+  std::string pred_suffix = ".pred";
+  int32_t season_length = 1;
 };
 
 enum class ReplyKind : uint8_t {
@@ -55,6 +75,7 @@ struct Request {
   std::vector<double> values;   ///< kAppend.
   int64_t t0 = 0;               ///< kReadRange (inclusive).
   int64_t t1 = 0;               ///< kReadRange (inclusive).
+  QuerySpec query;              ///< kQuery.
 };
 
 /// Daemon-wide counters: per-shard stats summed, plus the front-end's
@@ -87,6 +108,7 @@ struct Reply {
   std::vector<double> values;   ///< kOk + kReadRange.
   ServeStats stats;             ///< kOk + kStats.
   std::vector<std::string> names;  ///< kOk + kListSeries.
+  query::QueryResult query;        ///< kOk + kQuery.
 };
 
 std::vector<uint8_t> EncodeRequest(const Request& request);

@@ -1,0 +1,200 @@
+// Contract tests for the pluggable metric registry (core/metric_registry):
+// name parsing and canonicalization, the pinned-four resolution rules, the
+// metric edge contracts (denominator floors, MASE preconditions, non-finite
+// rejection), and runtime registration of new metric families.
+
+#include "core/metric_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lossyts {
+namespace {
+
+MetricContext MakeContext(const std::vector<double>& actual,
+                          const std::vector<double>& predicted) {
+  MetricContext ctx;
+  ctx.actual = &actual;
+  ctx.predicted = &predicted;
+  return ctx;
+}
+
+// --- Parsing and canonical names ------------------------------------------
+
+TEST(MetricParseTest, CanonicalizesParameterSpelling) {
+  Result<MetricSpec> spec = MetricRegistry::Global().Parse("pinball@0.90");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "pinball@0.9");
+  EXPECT_EQ(spec->base, "pinball");
+  ASSERT_EQ(spec->params.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec->params[0], 0.9);
+}
+
+TEST(MetricParseTest, BareNameGetsDefaultParams) {
+  Result<MetricSpec> pinball = MetricRegistry::Global().Parse("pinball");
+  ASSERT_TRUE(pinball.ok());
+  ASSERT_EQ(pinball->params.size(), 1u);
+  EXPECT_DOUBLE_EQ(pinball->params[0], 0.5);
+  Result<MetricSpec> crps = MetricRegistry::Global().Parse("crps");
+  ASSERT_TRUE(crps.ok());
+  EXPECT_EQ(crps->params.size(), 19u);  // The dense 0.05..0.95 grid.
+}
+
+TEST(MetricParseTest, RejectsBadNamesAndParameters) {
+  // Unknown base.
+  EXPECT_FALSE(MetricRegistry::Global().Parse("made_up").ok());
+  // Parameters outside (0, 1).
+  EXPECT_FALSE(MetricRegistry::Global().Parse("pinball@1.5").ok());
+  EXPECT_FALSE(MetricRegistry::Global().Parse("pinball@0").ok());
+  // Arity violations: pinball takes exactly one, mae takes none.
+  EXPECT_FALSE(MetricRegistry::Global().Parse("pinball@0.1+0.2").ok());
+  EXPECT_FALSE(MetricRegistry::Global().Parse("mae@0.5").ok());
+  // Garbage parameter text.
+  EXPECT_FALSE(MetricRegistry::Global().Parse("pinball@abc").ok());
+  EXPECT_FALSE(MetricRegistry::Global().Parse("pinball@").ok());
+}
+
+TEST(MetricParseTest, ResolveKeepsPinnedFirstAndDeduplicates) {
+  Result<std::vector<std::string>> resolved =
+      ResolveMetricNames({"mae", "nrmse", "pinball@0.50", "mae"});
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  const std::vector<std::string> want = {"r",   "rse", "rmse",
+                                         "nrmse", "mae", "pinball@0.5"};
+  EXPECT_EQ(*resolved, want);
+  // The pinned indices are an API constant other layers rely on.
+  EXPECT_EQ((*resolved)[kMetricR], "r");
+  EXPECT_EQ((*resolved)[kMetricRse], "rse");
+  EXPECT_EQ((*resolved)[kMetricRmse], "rmse");
+  EXPECT_EQ((*resolved)[kMetricNrmse], "nrmse");
+}
+
+TEST(MetricParseTest, CanonicalListRejectsEmptyAndKeepsOrder) {
+  EXPECT_FALSE(CanonicalMetricNames({}).ok());
+  Result<std::vector<std::string>> names =
+      CanonicalMetricNames({"smape", "mae", "smape"});
+  ASSERT_TRUE(names.ok());
+  const std::vector<std::string> want = {"smape", "mae"};
+  EXPECT_EQ(*names, want);
+}
+
+// --- Edge contracts -------------------------------------------------------
+
+TEST(MetricContractTest, MapeAndSmapeStayFiniteOnZeroDenominators) {
+  const std::vector<double> actual = {0.0, 0.0, 0.0};
+  const std::vector<double> predicted = {0.0, 0.0, 0.0};
+  Result<std::vector<double>> m =
+      EvaluateMetrics({"mape", "smape"}, MakeContext(actual, predicted));
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  // Zero error over a floored denominator is exactly zero, not NaN.
+  EXPECT_DOUBLE_EQ((*m)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*m)[1], 0.0);
+
+  const std::vector<double> off = {1.0, 1.0, 1.0};
+  Result<std::vector<double>> floored =
+      EvaluateMetrics({"mape"}, MakeContext(actual, off));
+  ASSERT_TRUE(floored.ok());
+  EXPECT_TRUE(std::isfinite((*floored)[0]));
+}
+
+TEST(MetricContractTest, MaseRejectsConstantAndShortInsampleByName) {
+  const std::vector<double> actual = {1.0, 2.0, 3.0};
+  const std::vector<double> predicted = {1.1, 1.9, 3.2};
+  MetricContext ctx = MakeContext(actual, predicted);
+  ctx.series = "ETTm1";
+
+  const std::vector<double> constant(16, 7.5);
+  ctx.insample = &constant;
+  Result<std::vector<double>> flat = EvaluateMetrics({"mase"}, ctx);
+  ASSERT_FALSE(flat.ok());
+  EXPECT_EQ(flat.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(flat.status().ToString().find("constant in-sample"),
+            std::string::npos);
+  EXPECT_NE(flat.status().ToString().find("ETTm1"), std::string::npos);
+
+  const std::vector<double> tiny = {1.0, 2.0};
+  ctx.season_length = 4;
+  ctx.insample = &tiny;
+  Result<std::vector<double>> short_series = EvaluateMetrics({"mase"}, ctx);
+  ASSERT_FALSE(short_series.ok());
+  EXPECT_NE(short_series.status().ToString().find("need more than"),
+            std::string::npos);
+
+  ctx.insample = nullptr;
+  Result<std::vector<double>> missing = EvaluateMetrics({"mase"}, ctx);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("in-sample"), std::string::npos);
+}
+
+TEST(MetricContractTest, NonFiniteInputsAreRejectedWithTheIndex) {
+  std::vector<double> actual = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> predicted = {1.0, 2.0, 3.0, 4.0};
+  predicted[2] = std::numeric_limits<double>::quiet_NaN();
+  Result<std::vector<double>> nan_case =
+      EvaluateMetrics({"mae"}, MakeContext(actual, predicted));
+  ASSERT_FALSE(nan_case.ok());
+  EXPECT_EQ(nan_case.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(nan_case.status().ToString().find("non-finite value at index 2"),
+            std::string::npos);
+
+  actual[1] = std::numeric_limits<double>::infinity();
+  predicted[2] = 3.0;
+  Result<std::vector<double>> inf_case =
+      EvaluateMetrics({"mae"}, MakeContext(actual, predicted));
+  ASSERT_FALSE(inf_case.ok());
+  EXPECT_NE(inf_case.status().ToString().find("non-finite value at index 1"),
+            std::string::npos);
+}
+
+TEST(MetricContractTest, CoverageNeedsIntervalsAndCountsInside) {
+  const std::vector<double> actual = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> predicted = {1.0, 2.0, 3.0, 4.0};
+  MetricContext ctx = MakeContext(actual, predicted);
+  EXPECT_FALSE(EvaluateMetrics({"coverage"}, ctx).ok());
+
+  const std::vector<double> lower = {0.5, 1.5, 3.5, 3.5};
+  const std::vector<double> upper = {1.5, 2.5, 3.8, 4.5};
+  ctx.lower = &lower;
+  ctx.upper = &upper;
+  Result<std::vector<double>> covered = EvaluateMetrics({"coverage"}, ctx);
+  ASSERT_TRUE(covered.ok()) << covered.status().ToString();
+  EXPECT_DOUBLE_EQ((*covered)[0], 0.75);  // Index 2 falls outside.
+}
+
+// --- Runtime registration -------------------------------------------------
+
+TEST(MetricRegistryTest, RegisteredMetricsWorkEverywhereAndDupsAreRefused) {
+  MetricKernel kernel;
+  kernel.fn = [](const MetricContext& ctx,
+                 const std::vector<double>&) -> Result<double> {
+    return static_cast<double>(ctx.actual->size());
+  };
+  ASSERT_TRUE(
+      MetricRegistry::Global().Register("test_count", kernel).ok());
+  // Second registration under the same name must be refused, not replaced.
+  Status dup = MetricRegistry::Global().Register("test_count", kernel);
+  EXPECT_EQ(dup.code(), StatusCode::kFailedPrecondition);
+  // '@' and empty names are structurally invalid.
+  EXPECT_EQ(MetricRegistry::Global().Register("bad@name", kernel).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MetricRegistry::Global().Register("", kernel).code(),
+            StatusCode::kInvalidArgument);
+
+  const std::vector<double> actual = {1.0, 2.0, 3.0};
+  const std::vector<double> predicted = {1.0, 2.0, 3.0};
+  Result<std::vector<double>> via_eval =
+      EvaluateMetrics({"test_count"}, MakeContext(actual, predicted));
+  ASSERT_TRUE(via_eval.ok()) << via_eval.status().ToString();
+  EXPECT_DOUBLE_EQ((*via_eval)[0], 3.0);
+  // And the grid resolver accepts it like any built-in.
+  Result<std::vector<std::string>> resolved =
+      ResolveMetricNames({"test_count"});
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->back(), "test_count");
+}
+
+}  // namespace
+}  // namespace lossyts

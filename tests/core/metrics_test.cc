@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/metric_registry.h"
+
 namespace lossyts {
 namespace {
 
@@ -127,15 +129,20 @@ TEST(MetricsTest, EmptyInputFails) {
   EXPECT_FALSE(Rmse(empty, empty).ok());
 }
 
-TEST(MetricsTest, CalculateMetricsBundlesAllFour) {
+TEST(MetricsTest, PinnedRegistryMetricsBundleAllFour) {
   std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
   std::vector<double> y = {0.1, 1.1, 1.9, 3.0};
-  Result<MetricSet> m = CalculateMetrics(x, y);
-  ASSERT_TRUE(m.ok());
-  EXPECT_GT(m->r, 0.99);
-  EXPECT_GT(m->rmse, 0.0);
-  EXPECT_NEAR(m->nrmse, m->rmse / 3.0, 1e-12);
-  EXPECT_GT(m->rse, 0.0);
+  MetricContext ctx;
+  ctx.actual = &x;
+  ctx.predicted = &y;
+  Result<std::vector<double>> m =
+      EvaluateMetrics(PinnedForecastMetrics(), ctx);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_EQ(m->size(), 4u);
+  EXPECT_GT((*m)[kMetricR], 0.99);
+  EXPECT_GT((*m)[kMetricRmse], 0.0);
+  EXPECT_NEAR((*m)[kMetricNrmse], (*m)[kMetricRmse] / 3.0, 1e-12);
+  EXPECT_GT((*m)[kMetricRse], 0.0);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "eval/checkpoint.h"
 #include "eval/grid.h"
+#include "zip/crc32.h"
 
 namespace lossyts::eval {
 namespace {
@@ -41,10 +42,10 @@ void ExpectSameRecord(const GridRecord& a, const GridRecord& b) {
   EXPECT_EQ(a.compressor, b.compressor);
   EXPECT_DOUBLE_EQ(a.error_bound, b.error_bound);
   EXPECT_EQ(a.seed, b.seed);
-  EXPECT_DOUBLE_EQ(a.r, b.r);
-  EXPECT_DOUBLE_EQ(a.rse, b.rse);
-  EXPECT_DOUBLE_EQ(a.rmse, b.rmse);
-  EXPECT_DOUBLE_EQ(a.nrmse, b.nrmse);
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (size_t i = 0; i < a.metrics.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.metrics[i], b.metrics[i]) << "metric " << i;
+  }
   EXPECT_DOUBLE_EQ(a.tfe, b.tfe);
   EXPECT_DOUBLE_EQ(a.te_nrmse, b.te_nrmse);
   EXPECT_DOUBLE_EQ(a.te_rmse, b.te_rmse);
@@ -98,10 +99,7 @@ TEST(GridRowTest, FormatParseRoundTripsFaultFields) {
   record.compressor = "PMC";
   record.error_bound = 0.1 + 1e-17;
   record.seed = 3;
-  record.r = 0.912345678901234567;
-  record.rse = 0.25;
-  record.rmse = 1.5;
-  record.nrmse = 0.07;
+  record.metrics = {0.912345678901234567, 0.25, 1.5, 0.07};
   record.tfe = -0.02;
   record.te_nrmse = 0.01;
   record.compression_ratio = 11.25;
@@ -112,7 +110,7 @@ TEST(GridRowTest, FormatParseRoundTripsFaultFields) {
   Result<GridRecord> parsed = ParseGridRow(FormatGridRow(record));
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_DOUBLE_EQ(parsed->error_bound, record.error_bound);
-  EXPECT_DOUBLE_EQ(parsed->r, record.r);
+  EXPECT_DOUBLE_EQ(parsed->r(), record.r());
   EXPECT_EQ(parsed->error_code, record.error_code);
   EXPECT_EQ(parsed->attempts, 2);
   // Separators in the message are sanitized so the row stays one line.
@@ -142,7 +140,7 @@ TEST(CheckpointTest, WriterProducesLoadableCompleteCheckpoint) {
   a.model = "GBoost";
   a.compressor = "NONE";
   a.seed = 1;
-  a.nrmse = 0.5;
+  a.metrics[kMetricNrmse] = 0.5;
   GridRecord b = a;
   b.compressor = "PMC";
   b.error_bound = 0.2;
@@ -246,7 +244,7 @@ TEST(CheckpointTest, LegacyPlainCsvLoadsAsCompleteCheckpoint) {
   a.compressor = "PMC";
   a.error_bound = 0.1;
   a.seed = 1;
-  a.nrmse = 0.4;
+  a.metrics[kMetricNrmse] = 0.4;
   ASSERT_TRUE(SaveGridCsv({a}, path).ok());
 
   Result<GridCheckpoint> loaded = LoadGridCheckpoint(path, 123);
@@ -257,6 +255,102 @@ TEST(CheckpointTest, LegacyPlainCsvLoadsAsCompleteCheckpoint) {
   ASSERT_EQ(loaded->records.size(), 1u);
   ExpectSameRecord(loaded->records[0], a);
   std::remove(path.c_str());
+}
+
+// Schema versioning: a v1 checkpoint (pinned four metric columns, no
+// "metrics=" manifest field) must resume cleanly for a pinned-four sweep and
+// be rejected with a clear reason for any other metric set — never silently
+// misparsed.
+TEST(CheckpointTest, V1CheckpointResumesPinnedAndRejectsExtraMetrics) {
+  const std::string path = TempPath("ckpt_v1_compat.csv");
+  std::remove(path.c_str());
+
+  // Hand-written v1 file: v1 manifest, header, one CRC-framed 17-field row.
+  const std::string row =
+      "ETTm1,GBoost,PMC,0.10000000000000001,1,0.9,0.25,1.5,0.07,-0.02,0.01,"
+      "0,11.25,3,0,1,";
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x",
+                zip::ComputeCrc32(reinterpret_cast<const uint8_t*>(row.data()),
+                                  row.size()));
+  WriteFileOrDie(path,
+                 "#lossyts-grid-checkpoint v1 options=0000002a\n"
+                 "dataset,model,compressor,error_bound,seed,r,rse,rmse,nrmse,"
+                 "tfe,te_nrmse,te_rmse,compression_ratio,segment_count,"
+                 "error_code,attempts,error\n" +
+                     std::string(crc) + ',' + row + "\n#complete\n");
+
+  Result<GridCheckpoint> pinned = LoadGridCheckpoint(path, 0x2a);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_TRUE(pinned->compatible);
+  EXPECT_TRUE(pinned->complete);
+  ASSERT_EQ(pinned->records.size(), 1u);
+  ASSERT_EQ(pinned->records[0].metrics.size(), 4u);
+  EXPECT_DOUBLE_EQ(pinned->records[0].r(), 0.9);
+  EXPECT_DOUBLE_EQ(pinned->records[0].nrmse(), 0.07);
+
+  Result<std::vector<std::string>> extended = ResolveMetricNames({"mae"});
+  ASSERT_TRUE(extended.ok()) << extended.status().ToString();
+  Result<GridCheckpoint> rejected = LoadGridCheckpoint(path, 0x2a, *extended);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_FALSE(rejected->compatible);
+  EXPECT_NE(rejected->reason.find("v1 checkpoint"), std::string::npos)
+      << rejected->reason;
+  EXPECT_TRUE(rejected->records.empty());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, V2RoundTripsExtraMetricsAndRejectsMismatchedList) {
+  const std::string path = TempPath("ckpt_v2_metrics.csv");
+  std::remove(path.c_str());
+
+  Result<std::vector<std::string>> names = ResolveMetricNames({"mae", "mape"});
+  ASSERT_TRUE(names.ok()) << names.status().ToString();
+  ASSERT_EQ(names->size(), 6u);
+
+  GridRecord a;
+  a.dataset = "ETTm1";
+  a.model = "GBoost";
+  a.compressor = "PMC";
+  a.error_bound = 0.1;
+  a.seed = 1;
+  a.metrics = {0.9, 0.25, 1.5, 0.07, 1.25, 0.033};
+  {
+    GridCheckpointWriter writer;
+    ASSERT_TRUE(writer.Open(path, 0x77, {}, *names).ok());
+    ASSERT_TRUE(writer.Append(a).ok());
+    ASSERT_TRUE(writer.MarkComplete().ok());
+  }
+
+  Result<GridCheckpoint> loaded = LoadGridCheckpoint(path, 0x77, *names);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->compatible);
+  EXPECT_TRUE(loaded->complete);
+  ASSERT_EQ(loaded->records.size(), 1u);
+  ExpectSameRecord(loaded->records[0], a);
+
+  // A sweep asking for a different metric list is told exactly what the
+  // checkpoint holds versus what it needs.
+  Result<GridCheckpoint> mismatch = LoadGridCheckpoint(path, 0x77);
+  ASSERT_TRUE(mismatch.ok()) << mismatch.status().ToString();
+  EXPECT_FALSE(mismatch->compatible);
+  EXPECT_NE(mismatch->reason.find("checkpoint computes metrics"),
+            std::string::npos)
+      << mismatch->reason;
+  std::remove(path.c_str());
+}
+
+TEST(GridOptionsHashTest, ExtraMetricsChangeHashPinnedSpellingDoesNot) {
+  const uint32_t base = GridOptionsHash(TinyGrid());
+
+  // Spelling out the pinned four is the same sweep as the default.
+  GridOptions pinned = TinyGrid();
+  pinned.metrics = {"r", "rse", "rmse", "nrmse"};
+  EXPECT_EQ(base, GridOptionsHash(pinned));
+
+  GridOptions extended = TinyGrid();
+  extended.metrics = {"mae"};
+  EXPECT_NE(base, GridOptionsHash(extended));
 }
 
 TEST(CheckpointTest, MissingFileIsNotFound) {

@@ -38,10 +38,10 @@ void ExpectSameRecord(const GridRecord& a, const GridRecord& b) {
   EXPECT_EQ(a.compressor, b.compressor);
   EXPECT_DOUBLE_EQ(a.error_bound, b.error_bound);
   EXPECT_EQ(a.seed, b.seed);
-  EXPECT_DOUBLE_EQ(a.r, b.r);
-  EXPECT_DOUBLE_EQ(a.rse, b.rse);
-  EXPECT_DOUBLE_EQ(a.rmse, b.rmse);
-  EXPECT_DOUBLE_EQ(a.nrmse, b.nrmse);
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (size_t i = 0; i < a.metrics.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.metrics[i], b.metrics[i]) << "metric " << i;
+  }
   EXPECT_DOUBLE_EQ(a.tfe, b.tfe);
   EXPECT_DOUBLE_EQ(a.te_nrmse, b.te_nrmse);
   EXPECT_DOUBLE_EQ(a.te_rmse, b.te_rmse);

@@ -42,7 +42,7 @@ TEST(GridTest, ProducesBaselineAndTransformedRows) {
       EXPECT_GT(r.compression_ratio, 1.0);
       EXPECT_GT(r.te_nrmse, 0.0);
     }
-    EXPECT_GT(r.nrmse, 0.0);
+    EXPECT_GT(r.nrmse(), 0.0);
   }
   EXPECT_EQ(baselines, 2u);
 }
@@ -56,7 +56,7 @@ TEST(GridTest, TfeConsistentWithBaseline) {
     for (const GridRecord& b : *records) {
       if (b.compressor == "NONE" && b.model == r.model &&
           b.dataset == r.dataset && b.seed == r.seed) {
-        EXPECT_NEAR(r.tfe, (r.nrmse - b.nrmse) / b.nrmse, 1e-9);
+        EXPECT_NEAR(r.tfe, (r.nrmse() - b.nrmse()) / b.nrmse(), 1e-9);
       }
     }
   }

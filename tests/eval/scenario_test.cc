@@ -53,12 +53,13 @@ TEST(ScenarioTest, BaselineEvaluationProducesSaneMetrics) {
   ASSERT_TRUE(model.ok());
   ASSERT_TRUE((*model)->Fit(split->train, split->val).ok());
 
-  Result<MetricSet> metrics = EvaluateOnTest(
+  Result<std::vector<double>> metrics = EvaluateOnTest(
       **model, split->test, nullptr, config.input_length, config.horizon);
   ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
-  EXPECT_GT(metrics->r, 0.5);
-  EXPECT_GT(metrics->nrmse, 0.0);
-  EXPECT_LT(metrics->nrmse, 1.0);
+  ASSERT_EQ(metrics->size(), 4u);
+  EXPECT_GT((*metrics)[kMetricR], 0.5);
+  EXPECT_GT((*metrics)[kMetricNrmse], 0.0);
+  EXPECT_LT((*metrics)[kMetricNrmse], 1.0);
 }
 
 TEST(ScenarioTest, IdentityTransformMatchesBaseline) {
@@ -71,14 +72,14 @@ TEST(ScenarioTest, IdentityTransformMatchesBaseline) {
   ASSERT_TRUE(model.ok());
   ASSERT_TRUE((*model)->Fit(split->train, split->val).ok());
 
-  Result<MetricSet> baseline = EvaluateOnTest(
+  Result<std::vector<double>> baseline = EvaluateOnTest(
       **model, split->test, nullptr, config.input_length, config.horizon);
   TimeSeries copy = split->test;
-  Result<MetricSet> transformed = EvaluateOnTest(
+  Result<std::vector<double>> transformed = EvaluateOnTest(
       **model, split->test, &copy, config.input_length, config.horizon);
   ASSERT_TRUE(baseline.ok());
   ASSERT_TRUE(transformed.ok());
-  EXPECT_DOUBLE_EQ(baseline->nrmse, transformed->nrmse);
+  EXPECT_DOUBLE_EQ((*baseline)[kMetricNrmse], (*transformed)[kMetricNrmse]);
 }
 
 TEST(ScenarioTest, HeavyDistortionDegradesAccuracy) {
@@ -91,7 +92,7 @@ TEST(ScenarioTest, HeavyDistortionDegradesAccuracy) {
   ASSERT_TRUE(model.ok());
   ASSERT_TRUE((*model)->Fit(split->train, split->val).ok());
 
-  Result<MetricSet> baseline = EvaluateOnTest(
+  Result<std::vector<double>> baseline = EvaluateOnTest(
       **model, split->test, nullptr, config.input_length, config.horizon);
   ASSERT_TRUE(baseline.ok());
 
@@ -100,11 +101,12 @@ TEST(ScenarioTest, HeavyDistortionDegradesAccuracy) {
   for (double& v : wrecked.mutable_values()) {
     v = std::round(v / 8.0) * 8.0;
   }
-  Result<MetricSet> transformed = EvaluateOnTest(
+  Result<std::vector<double>> transformed = EvaluateOnTest(
       **model, split->test, &wrecked, config.input_length, config.horizon);
   ASSERT_TRUE(transformed.ok());
-  EXPECT_GT(transformed->nrmse, baseline->nrmse);
-  EXPECT_GT(Tfe(transformed->nrmse, baseline->nrmse), 0.0);
+  EXPECT_GT((*transformed)[kMetricNrmse], (*baseline)[kMetricNrmse]);
+  EXPECT_GT(Tfe((*transformed)[kMetricNrmse], (*baseline)[kMetricNrmse]),
+            0.0);
 }
 
 TEST(ScenarioTest, MismatchedTransformedLengthFails) {
@@ -144,11 +146,11 @@ TEST(ScenarioTest, RetrainOnDecompressedRuns) {
   Result<TrainValTest> split = SplitSeries(series);
   ASSERT_TRUE(split.ok());
   forecast::ForecastConfig config = SmallConfig();
-  Result<MetricSet> metrics = EvaluateRetrainOnDecompressed(
+  Result<std::vector<double>> metrics = EvaluateRetrainOnDecompressed(
       "DLinear", config, split->train, split->val, split->test, "PMC", 0.1);
   ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
-  EXPECT_GT(metrics->nrmse, 0.0);
-  EXPECT_TRUE(std::isfinite(metrics->r));
+  EXPECT_GT((*metrics)[kMetricNrmse], 0.0);
+  EXPECT_TRUE(std::isfinite((*metrics)[kMetricR]));
 }
 
 TEST(ScenarioTest, RetrainRejectsUnknownCompressor) {

@@ -104,6 +104,54 @@ TEST_F(ServeDaemonTest, ReplyEncodingRoundTrips) {
   EXPECT_EQ(back.message(), lost.message());
 }
 
+TEST_F(ServeDaemonTest, QueryEncodingRoundTrips) {
+  Request request;
+  request.type = RequestType::kQuery;
+  request.query.metrics = {"mae", "pinball@0.9"};
+  request.query.group_by = "prefix";
+  request.query.delimiter = ".";
+  request.query.t0 = -5000;
+  request.query.t1 = 987654321;
+  request.query.match = "cpu";
+  request.query.pred_suffix = ".fc";
+  request.query.season_length = 24;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, RequestType::kQuery);
+  EXPECT_EQ(decoded->query.metrics, request.query.metrics);
+  EXPECT_EQ(decoded->query.group_by, "prefix");
+  EXPECT_EQ(decoded->query.delimiter, ".");
+  EXPECT_EQ(decoded->query.t0, -5000);
+  EXPECT_EQ(decoded->query.t1, 987654321);
+  EXPECT_EQ(decoded->query.match, "cpu");
+  EXPECT_EQ(decoded->query.pred_suffix, ".fc");
+  EXPECT_EQ(decoded->query.season_length, 24);
+
+  Reply reply;
+  reply.kind = ReplyKind::kOk;
+  reply.query.metric_names = {"mae", "pinball@0.9"};
+  reply.query.aggregate_names = {"MEAN"};
+  query::GroupRow row;
+  row.group = "cpu";
+  row.series_count = 3;
+  row.points = 1200;
+  row.aggregates = {42.5};
+  row.metrics = {0.25, 0.125};
+  reply.query.rows.push_back(row);
+  auto decoded_reply = DecodeReply(RequestType::kQuery,
+                                   EncodeReply(RequestType::kQuery, reply));
+  ASSERT_TRUE(decoded_reply.ok()) << decoded_reply.status().ToString();
+  EXPECT_EQ(decoded_reply->query.metric_names, reply.query.metric_names);
+  EXPECT_EQ(decoded_reply->query.aggregate_names,
+            reply.query.aggregate_names);
+  ASSERT_EQ(decoded_reply->query.rows.size(), 1u);
+  EXPECT_EQ(decoded_reply->query.rows[0].group, "cpu");
+  EXPECT_EQ(decoded_reply->query.rows[0].series_count, 3u);
+  EXPECT_EQ(decoded_reply->query.rows[0].points, 1200u);
+  EXPECT_EQ(decoded_reply->query.rows[0].aggregates, row.aggregates);
+  EXPECT_EQ(decoded_reply->query.rows[0].metrics, row.metrics);
+}
+
 TEST_F(ServeDaemonTest, FramesSurviveTheWireAndRejectCorruption) {
   int fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
@@ -185,6 +233,71 @@ TEST_F(ServeDaemonTest, EndToEndAppendReadListStats) {
   EXPECT_TRUE((*client)->Shutdown().ok());
   (*daemon)->Wait();
   EXPECT_TRUE((*daemon)->Stop().ok());
+}
+
+TEST_F(ServeDaemonTest, EndToEndGroupedQuery) {
+  const std::string dir = TempDir("daemon_query");
+  auto daemon = Daemon::Start(TestOptions(dir));
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+  auto client = Client::Connect((*daemon)->socket_path());
+  ASSERT_TRUE(client.ok());
+
+  // Two sites with known residuals (+0.5 and -1.0) plus their forecast
+  // pairs, spread across both shards.
+  std::vector<double> east(120), east_pred(120), west(120), west_pred(120);
+  for (int i = 0; i < 120; ++i) {
+    east[static_cast<size_t>(i)] = 10.0 + 0.25 * i;
+    east_pred[static_cast<size_t>(i)] = 10.5 + 0.25 * i;
+    west[static_cast<size_t>(i)] = 20.0 + 0.25 * i;
+    west_pred[static_cast<size_t>(i)] = 19.0 + 0.25 * i;
+  }
+  ASSERT_TRUE((*client)->Append("site_east", 0, 60, east).ok());
+  ASSERT_TRUE((*client)->Append("site_east.pred", 0, 60, east_pred).ok());
+  ASSERT_TRUE((*client)->Append("site_west", 0, 60, west).ok());
+  ASSERT_TRUE((*client)->Append("site_west.pred", 0, 60, west_pred).ok());
+
+  QuerySpec spec;
+  spec.metrics = {"mae", "bias"};
+  auto per_series = (*client)->Query(spec);
+  ASSERT_TRUE(per_series.ok()) << per_series.status().ToString();
+  ASSERT_EQ(per_series->rows.size(), 2u);
+  EXPECT_EQ(per_series->rows[0].group, "site_east");
+  EXPECT_DOUBLE_EQ(per_series->rows[0].metrics[0], 0.5);
+  EXPECT_EQ(per_series->rows[1].group, "site_west");
+  EXPECT_DOUBLE_EQ(per_series->rows[1].metrics[1], -1.0);
+
+  // Prefix grouping pools both sites into one "site" row.
+  spec.group_by = "prefix";
+  auto pooled = (*client)->Query(spec);
+  ASSERT_TRUE(pooled.ok()) << pooled.status().ToString();
+  ASSERT_EQ(pooled->rows.size(), 1u);
+  EXPECT_EQ(pooled->rows[0].group, "site");
+  EXPECT_EQ(pooled->rows[0].series_count, 2u);
+  EXPECT_EQ(pooled->rows[0].points, 240u);
+  EXPECT_DOUBLE_EQ(pooled->rows[0].metrics[0], 0.75);
+  EXPECT_DOUBLE_EQ(pooled->rows[0].metrics[1], -0.25);
+
+  // A time range restricts the pooled points.
+  spec.t0 = 60 * 60;
+  spec.t1 = 60 * 119;
+  auto ranged = (*client)->Query(spec);
+  ASSERT_TRUE(ranged.ok()) << ranged.status().ToString();
+  EXPECT_EQ(ranged->rows[0].points, 120u);
+
+  // Server-side validation surfaces as the carried Status: bad group mode,
+  // no metrics, unknown metric.
+  QuerySpec bad_mode = spec;
+  bad_mode.group_by = "bogus";
+  EXPECT_EQ((*client)->Query(bad_mode).status().code(),
+            StatusCode::kInvalidArgument);
+  QuerySpec no_metrics;
+  EXPECT_EQ((*client)->Query(no_metrics).status().code(),
+            StatusCode::kInvalidArgument);
+  QuerySpec unknown;
+  unknown.metrics = {"made_up_metric"};
+  EXPECT_FALSE((*client)->Query(unknown).ok());
+
+  ASSERT_TRUE((*daemon)->Stop().ok());
 }
 
 TEST_F(ServeDaemonTest, GracefulRestartRecoversEverythingAcked) {

@@ -116,6 +116,37 @@ serve_smoke() {
   fi
 }
 
+# Grouped-query smoke, run in every leg: build a directory of store pairs
+# (`<name>.lts` + `<name>.pred.lts`), run the same grouped-metric query at
+# --jobs 1 and --jobs 4, and require byte-identical output — the query
+# layer's determinism contract, here sanitizer-checked as well. Also runs an
+# aggregate-only query, which must be answerable by segment pushdown alone.
+query_smoke() {
+  local dir="$1"
+  local bin="${dir}/tools/lossyts"
+  local qdir="${dir}/query_smoke"
+  rm -rf "${qdir}"
+  mkdir -p "${qdir}"
+  local s
+  for s in east west; do
+    "${bin}" store ingest PMC 0.05 Solar "${qdir}/solar_${s}.lts" >/dev/null
+    "${bin}" store ingest SWING 0.10 Solar \
+      "${qdir}/solar_${s}.pred.lts" >/dev/null
+  done
+  "${bin}" query "${qdir}" --metrics mae,rmse,smape,bias,pinball@0.9 \
+    --agg MEAN,COUNT --group-by prefix >"${qdir}/j1.txt" 2>/dev/null
+  "${bin}" query "${qdir}" --metrics mae,rmse,smape,bias,pinball@0.9 \
+    --agg MEAN,COUNT --group-by prefix --jobs 4 >"${qdir}/j4.txt" 2>/dev/null
+  if ! cmp -s "${qdir}/j1.txt" "${qdir}/j4.txt"; then
+    echo "query_smoke: --jobs 1 vs --jobs 4 outputs differ"
+    diff "${qdir}/j1.txt" "${qdir}/j4.txt" || true
+    return 1
+  fi
+  "${bin}" query "${qdir}" --agg MIN,MAX,MEAN --group-by all >/dev/null
+  echo "query_smoke: deterministic across jobs" \
+    "($(wc -l <"${qdir}/j1.txt") lines)"
+}
+
 run_config() {
   local name="$1" sanitize="$2" filter="${3:-}"
   local dir="${BUILD_ROOT}/${name}"
@@ -160,6 +191,7 @@ run_config() {
     done
   fi
   serve_smoke "${dir}"
+  query_smoke "${dir}"
 }
 
 run_config plain ""

@@ -34,6 +34,7 @@
 #include "eval/store_source.h"
 #include "features/registry.h"
 #include "numcheck/harness.h"
+#include "query/query.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
 #include "store/format.h"
@@ -58,7 +59,7 @@ int Usage() {
       "  lossyts grid [--resume] [--fresh] [--cache <path>] [--retries N]\n"
       "               [--jobs N] [--datasets a,b] [--models a,b]\n"
       "               [--compressors a,b] [--error-bounds 0.05,0.4]\n"
-      "               [--seeds 1,2]\n"
+      "               [--seeds 1,2] [--metrics mae,pinball@0.9]\n"
       "  lossyts conform [--cases N] [--seed S] [--codecs a,b]\n"
       "               [--error-bounds 0.01,0.2] [--bit-flips N]\n"
       "               [--no-mutate] [--jobs N]\n"
@@ -73,6 +74,10 @@ int Usage() {
       "  lossyts store verify <in.lts> <in.csv | dataset>\n"
       "  lossyts store ingest-grid <dir> [--datasets a,b]\n"
       "               [--compressors a,b] [--error-bounds 0.05,0.4]\n"
+      "  lossyts query <dir> [--metrics a,b] [--agg MIN,MEAN,..]\n"
+      "               [--group-by series|prefix|all] [--delim <d>]\n"
+      "               [--range <t0> <t1>] [--jobs N] [--match <substr>]\n"
+      "               [--pred-suffix <s>] [--season N]\n"
       "  lossyts serve <dir> [--socket <path>] [--shards N] [--jobs N]\n"
       "               [--eb E] [--span N] [--codecs a,b] [--no-sync]\n"
       "               [--flush-wal-bytes N] [--max-queue N]\n"
@@ -80,6 +85,9 @@ int Usage() {
       "  lossyts client <socket> ping | list | stats | shutdown\n"
       "  lossyts client <socket> append <series> <t0> <interval> <v1,v2,..>\n"
       "  lossyts client <socket> read <series> <t0> <t1>\n"
+      "  lossyts client <socket> query --metrics a,b [--group-by m]\n"
+      "               [--delim <d>] [--range <t0> <t1>] [--match <substr>]\n"
+      "               [--pred-suffix <s>] [--season N]\n"
       "  (grid also takes --store-dir <dir> to source transforms from\n"
       "   store files, and --build-stores to build them first)\n"
       "dataset names: ETTm1 ETTm2 Solar Weather ElecDem Wind\n");
@@ -293,6 +301,10 @@ int Grid(int argc, char** argv) {
       for (const std::string& seed : SplitList(v)) {
         options.seeds.push_back(std::strtoull(seed.c_str(), nullptr, 10));
       }
+    } else if (arg == "--metrics") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.metrics = SplitList(v);
     } else {
       return Usage();
     }
@@ -915,6 +927,44 @@ int ClientCmd(int argc, char** argv) {
                 static_cast<unsigned long long>(stats->evicted_clients));
     return 0;
   }
+  if (sub == "query" && argc >= 5) {
+    serve::QuerySpec spec;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        return i + 1 < argc ? argv[++i] : nullptr;
+      };
+      const char* v = nullptr;
+      if (arg == "--metrics" && (v = next())) {
+        spec.metrics = SplitList(v);
+      } else if (arg == "--group-by" && (v = next())) {
+        spec.group_by = v;
+      } else if (arg == "--delim" && (v = next())) {
+        spec.delimiter = v;
+      } else if (arg == "--range") {
+        const char* a = next();
+        const char* b = next();
+        if (a == nullptr || b == nullptr) return Usage();
+        spec.t0 = std::strtoll(a, nullptr, 10);
+        spec.t1 = std::strtoll(b, nullptr, 10);
+      } else if (arg == "--match" && (v = next())) {
+        spec.match = v;
+      } else if (arg == "--pred-suffix" && (v = next())) {
+        spec.pred_suffix = v;
+      } else if (arg == "--season" && (v = next())) {
+        spec.season_length = std::atoi(v);
+      } else {
+        return Usage();
+      }
+    }
+    Result<query::QueryResult> result = (*client)->Query(spec);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", query::FormatQueryResult(*result).c_str());
+    return 0;
+  }
   if (sub == "shutdown" && argc == 4) {
     if (Status s = (*client)->Shutdown(); !s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -924,6 +974,61 @@ int ClientCmd(int argc, char** argv) {
     return 0;
   }
   return Usage();
+}
+
+// Grouped-metric / aggregate query over a directory of store files — the
+// offline twin of the daemon's kQuery (`lossyts client <sock> query`).
+int QueryCmd(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string dir = argv[2];
+  query::QueryOptions options;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--metrics" && (v = next())) {
+      options.metrics = SplitList(v);
+    } else if (arg == "--agg" && (v = next())) {
+      options.aggregates = SplitList(v);
+    } else if (arg == "--group-by" && (v = next())) {
+      Result<query::GroupMode> mode = query::ParseGroupMode(v);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+        return 1;
+      }
+      options.group_by = *mode;
+    } else if (arg == "--delim" && (v = next())) {
+      options.delimiter = v;
+    } else if (arg == "--range") {
+      const char* a = next();
+      const char* b = next();
+      if (a == nullptr || b == nullptr) return Usage();
+      options.t0 = std::strtoll(a, nullptr, 10);
+      options.t1 = std::strtoll(b, nullptr, 10);
+    } else if (arg == "--jobs" && (v = next())) {
+      options.jobs = std::atoi(v);
+    } else if (arg == "--match" && (v = next())) {
+      options.match = v;
+    } else if (arg == "--pred-suffix" && (v = next())) {
+      options.pred_suffix = v;
+    } else if (arg == "--season" && (v = next())) {
+      options.season_length = std::atoi(v);
+    } else {
+      return Usage();
+    }
+  }
+  Result<query::QueryResult> result = query::QueryStoreDir(dir, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", query::FormatQueryResult(*result).c_str());
+  std::fprintf(stderr, "pushdown chunks: %llu, decoded chunks: %llu\n",
+               static_cast<unsigned long long>(result->pushdown_chunks),
+               static_cast<unsigned long long>(result->decoded_chunks));
+  return 0;
 }
 
 int StoreCmd(int argc, char** argv) {
@@ -954,6 +1059,7 @@ int main(int argc, char** argv) {
   if (command == "conform") return Conform(argc, argv);
   if (command == "numcheck") return Numcheck(argc, argv);
   if (command == "store") return StoreCmd(argc, argv);
+  if (command == "query") return QueryCmd(argc, argv);
   if (command == "serve") return Serve(argc, argv);
   if (command == "client") return ClientCmd(argc, argv);
   return Usage();
